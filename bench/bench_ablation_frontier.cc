@@ -1,0 +1,110 @@
+// Ablation (paper Section 3.2, "Sparse Arrays"): sparse active-vertex arrays
+// vs a dense bitmap frontier that pays O(|V|) per push iteration to fill,
+// scan and clear.
+//
+// Expected shape: per-update incremental analysis is orders of magnitude
+// faster with sparse arrays ("reduce the average computing time from more
+// than 50 ms to a few microseconds"); for whole-graph (re)computation the
+// dense representation is competitive or better ("it takes RisGraph 2.21 s,
+// while it takes GraphOne 0.76 s with dense arrays") — which is exactly why
+// sparse arrays are the right default for per-update analysis and an
+// acceptable compromise everywhere else.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/latency.h"
+#include "common/timer.h"
+#include "core/algorithm_api.h"
+#include "core/incremental_engine.h"
+#include "storage/graph_store.h"
+#include "workload/datasets.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+struct ModeResult {
+  double mean_us = 0;
+  double p999_ms = 0;
+  double reset_ms = 0;
+};
+
+template <typename Algo>
+ModeResult RunMode(const StreamWorkload& wl, VertexId root, bool dense,
+                   double seconds) {
+  DefaultGraphStore store(wl.num_vertices);
+  for (const Edge& e : wl.preload) store.InsertEdge(e);
+  EngineOptions opt;
+  opt.use_dense_frontier = dense;
+  IncrementalEngine<Algo> engine(store, root, opt);
+
+  ModeResult r;
+  {
+    WallTimer t;
+    engine.Reset(root);  // whole-graph computation under this frontier
+    r.reset_ms = t.ElapsedNanos() / 1e6;
+  }
+
+  LatencyRecorder lat;
+  WallTimer window;
+  size_t i = 0;
+  while (window.ElapsedNanos() < seconds * 1e9 && i < wl.updates.size()) {
+    const Update& u = wl.updates[i++];
+    WallTimer t;
+    if (u.kind == UpdateKind::kInsertEdge) {
+      store.InsertEdge(u.edge);
+      engine.OnInsert(u.edge);
+    } else {
+      DeleteResult dr = store.DeleteEdge(u.edge);
+      engine.OnDelete(u.edge, dr);
+    }
+    lat.RecordNanos(t.ElapsedNanos());
+  }
+  r.mean_us = lat.MeanMicros();
+  r.p999_ms = lat.P999Millis();
+  return r;
+}
+
+template <typename Algo>
+void RunAlgo(const Dataset& d, const StreamWorkload& wl, double seconds) {
+  ModeResult sparse = RunMode<Algo>(wl, d.spec.root, /*dense=*/false, seconds);
+  ModeResult dense = RunMode<Algo>(wl, d.spec.root, /*dense=*/true, seconds);
+  std::printf("%-9s %10s %10s %9.1fx %10s %10s %8.2fx\n", Algo::Name(),
+              bench::FmtTime(sparse.mean_us).c_str(),
+              bench::FmtTime(dense.mean_us).c_str(),
+              dense.mean_us / std::max(sparse.mean_us, 1e-3),
+              bench::FmtTime(sparse.reset_ms * 1e3).c_str(),
+              bench::FmtTime(dense.reset_ms * 1e3).c_str(),
+              sparse.reset_ms / std::max(dense.reset_ms, 1e-3));
+}
+
+}  // namespace
+}  // namespace risgraph
+
+int main() {
+  using namespace risgraph;
+  auto env = bench::Env::Get();
+  bench::PrintTitle("Ablation: sparse active-vertex arrays vs dense bitmaps",
+                    "Section 3.2 'Sparse Arrays' discussion");
+
+  for (const std::string& name : bench::BenchDatasets(env)) {
+    Dataset d = LoadDataset(name);
+    StreamWorkload wl = BuildStream(d.num_vertices, d.edges, {});
+    std::printf("\n%s  (|V|=%llu, |E|=%zu)\n", d.spec.name.c_str(),
+                static_cast<unsigned long long>(d.num_vertices),
+                d.edges.size());
+    std::printf("%-9s %10s %10s %10s %10s %10s %9s\n", "algo",
+                "sparse/upd", "dense/upd", "slowdown", "sparse rst",
+                "dense rst", "rst ratio");
+    RunAlgo<Bfs>(d, wl, env.seconds);
+    RunAlgo<Sssp>(d, wl, env.seconds);
+    RunAlgo<Sswp>(d, wl, env.seconds);
+    RunAlgo<Wcc>(d, wl, env.seconds);
+  }
+  std::printf(
+      "\nShape check (paper): dense per-update is orders of magnitude slower"
+      " (bitmap scan+clear per iteration);\nwhole-graph reset ratio is near"
+      " or below ~3x (sparse drops 65.6%% when re-computing BFS).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+#ifndef RISGRAPH_BENCH_BENCH_COMMON_H_
+#define RISGRAPH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "workload/datasets.h"
+#include "workload/update_stream.h"
+
+namespace risgraph::bench {
+
+/// Shared environment knobs. Every bench binary runs argument-free at a
+/// scale that finishes in seconds; these env vars push toward paper-scale:
+///   RISGRAPH_SCALE=N    multiply dataset sizes by N (power of two)
+///   RISGRAPH_FULL=1     sweep all ten datasets instead of the quick subset
+///   RISGRAPH_SECONDS=S  measurement window per configuration (default ~1s)
+///   RISGRAPH_THREADS=T  thread-pool width
+struct Env {
+  bool full = false;
+  double seconds = 1.0;
+
+  static Env Get() {
+    Env e;
+    if (const char* f = std::getenv("RISGRAPH_FULL")) {
+      e.full = std::atoi(f) != 0;
+    }
+    if (const char* s = std::getenv("RISGRAPH_SECONDS")) {
+      double v = std::atof(s);
+      if (v > 0) e.seconds = v;
+    }
+    return e;
+  }
+};
+
+/// Datasets exercised by default vs. with RISGRAPH_FULL=1.
+inline std::vector<std::string> BenchDatasets(const Env& env) {
+  if (env.full) {
+    std::vector<std::string> all;
+    for (const auto& spec : AllDatasetSpecs()) {
+      if (spec.kind == GraphKind::kPowerLaw) all.push_back(spec.name);
+    }
+    return all;
+  }
+  return {"hepph_sim", "twitter_sim"};
+}
+
+/// Formats an ops/s figure compactly (e.g. "1.25M").
+inline std::string FmtOps(double ops) {
+  char buf[32];
+  if (ops >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", ops / 1e6);
+  } else if (ops >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", ops / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", ops);
+  }
+  return buf;
+}
+
+inline std::string FmtTime(double micros) {
+  char buf[32];
+  if (micros >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", micros / 1e6);
+  } else if (micros >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", micros / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fus", micros);
+  }
+  return buf;
+}
+
+inline void PrintRule() {
+  std::printf(
+      "--------------------------------------------------------------------"
+      "----------\n");
+}
+
+inline void PrintTitle(const char* title, const char* paper_ref) {
+  PrintRule();
+  std::printf("%s\n(reproduces %s)\n", title, paper_ref);
+  PrintRule();
+}
+
+}  // namespace risgraph::bench
+
+#endif  // RISGRAPH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,150 @@
+// Figure 14: RisGraph-Batch (RG-B) vs KickStarter-like (KS) vs Differential-
+// Dataflow-like (DD) with different batch sizes — per-batch processing time,
+// throughput, and RG-B's speedup. Includes the GraphOne-style full recompute
+// as the large-batch sanity point.
+//
+// Expected shape (paper Section 6.4): orders-of-magnitude RG-B advantage at
+// tiny batches (nearly per-update analysis), shrinking as batches grow; the
+// baselines close the gap only at millions of updates per batch.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/dd_like.h"
+#include "baselines/kickstarter.h"
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/algorithm_api.h"
+#include "core/incremental_engine.h"
+#include "storage/graph_store.h"
+#include "workload/datasets.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+using bench::FmtOps;
+using bench::FmtTime;
+
+struct Row {
+  size_t batch;
+  double rgb_us, ks_us, dd_us;  // per-batch processing time
+};
+
+template <typename Algo>
+void ApplyRgBatch(DefaultGraphStore& store, IncrementalEngine<Algo>& engine,
+                  const Update* batch, size_t n) {
+  // RisGraph in batch mode: ingest + per-update incremental analysis with
+  // classification; WAL/history disabled for parity with the baselines.
+  for (size_t i = 0; i < n; ++i) {
+    const Update& u = batch[i];
+    if (u.kind == UpdateKind::kInsertEdge) {
+      store.InsertEdge(u.edge);
+      if (!engine.IsInsertSafe(u.edge)) engine.OnInsert(u.edge);
+    } else {
+      DeleteResult r = store.DeleteEdge(u.edge);
+      engine.OnDelete(u.edge, r);
+    }
+  }
+}
+
+template <typename Algo>
+std::vector<Row> RunComparison(const Dataset& d, size_t total_updates) {
+  StreamOptions so;
+  so.preload_fraction = 0.9;
+  so.max_updates = total_updates;
+  StreamWorkload wl = BuildStream(d.num_vertices, d.edges, so);
+
+  std::vector<Row> rows;
+  for (size_t batch : {size_t{2}, size_t{20}, size_t{200}, size_t{2000},
+                       size_t{20000}}) {
+    if (batch > wl.updates.size()) break;
+    size_t total = wl.updates.size() / batch * batch;
+    Row row{batch, 0, 0, 0};
+    {
+      DefaultGraphStore store(wl.num_vertices);
+      for (const Edge& e : wl.preload) store.InsertEdge(e);
+      IncrementalEngine<Algo> engine(store, d.spec.root);
+      WallTimer t;
+      for (size_t i = 0; i < total; i += batch) {
+        ApplyRgBatch(store, engine, wl.updates.data() + i, batch);
+      }
+      row.rgb_us = t.ElapsedMicros() * batch / total;
+    }
+    {
+      KickStarterSystem<Algo> ks(wl.num_vertices, d.spec.root);
+      ks.Initialize(wl.preload);
+      // KS pays O(|V|) per batch: cap the measured batches so the bench
+      // stays fast, then scale to a per-batch figure.
+      size_t measured = std::min<size_t>(total, batch * 8);
+      WallTimer t;
+      std::vector<Update> b;
+      for (size_t i = 0; i < measured; i += batch) {
+        b.assign(wl.updates.begin() + i, wl.updates.begin() + i + batch);
+        ks.ApplyBatch(b);
+      }
+      row.ks_us = t.ElapsedMicros() * batch / measured;
+    }
+    {
+      DdLikeSystem<Algo> dd(wl.num_vertices, d.spec.root);
+      dd.Initialize(wl.preload);
+      size_t measured = std::min<size_t>(total, batch * 8);
+      WallTimer t;
+      std::vector<Update> b;
+      for (size_t i = 0; i < measured; i += batch) {
+        b.assign(wl.updates.begin() + i, wl.updates.begin() + i + batch);
+        dd.ApplyBatch(b);
+      }
+      row.dd_us = t.ElapsedMicros() * batch / measured;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+template <typename Algo>
+void Report(const Dataset& d, size_t total_updates) {
+  std::printf("\n== %s on %s ==\n", Algo::Name(), d.spec.name.c_str());
+  std::printf("%8s %12s %12s %12s %10s %10s %14s\n", "batch", "RG-B", "KS",
+              "DD", "spd/KS", "spd/DD", "RG-B T.(ops/s)");
+  auto rows = RunComparison<Algo>(d, total_updates);
+  for (const Row& r : rows) {
+    std::printf("%8zu %12s %12s %12s %9.0fx %9.0fx %14s\n", r.batch,
+                FmtTime(r.rgb_us).c_str(), FmtTime(r.ks_us).c_str(),
+                FmtTime(r.dd_us).c_str(), r.ks_us / r.rgb_us,
+                r.dd_us / r.rgb_us,
+                FmtOps(r.batch / (r.rgb_us / 1e6)).c_str());
+  }
+  // The GraphOne-style recompute sanity point.
+  DefaultGraphStore store(d.num_vertices);
+  StreamOptions so;
+  so.preload_fraction = 0.9;
+  StreamWorkload wl = BuildStream(d.num_vertices, d.edges, so);
+  for (const Edge& e : wl.preload) store.InsertEdge(e);
+  RecomputeEngine<Algo, DefaultGraphStore> rec(store);
+  WallTimer t;
+  auto values = rec.Compute(d.spec.root);
+  std::printf("(whole-graph recompute, GraphOne-style: %s)\n",
+              FmtTime(t.ElapsedMicros()).c_str());
+}
+
+}  // namespace
+}  // namespace risgraph
+
+int main() {
+  using namespace risgraph;
+  auto env = bench::Env::Get();
+  bench::PrintTitle(
+      "RisGraph-Batch vs KickStarter vs Differential Dataflow, by batch size",
+      "Figure 14 of the RisGraph paper");
+  Dataset d = LoadDataset("twitter_sim");
+  size_t updates = env.full ? 200000 : 60000;
+  Report<Bfs>(d, updates);
+  Report<Sssp>(d, updates);
+  std::printf(
+      "\nShape check: RG-B wins by orders of magnitude at batch=2 and the\n"
+      "advantage shrinks as batches grow (paper: crossover near 20M "
+      "updates).\n");
+  return 0;
+}

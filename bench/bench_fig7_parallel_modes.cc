@@ -1,0 +1,180 @@
+// Figure 7: edge-parallel vs vertex-parallel push steps in (active vertices,
+// active edges) space, plus the linear classifier trained by least squares.
+//
+// Method: run the same update stream twice with the mode forced each way.
+// Because push rounds are (near-)deterministic in the values they produce,
+// rounds pair up across runs; we label each paired observation by which mode
+// was faster, filter out differences under 20% (as the paper does), and fit
+// the boundary. Expected shape: edge-parallel wins in the few-vertices/
+// many-edges corner (top-left of the paper's scatter).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/algorithm_api.h"
+#include "core/hybrid_parallel.h"
+#include "core/incremental_engine.h"
+#include "storage/graph_store.h"
+#include "workload/datasets.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+template <typename Algo>
+std::vector<PushSample> CollectSamples(const Dataset& d,
+                                       const StreamWorkload& wl,
+                                       ParallelMode mode,
+                                       size_t max_updates) {
+  DefaultGraphStore store(wl.num_vertices);
+  for (const Edge& e : wl.preload) store.InsertEdge(e);
+  EngineOptions opt;
+  opt.mode = mode;
+  opt.sequential_edge_threshold = 0;  // measure the parallel kernels
+  opt.record_push_samples = true;
+  IncrementalEngine<Algo> engine(store, d.spec.root, opt);
+  engine.ClearPushSamples();
+  size_t n = 0;
+  for (const Update& u : wl.updates) {
+    if (u.kind == UpdateKind::kInsertEdge) {
+      store.InsertEdge(u.edge);
+      engine.OnInsert(u.edge);
+    } else {
+      DeleteResult r = store.DeleteEdge(u.edge);
+      engine.OnDelete(u.edge, r);
+    }
+    if (++n >= max_updates) break;
+  }
+  return engine.push_samples();
+}
+
+}  // namespace
+}  // namespace risgraph
+
+int main() {
+  using namespace risgraph;
+  auto env = bench::Env::Get();
+  bench::PrintTitle(
+      "Edge-parallel vs vertex-parallel push steps + linear classifier",
+      "Figure 7 of the RisGraph paper");
+
+  Dataset d = LoadDataset("uk_sim");  // the paper trains on UK-2007
+  StreamOptions so;
+  so.preload_fraction = 0.9;
+  so.max_updates = env.full ? 40000 : 8000;
+  StreamWorkload wl = BuildStream(d.num_vertices, d.edges, so);
+
+  std::vector<HybridClassifier::LabeledSample> training;
+  uint64_t edge_wins = 0;
+  uint64_t vertex_wins = 0;
+  auto harvest = [&](auto algo_tag) {
+    using Algo = decltype(algo_tag);
+    auto vp = CollectSamples<Algo>(d, wl, ParallelMode::kVertexParallel,
+                                   so.max_updates);
+    auto ep = CollectSamples<Algo>(d, wl, ParallelMode::kEdgeParallel,
+                                   so.max_updates);
+    size_t n = std::min(vp.size(), ep.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (vp[i].active_vertices != ep[i].active_vertices) continue;  // drift
+      double tv = static_cast<double>(vp[i].nanos);
+      double te = static_cast<double>(ep[i].nanos);
+      // Keep only results where the difference is > 20% (paper filter).
+      if (std::abs(tv - te) < 0.2 * std::min(tv, te)) continue;
+      bool edge = te < tv;
+      (edge ? edge_wins : vertex_wins)++;
+      training.push_back(
+          {vp[i].active_vertices, vp[i].active_edges, edge});
+    }
+  };
+  harvest(Bfs{});
+  harvest(Sssp{});
+  harvest(Sswp{});
+  harvest(Wcc{});
+
+  std::printf("paired push-step observations kept: %zu "
+              "(edge-parallel wins %llu, vertex-parallel wins %llu)\n",
+              training.size(), static_cast<unsigned long long>(edge_wins),
+              static_cast<unsigned long long>(vertex_wins));
+
+  // Binned scatter, like the figure: rows = log2 active edges, cols = log2
+  // active vertices; each cell prints E/v/. for majority edge/vertex/empty.
+  int grid[24][20] = {};
+  for (const auto& s : training) {
+    int lv = 0;
+    while ((s.active_vertices >> lv) > 1 && lv < 19) lv++;
+    int le = 0;
+    while ((s.active_edges >> le) > 1 && le < 23) le++;
+    grid[le][lv] += s.edge_parallel_wins ? 1 : -1;
+  }
+  std::printf("\nlog2(active edges) rows (high to low) x log2(active "
+              "vertices) cols; E=edge-parallel wins, v=vertex-parallel:\n");
+  for (int le = 23; le >= 0; --le) {
+    bool any = false;
+    for (int lv = 0; lv < 20; ++lv) any |= grid[le][lv] != 0;
+    if (!any) continue;
+    std::printf("%4d | ", le);
+    for (int lv = 0; lv < 20; ++lv) {
+      std::printf("%c", grid[le][lv] > 0 ? 'E' : (grid[le][lv] < 0 ? 'v' : '.'));
+    }
+    std::printf("\n");
+  }
+
+  HybridClassifier classifier;
+  if (classifier.TrainLeastSquares(training)) {
+    std::printf("\ntrained boundary: log2(E) > %.3f * log2(V) + %.3f\n",
+                classifier.slope(), classifier.intercept());
+    uint64_t correct = 0;
+    for (const auto& s : training) {
+      bool predicted = classifier.Decide(s.active_vertices, s.active_edges) ==
+                       ParallelMode::kEdgeParallel;
+      if (predicted == s.edge_parallel_wins) correct++;
+    }
+    std::printf("training accuracy: %.1f%% over %zu samples\n",
+                100.0 * static_cast<double>(correct) / training.size(),
+                training.size());
+  } else {
+    std::printf("\nnot enough separable samples to train at this scale; "
+                "rerun with RISGRAPH_FULL=1\n");
+  }
+
+  // Online training (Section 5 future work, implemented here): the trainer
+  // learns the same boundary live, from epsilon-greedy exploration inside a
+  // single engine run, with no offline paired measurement at all.
+  {
+    OnlineClassifierTrainer::Options topt;
+    topt.explore_fraction = 0.25;
+    topt.refit_interval = 128;
+    OnlineClassifierTrainer trainer(topt);
+    DefaultGraphStore store(wl.num_vertices);
+    for (const Edge& e : wl.preload) store.InsertEdge(e);
+    EngineOptions opt;
+    opt.sequential_edge_threshold = 0;
+    opt.online_trainer = &trainer;
+    IncrementalEngine<Bfs> engine(store, d.spec.root, opt);
+    size_t n = 0;
+    for (const Update& u : wl.updates) {
+      if (u.kind == UpdateKind::kInsertEdge) {
+        store.InsertEdge(u.edge);
+        engine.OnInsert(u.edge);
+      } else {
+        DeleteResult r = store.DeleteEdge(u.edge);
+        engine.OnDelete(u.edge, r);
+      }
+      if (++n >= so.max_updates) break;
+    }
+    std::printf(
+        "\nonline trainer (BFS run): %llu exploration steps, %zu labeled "
+        "cells, %llu refits\n",
+        static_cast<unsigned long long>(trainer.explore_count()),
+        trainer.labeled_cells(),
+        static_cast<unsigned long long>(trainer.refit_count()));
+    if (trainer.refit_count() > 0) {
+      std::printf("online boundary:  log2(E) > %.3f * log2(V) + %.3f\n",
+                  trainer.classifier().slope(),
+                  trainer.classifier().intercept());
+    }
+  }
+  return 0;
+}

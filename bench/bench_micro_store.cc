@@ -1,0 +1,95 @@
+// Google-benchmark micro-benchmarks for the graph store's single-operation
+// latencies (the microsecond-scale claims of Section 3.1) and the index
+// structures backing them.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "index/art_index.h"
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+#include "storage/graph_store.h"
+#include "workload/rmat.h"
+
+namespace risgraph {
+namespace {
+
+std::vector<Edge>& PreloadEdges() {
+  static std::vector<Edge>* edges = [] {
+    RmatParams p;
+    p.scale = 14;
+    p.num_edges = 16 * (1 << 14);
+    return new std::vector<Edge>(GenerateRmat(p));
+  }();
+  return *edges;
+}
+
+void BM_StoreInsertEdge(benchmark::State& state) {
+  DefaultGraphStore store(1 << 14);
+  for (const Edge& e : PreloadEdges()) store.InsertEdge(e);
+  Rng rng(1);
+  for (auto _ : state) {
+    Edge e{rng.NextBounded(1 << 14), rng.NextBounded(1 << 14),
+           1 + rng.NextBounded(64)};
+    store.InsertEdge(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreInsertEdge);
+
+void BM_StoreDeleteEdge(benchmark::State& state) {
+  DefaultGraphStore store(1 << 14);
+  const auto& edges = PreloadEdges();
+  for (const Edge& e : edges) store.InsertEdge(e);
+  size_t i = 0;
+  for (auto _ : state) {
+    // Delete then reinsert so the store's occupancy stays stable.
+    const Edge& e = edges[i++ % edges.size()];
+    store.DeleteEdge(e);
+    store.InsertEdge(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreDeleteEdge);
+
+void BM_StoreLookupHub(benchmark::State& state) {
+  DefaultGraphStore store(1 << 14);
+  // One hub with enough edges to have an index.
+  for (uint64_t i = 0; i < 4096; ++i) {
+    store.InsertEdge(Edge{0, 1 + (i % ((1 << 14) - 1)), i % 64});
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    EdgeKey key{1 + rng.NextBounded((1 << 14) - 1), rng.NextBounded(64)};
+    benchmark::DoNotOptimize(store.EdgeCount(0, key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreLookupHub);
+
+template <typename IndexT>
+void BM_IndexInsertEraseFind(benchmark::State& state) {
+  IndexT index;
+  Rng rng(3);
+  uint64_t key_space = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    EdgeKey key{rng.NextBounded(key_space), rng.NextBounded(8)};
+    uint64_t op = rng.NextBounded(3);
+    if (op == 0) {
+      index.Insert(key, key.dst);
+    } else if (op == 1) {
+      index.Erase(key);
+    } else {
+      benchmark::DoNotOptimize(index.Find(key));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_IndexInsertEraseFind, HashIndex)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(BM_IndexInsertEraseFind, BTreeIndex)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(BM_IndexInsertEraseFind, ArtIndex)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace risgraph
+
+BENCHMARK_MAIN();

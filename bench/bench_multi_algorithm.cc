@@ -1,0 +1,76 @@
+// Section 6.2 "maintaining multiple algorithms simultaneously": BFS + SSSP +
+// SSWP served together (WCC excluded: it needs undirected edges while the
+// other three are directed — same exclusion as the paper). The latency
+// budget is raised to 60 ms, as in the paper.
+//
+// Expected shape: throughput drops vs single-algorithm service (an update
+// must be safe for EVERY algorithm to ride the parallel lane) but stays in
+// the hundreds-of-thousands range.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/algorithm_api.h"
+#include "runtime/risgraph.h"
+#include "service_driver.h"
+#include "workload/datasets.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+double RunMulti(const Dataset& d, const bench::Env& env, double* single_out) {
+  StreamOptions so;
+  so.preload_fraction = 0.9;
+  StreamWorkload wl = BuildStream(d.num_vertices, d.edges, so);
+
+  ServiceOptions sopt;
+  sopt.scheduler.latency_target_ns = 60'000'000;  // 60 ms (paper)
+
+  {  // single-algorithm reference (BFS only)
+    RisGraph<> sys(wl.num_vertices);
+    sys.AddAlgorithm<Bfs>(d.spec.root);
+    sys.LoadGraph(wl.preload);
+    sys.InitializeResults();
+    size_t cursor = 0;
+    *single_out = bench::DriveService(sys, wl.updates, &cursor, 64,
+                                      env.seconds, 1, sopt)
+                      .ops_per_sec;
+  }
+  RisGraph<> sys(wl.num_vertices);
+  sys.AddAlgorithm<Bfs>(d.spec.root);
+  sys.AddAlgorithm<Sssp>(d.spec.root);
+  sys.AddAlgorithm<Sswp>(d.spec.root);
+  sys.LoadGraph(wl.preload);
+  sys.InitializeResults();
+  size_t cursor = 0;
+  return bench::DriveService(sys, wl.updates, &cursor, 64, env.seconds, 1,
+                             sopt)
+      .ops_per_sec;
+}
+
+}  // namespace
+}  // namespace risgraph
+
+int main() {
+  using namespace risgraph;
+  auto env = bench::Env::Get();
+  bench::PrintTitle(
+      "Throughput maintaining BFS + SSSP + SSWP simultaneously (P999, 60 ms)",
+      "Section 6.2 multi-algorithm experiment of the RisGraph paper");
+  std::printf("%-18s %14s %14s %8s\n", "dataset", "BFS-only",
+              "BFS+SSSP+SSWP", "ratio");
+  for (const std::string& name : bench::BenchDatasets(env)) {
+    Dataset d = LoadDataset(name);
+    double single = 0;
+    double multi = RunMulti(d, env, &single);
+    std::printf("%-18s %14s %14s %7.2fx\n", name.c_str(),
+                bench::FmtOps(single).c_str(), bench::FmtOps(multi).c_str(),
+                multi / single);
+  }
+  std::printf("\nShape check: multi-algorithm throughput is a fraction of "
+              "single-algorithm but stays substantial (paper: 107K-1.89M "
+              "ops/s across datasets).\n");
+  return 0;
+}

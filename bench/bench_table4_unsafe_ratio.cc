@@ -1,0 +1,104 @@
+// Table 4: the proportion of updates that modify the results (unsafe
+// updates), per algorithm x dataset x preload fraction (10% / 50% / 90%).
+//
+// Expected shape (paper Section 4): under 20% almost everywhere, under 10%
+// for most cells; WCC on sparse preloads is the outlier (unstable
+// components). This observation is what justifies inter-update parallelism.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/algorithm_api.h"
+#include "core/incremental_engine.h"
+#include "storage/graph_store.h"
+#include "workload/datasets.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+template <typename Algo>
+double UnsafeRatio(const Dataset& d, double preload_fraction,
+                   size_t max_updates) {
+  StreamOptions so;
+  so.preload_fraction = preload_fraction;
+  so.max_updates = max_updates;
+  StreamWorkload wl = BuildStream(d.num_vertices, d.edges, so);
+
+  DefaultGraphStore store(wl.num_vertices);
+  for (const Edge& e : wl.preload) store.InsertEdge(e);
+  IncrementalEngine<Algo> engine(store, d.spec.root);
+
+  uint64_t unsafe = 0;
+  for (const Update& u : wl.updates) {
+    bool safe;
+    if (u.kind == UpdateKind::kInsertEdge) {
+      safe = engine.IsInsertSafe(u.edge);
+      store.InsertEdge(u.edge);
+      engine.OnInsert(u.edge);
+    } else {
+      uint64_t count =
+          store.EdgeCount(u.edge.src, EdgeKey{u.edge.dst, u.edge.weight});
+      safe = engine.IsDeleteSafe(u.edge, count == 1);
+      DeleteResult r = store.DeleteEdge(u.edge);
+      engine.OnDelete(u.edge, r);
+    }
+    if (!safe) unsafe++;
+  }
+  return wl.updates.empty()
+             ? 0.0
+             : static_cast<double>(unsafe) / wl.updates.size();
+}
+
+}  // namespace
+}  // namespace risgraph
+
+int main() {
+  using namespace risgraph;
+  auto env = bench::Env::Get();
+  bench::PrintTitle(
+      "Proportion of updates which modify the results (unsafe ratio)",
+      "Table 4 of the RisGraph paper");
+
+  const size_t max_updates = env.full ? 200000 : 40000;
+  std::printf("%-18s", "dataset");
+  for (const char* algo : {"BFS", "SSSP", "SSWP", "WCC"}) {
+    std::printf("  %4s:10%% %4s:50%% %4s:90%%", algo, algo, algo);
+  }
+  std::printf("\n");
+
+  uint64_t cells = 0;
+  uint64_t under20 = 0;
+  uint64_t under10 = 0;
+  for (const std::string& name : bench::BenchDatasets(env)) {
+    Dataset d = LoadDataset(name);
+    std::printf("%-18s", name.c_str());
+    for (int algo = 0; algo < 4; ++algo) {
+      for (double frac : {0.1, 0.5, 0.9}) {
+        double r = 0;
+        switch (algo) {
+          case 0: r = UnsafeRatio<Bfs>(d, frac, max_updates); break;
+          case 1: r = UnsafeRatio<Sssp>(d, frac, max_updates); break;
+          case 2: r = UnsafeRatio<Sswp>(d, frac, max_updates); break;
+          case 3: r = UnsafeRatio<Wcc>(d, frac, max_updates); break;
+        }
+        cells++;
+        if (r < 0.20) under20++;
+        if (r < 0.10) under10++;
+        std::printf("  %8.2f", r);
+      }
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule();
+  std::printf(
+      "shape check: %llu/%llu cells < 20%% unsafe, %llu/%llu < 10%% "
+      "(paper: 115/120 and 100/120)\n",
+      static_cast<unsigned long long>(under20),
+      static_cast<unsigned long long>(cells),
+      static_cast<unsigned long long>(under10),
+      static_cast<unsigned long long>(cells));
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Table 7: relative throughput (updates/s) when updates arrive packed in
+// atomic transactions of 2 / 4 / 8 / 16, normalized to unpacked updates.
+// The latency budget scales with the transaction size (paper Section 6.2).
+//
+// Expected shape: larger transactions lower the share of safe transactions
+// (a txn is safe only if every update in it is safe), cutting the benefit
+// of inter-update parallelism — throughput drops toward ~0.4-0.6x at 16.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/algorithm_api.h"
+#include "runtime/risgraph.h"
+#include "service_driver.h"
+#include "workload/datasets.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+struct TxnResult {
+  double ops = 0;         // updates per second, not txns per second
+  double safe_share = 0;  // fraction of transactions classified safe
+};
+
+template <typename Algo>
+TxnResult Throughput(const Dataset& d, size_t txn_size,
+                     const bench::Env& env) {
+  StreamOptions so;
+  so.preload_fraction = 0.9;
+  StreamWorkload wl = BuildStream(d.num_vertices, d.edges, so);
+  RisGraph<> sys(wl.num_vertices);
+  sys.AddAlgorithm<Algo>(d.spec.root);
+  sys.LoadGraph(wl.preload);
+  sys.InitializeResults();
+  size_t cursor = 0;
+  auto r = bench::DriveService(sys, wl.updates, &cursor, /*sessions=*/64,
+                               env.seconds, txn_size);
+  TxnResult out;
+  out.ops = r.ops_per_sec;
+  out.safe_share =
+      r.total > 0 ? static_cast<double>(r.safe) / static_cast<double>(r.total)
+                  : 0.0;
+  return out;
+}
+
+}  // namespace
+}  // namespace risgraph
+
+int main() {
+  using namespace risgraph;
+  auto env = bench::Env::Get();
+  bench::PrintTitle("Relative throughput vs transaction size",
+                    "Table 7 of the RisGraph paper");
+  Dataset d = LoadDataset("twitter_sim");
+
+  TxnResult base[4] = {Throughput<Bfs>(d, 1, env),
+                       Throughput<Sssp>(d, 1, env),
+                       Throughput<Sswp>(d, 1, env),
+                       Throughput<Wcc>(d, 1, env)};
+  std::printf("%8s %16s %16s %16s %16s\n", "txn", "BFS (safe%)",
+              "SSSP (safe%)", "SSWP (safe%)", "WCC (safe%)");
+  std::printf("%8d", 1);
+  for (const TxnResult& b : base) {
+    std::printf(" %9s (%3.0f%%)", bench::FmtOps(b.ops).c_str(),
+                100 * b.safe_share);
+  }
+  std::printf("  (absolute baseline)\n");
+  for (size_t txn : {size_t{2}, size_t{4}, size_t{8}, size_t{16}}) {
+    TxnResult t[4] = {Throughput<Bfs>(d, txn, env),
+                      Throughput<Sssp>(d, txn, env),
+                      Throughput<Sswp>(d, txn, env),
+                      Throughput<Wcc>(d, txn, env)};
+    std::printf("%8zu", txn);
+    for (int i = 0; i < 4; ++i) {
+      std::printf(" %8.2fx (%3.0f%%)", t[i].ops / base[i].ops,
+                  100 * t[i].safe_share);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check (paper): the safe share declines with txn size (a txn "
+      "is safe only if\nevery update is), cutting inter-update parallelism "
+      "to ~0.39-0.63x at 16.\nAt bench scale each closed-loop round-trip "
+      "costs more than the update work itself,\nso batching updates into "
+      "one round-trip raises raw updates/s here even as the\nsafe share "
+      "falls exactly as the paper describes.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 9: memory usage of the graph-store variants relative to raw data
+// (16 B/edge unweighted framing, 24 B/edge with 8-byte weights).
+//
+// Expected shape: IA_Hash around 3-3.5x raw (indexes + transpose dominate);
+// BTree trims roughly one raw-data multiple at some performance cost; IO
+// variants save the adjacency arrays.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "index/art_index.h"
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+#include "storage/graph_store.h"
+#include "workload/datasets.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+template <typename IndexT, bool kIO>
+size_t LoadAndMeasure(const Dataset& d) {
+  GraphStore<IndexT, kIO> store(d.num_vertices);
+  for (const Edge& e : d.edges) store.InsertEdge(e);
+  return store.MemoryBytes();
+}
+
+}  // namespace
+}  // namespace risgraph
+
+int main() {
+  using namespace risgraph;
+  bench::PrintTitle("Graph-store memory usage relative to raw data",
+                    "Table 9 of the RisGraph paper");
+  Dataset d = LoadDataset("twitter_sim");
+  double raw_unweighted = static_cast<double>(d.edges.size()) * 16.0;
+  double raw_weighted = static_cast<double>(d.edges.size()) * 24.0;
+  std::printf("dataset=%s edges=%zu raw=16B/edge (unweighted) / 24B/edge "
+              "(8B weights)\n\n",
+              d.spec.name.c_str(), d.edges.size());
+
+  struct Variant {
+    const char* name;
+    size_t bytes;
+  };
+  std::vector<Variant> variants = {
+      {"IA_Hash", LoadAndMeasure<HashIndex, false>(d)},
+      {"IA_BTree", LoadAndMeasure<BTreeIndex, false>(d)},
+      {"IA_ART", LoadAndMeasure<ArtIndex, false>(d)},
+      {"IO_Hash", LoadAndMeasure<HashIndex, true>(d)},
+      {"IO_BTree", LoadAndMeasure<BTreeIndex, true>(d)},
+      {"IO_ART", LoadAndMeasure<ArtIndex, true>(d)},
+  };
+  std::printf("%-10s %12s %16s %16s\n", "variant", "bytes",
+              "x raw (unweighted)", "x raw (8B wt)");
+  for (const Variant& v : variants) {
+    std::printf("%-10s %12zu %15.2fx %15.2fx\n", v.name, v.bytes,
+                v.bytes / raw_unweighted, v.bytes / raw_weighted);
+  }
+  std::printf(
+      "\nNotes: the store always carries 8-byte weights and the transpose "
+      "graph (required by the incremental model), matching the paper's "
+      "accounting. Paper: IA_Hash 3.25x (unweighted) / 3.38x (weighted); "
+      "IA_BTree saves ~1.15x raw for ~22%% performance.\n");
+  return 0;
+}

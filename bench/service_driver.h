@@ -1,0 +1,173 @@
+#ifndef RISGRAPH_BENCH_SERVICE_DRIVER_H_
+#define RISGRAPH_BENCH_SERVICE_DRIVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "runtime/service.h"
+#include "workload/update_stream.h"
+
+namespace risgraph::bench {
+
+/// Result of driving a service with emulated closed-loop sessions.
+struct DriveResult {
+  double ops_per_sec = 0;
+  double mean_us = 0;
+  double p999_ms = 0;
+  double qualified_fraction = 1.0;  // share of updates within the target
+  uint64_t safe = 0;
+  uint64_t unsafe = 0;
+  uint64_t total = 0;
+};
+
+/// Emulates the paper's TPC-C-style synchronous users (Section 6.2): each
+/// session repeatedly sends one update (or one transaction) and waits for
+/// the response. Runs until `seconds` elapse or the stream slice is
+/// exhausted; advances `cursor` so successive calls continue the stream.
+template <typename Store>
+DriveResult DriveService(RisGraph<Store>& system,
+                         const std::vector<Update>& updates, size_t* cursor,
+                         size_t num_sessions, double seconds,
+                         size_t txn_size = 1,
+                         ServiceOptions options = ServiceOptions(),
+                         std::vector<EpochStat>* epoch_stats_out = nullptr) {
+  RisGraphService<Store> service(system, options);
+  std::vector<Session*> sessions;
+  sessions.reserve(num_sessions);
+  for (size_t i = 0; i < num_sessions; ++i) {
+    sessions.push_back(service.OpenSession());
+  }
+
+  // Pre-shard the remaining stream across sessions.
+  size_t begin = *cursor;
+  size_t available = updates.size() - begin;
+  available = available / txn_size * txn_size;
+  std::atomic<bool> deadline{false};
+  service.Start();
+
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  std::atomic<size_t> next_chunk{0};
+  const size_t chunk = txn_size;
+  clients.reserve(num_sessions);
+  for (size_t c = 0; c < num_sessions; ++c) {
+    clients.emplace_back([&, c] {
+      while (!deadline.load(std::memory_order_relaxed)) {
+        size_t off = next_chunk.fetch_add(chunk, std::memory_order_relaxed);
+        if (off + chunk > available) break;
+        const Update* base = updates.data() + begin + off;
+        if (txn_size == 1) {
+          sessions[c]->Submit(*base);
+        } else {
+          sessions[c]->SubmitTxn(std::vector<Update>(base, base + txn_size));
+        }
+      }
+    });
+  }
+  // Enforce the measurement window.
+  std::thread alarm([&] {
+    while (timer.ElapsedSeconds() < seconds &&
+           next_chunk.load(std::memory_order_relaxed) < available) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    deadline.store(true, std::memory_order_relaxed);
+  });
+  for (auto& t : clients) t.join();
+  alarm.join();
+  service.Stop();
+  double elapsed = timer.ElapsedSeconds();
+
+  *cursor = begin + std::min(next_chunk.load(), available);
+
+  DriveResult r;
+  r.total = service.completed_ops();
+  r.safe = service.safe_ops();
+  r.unsafe = service.unsafe_ops();
+  r.ops_per_sec = static_cast<double>(r.total) / elapsed;
+  r.mean_us = service.latencies().MeanMicros();
+  r.p999_ms = service.latencies().P999Millis();
+  r.qualified_fraction = service.latencies().FractionBelowNanos(
+      options.scheduler.latency_target_ns *
+      static_cast<int64_t>(txn_size));
+  if (epoch_stats_out != nullptr) *epoch_stats_out = service.epoch_stats();
+  return r;
+}
+
+/// Pipelined variant (Figure 9's session streams): few client threads, each
+/// keeping up to `window` updates outstanding via SubmitAsync. This is the
+/// regime where inter-update parallelism engages at bench scale — epochs
+/// pack whole session prefixes instead of one update per closed-loop user,
+/// without drowning the box in client threads.
+template <typename Store>
+DriveResult DrivePipelined(RisGraph<Store>& system,
+                           const std::vector<Update>& updates, size_t* cursor,
+                           size_t num_sessions, size_t window, double seconds,
+                           ServiceOptions options = ServiceOptions()) {
+  RisGraphService<Store> service(system, options);
+  std::vector<Session*> sessions;
+  sessions.reserve(num_sessions);
+  for (size_t i = 0; i < num_sessions; ++i) {
+    sessions.push_back(service.OpenSession());
+  }
+
+  size_t begin = *cursor;
+  size_t available = updates.size() - begin;
+  std::atomic<bool> deadline{false};
+  service.Start();
+
+  WallTimer timer;
+  std::atomic<size_t> next_chunk{0};
+  constexpr size_t kChunk = 64;
+  std::vector<std::thread> clients;
+  clients.reserve(num_sessions);
+  for (size_t c = 0; c < num_sessions; ++c) {
+    clients.emplace_back([&, c] {
+      Session* s = sessions[c];
+      while (!deadline.load(std::memory_order_relaxed)) {
+        size_t off = next_chunk.fetch_add(kChunk, std::memory_order_relaxed);
+        if (off + kChunk > available) break;
+        const Update* base = updates.data() + begin + off;
+        for (size_t i = 0; i < kChunk; ++i) {
+          // Flow control: bound the outstanding queue depth.
+          while (s->async_submitted() - s->async_completed() >= window &&
+                 !deadline.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::microseconds(5));
+          }
+          s->SubmitAsync(base[i]);
+        }
+      }
+      s->DrainAsync();
+    });
+  }
+  std::thread alarm([&] {
+    while (timer.ElapsedSeconds() < seconds &&
+           next_chunk.load(std::memory_order_relaxed) < available) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    deadline.store(true, std::memory_order_relaxed);
+  });
+  for (auto& t : clients) t.join();
+  alarm.join();
+  service.Stop();
+  double elapsed = timer.ElapsedSeconds();
+
+  *cursor = begin + std::min(next_chunk.load(), available);
+
+  DriveResult r;
+  r.total = service.completed_ops();
+  r.safe = service.safe_ops();
+  r.unsafe = service.unsafe_ops();
+  r.ops_per_sec = static_cast<double>(r.total) / elapsed;
+  r.mean_us = service.latencies().MeanMicros();
+  r.p999_ms = service.latencies().P999Millis();
+  r.qualified_fraction = service.latencies().FractionBelowNanos(
+      options.scheduler.latency_target_ns);
+  return r;
+}
+
+}  // namespace risgraph::bench
+
+#endif  // RISGRAPH_BENCH_SERVICE_DRIVER_H_

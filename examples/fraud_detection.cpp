@@ -1,0 +1,102 @@
+// Financial fraud detection (the paper's Figure 2 scenario, at stream
+// scale): users are vertices, trust/transaction relations are weighted
+// edges, and an account is SUSPICIOUS while its shortest-path distance from
+// a known-malicious root is within a threshold.
+//
+// Per-update analysis matters here: a suspicious link can appear and vanish
+// within one batch window; RisGraph's versioned per-update results catch
+// the transient exposure that batch-mode systems skip.
+//
+//   $ ./build/examples/fraud_detection
+
+#include <cstdio>
+#include <set>
+
+#include "common/random.h"
+#include "core/algorithm_api.h"
+#include "runtime/risgraph.h"
+#include "workload/rmat.h"
+
+using namespace risgraph;
+
+namespace {
+constexpr uint64_t kSuspicionRadius = 2;  // "within short distances"
+constexpr VertexId kMaliciousRoot = 0;
+}  // namespace
+
+int main() {
+  // A small trust network: 4096 accounts, power-law shaped.
+  RmatParams params;
+  params.scale = 12;
+  params.num_edges = 20000;
+  params.max_weight = 4;
+  auto base_edges = GenerateRmat(params);
+
+  RisGraph<> sys(uint64_t{1} << params.scale);
+  size_t sssp = sys.AddAlgorithm<Sssp>(kMaliciousRoot);
+  sys.LoadGraph(base_edges);
+  sys.InitializeResults();
+
+  // Count the initially suspicious population.
+  uint64_t initially_suspicious = 0;
+  for (VertexId v = 0; v < sys.store().NumVertices(); ++v) {
+    if (sys.GetValue(sssp, v) <= kSuspicionRadius) initially_suspicious++;
+  }
+  std::printf("loaded %zu trust edges; %llu accounts within radius %llu of "
+              "the malicious root\n",
+              base_edges.size(),
+              (unsigned long long)initially_suspicious,
+              (unsigned long long)kSuspicionRadius);
+
+  // Stream interactions: each new trust edge may pull accounts into the
+  // danger zone; each revoked edge may release them. The per-update
+  // modified-vertex list IS the alert feed — no scanning.
+  Rng rng(2026);
+  uint64_t alerts = 0;
+  uint64_t releases = 0;
+  uint64_t transient = 0;
+  std::set<VertexId> currently_flagged;
+  for (int step = 0; step < 20000; ++step) {
+    Edge e{rng.NextBounded(512), rng.NextBounded(4096),
+           1 + rng.NextBounded(4)};
+    bool insert = rng.NextBool(0.55);
+    VersionId ver = insert ? sys.InsEdge(e.src, e.dst, e.weight)
+                           : sys.DelEdge(e.src, e.dst, e.weight);
+    for (VertexId v : sys.GetModifiedVertices(sssp, ver)) {
+      bool now = sys.GetValue(sssp, ver, v) <= kSuspicionRadius;
+      bool was = currently_flagged.contains(v);
+      if (now && !was) {
+        alerts++;
+        currently_flagged.insert(v);
+      } else if (!now && was) {
+        releases++;
+        currently_flagged.erase(v);
+        transient++;  // exposures that a coarse batch would have coalesced
+      }
+    }
+  }
+  std::printf("streamed 20000 interactions: %llu alerts raised, %llu "
+              "releases (%llu transient exposures a batch system could have "
+              "missed), %llu accounts currently flagged\n",
+              (unsigned long long)alerts, (unsigned long long)releases,
+              (unsigned long long)transient,
+              (unsigned long long)currently_flagged.size());
+
+  // Investigate one flagged account: walk its dependency-tree path back to
+  // the malicious root — the explanation of WHY it is suspicious.
+  if (!currently_flagged.empty()) {
+    VertexId suspect = *currently_flagged.begin();
+    std::printf("evidence path for account %llu:",
+                (unsigned long long)suspect);
+    VertexId cur = suspect;
+    while (cur != kInvalidVertex && cur != kMaliciousRoot) {
+      ParentEdge pe = sys.GetParent(sssp, sys.GetCurrentVersion(), cur);
+      std::printf(" %llu <-(w=%llu)- %llu,", (unsigned long long)cur,
+                  (unsigned long long)pe.weight,
+                  (unsigned long long)pe.parent);
+      cur = pe.parent;
+    }
+    std::printf(" root\n");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Live road navigation over an evolving road network (the paper's Section 7
+// non-power-law setting): SSSP maintains travel cost from a depot while
+// roads close and reopen; SSWP simultaneously maintains the widest
+// (max-min-capacity) route for oversized vehicles. Queries read routes from
+// the dependency trees — no per-query search.
+//
+//   $ ./build/examples/road_navigation
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "core/algorithm_api.h"
+#include "runtime/risgraph.h"
+#include "workload/road.h"
+
+using namespace risgraph;
+
+namespace {
+
+void PrintRoute(RisGraph<>& sys, size_t algo, VertexId to) {
+  VersionId ver = sys.GetCurrentVersion();
+  std::vector<VertexId> path;
+  VertexId cur = to;
+  while (cur != kInvalidVertex && path.size() < 512) {
+    path.push_back(cur);
+    cur = sys.GetParent(algo, ver, cur).parent;
+  }
+  std::printf("    route:");
+  for (size_t i = path.size(); i-- > 0;) {
+    std::printf(" %llu%s", (unsigned long long)path[i], i ? " ->" : "\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  RoadParams params;
+  params.side = 64;  // 4096 intersections
+  params.max_weight = 100;
+  auto roads = GenerateRoad(params);
+
+  constexpr VertexId kDepot = 0;
+  const VertexId warehouse = 63 * 64 + 63;  // far corner
+
+  RisGraph<> sys(uint64_t{params.side} * params.side);
+  size_t sssp = sys.AddAlgorithm<Sssp>(kDepot);
+  size_t sswp = sys.AddAlgorithm<Sswp>(kDepot);
+  sys.LoadGraph(roads);
+  sys.InitializeResults();
+
+  std::printf("road network: %u x %u grid, %zu road segments\n", params.side,
+              params.side, roads.size());
+  std::printf("depot -> warehouse: travel cost %llu, max vehicle width "
+              "%llu\n",
+              (unsigned long long)sys.GetValue(sssp, warehouse),
+              (unsigned long long)sys.GetValue(sswp, warehouse));
+  PrintRoute(sys, sssp, warehouse);
+
+  // Rush hour: close the roads along the current best route one by one and
+  // watch the incremental re-route.
+  Rng rng(7);
+  uint64_t closures = 0;
+  std::vector<Edge> closed;
+  for (int wave = 0; wave < 5; ++wave) {
+    // Close the first segment of the current best route (worst case for the
+    // dependency tree: it is a tree edge by construction).
+    ParentEdge pe = sys.GetParent(sssp, sys.GetCurrentVersion(), warehouse);
+    if (pe.parent == kInvalidVertex) break;
+    Edge road{pe.parent, warehouse, pe.weight};
+    sys.DelEdge(road.src, road.dst, road.weight);
+    sys.DelEdge(road.dst, road.src, road.weight);  // roads are two-way
+    closed.push_back(road);
+    closures++;
+    uint64_t cost = sys.GetValue(sssp, warehouse);
+    if (cost >= kInfWeight) {
+      std::printf("wave %d: warehouse UNREACHABLE after closing %llu->%llu\n",
+                  wave, (unsigned long long)road.src,
+                  (unsigned long long)road.dst);
+      break;
+    }
+    std::printf("wave %d: closed %llu->%llu; new travel cost %llu\n", wave,
+                (unsigned long long)road.src, (unsigned long long)road.dst,
+                (unsigned long long)cost);
+  }
+
+  // Roads reopen; costs must return to the original optimum.
+  for (const Edge& road : closed) {
+    sys.InsEdge(road.src, road.dst, road.weight);
+    sys.InsEdge(road.dst, road.src, road.weight);
+  }
+  std::printf("all %llu closures reopened: travel cost back to %llu\n",
+              (unsigned long long)closures,
+              (unsigned long long)sys.GetValue(sssp, warehouse));
+  PrintRoute(sys, sssp, warehouse);
+  return 0;
+}

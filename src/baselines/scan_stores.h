@@ -1,0 +1,219 @@
+#ifndef RISGRAPH_BASELINES_SCAN_STORES_H_
+#define RISGRAPH_BASELINES_SCAN_STORES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace risgraph {
+
+/// Baseline graph stores reproducing the *mechanisms* the paper measures
+/// against in Figure 4 (ingest time vs. batch size): KickStarter/GraphBolt
+/// scan every vertex when applying a batch; LiveGraph appends behind a bloom
+/// filter and scans adjacency on deletions (plus bloom false positives);
+/// GraphOne buffers a global edge log and compacts per batch, scanning on
+/// deletes. None of them keeps per-edge indexes, which is exactly what
+/// RisGraph's Indexed Adjacency Lists add.
+
+/// KickStarter-like store: per-vertex unsorted adjacency arrays; a batch is
+/// ingested by one pass over the *entire vertex set* (bucketing updates by
+/// source first, as GraphBolt's ingestion does). Per-update cost is O(|V|).
+class KickStarterLikeStore {
+ public:
+  explicit KickStarterLikeStore(uint64_t num_vertices)
+      : out_(num_vertices), in_(num_vertices) {}
+
+  uint64_t NumVertices() const { return out_.size(); }
+
+  /// Applies a whole batch; this is the only ingestion granularity the
+  /// batch-update design supports.
+  void ApplyBatch(const std::vector<Update>& batch) {
+    // Bucket by source vertex.
+    std::unordered_map<VertexId, std::vector<const Update*>> by_src;
+    for (const Update& u : batch) by_src[u.edge.src].push_back(&u);
+    // Scan all vertices, applying this batch's bucket if any.
+    for (VertexId v = 0; v < out_.size(); ++v) {
+      scanned_vertices_++;
+      auto it = by_src.find(v);
+      if (it == by_src.end()) continue;
+      for (const Update* u : it->second) {
+        if (u->kind == UpdateKind::kInsertEdge) {
+          out_[v].push_back({u->edge.dst, u->edge.weight});
+          in_[u->edge.dst].push_back({v, u->edge.weight});
+        } else if (u->kind == UpdateKind::kDeleteEdge) {
+          EraseOne(out_[v], u->edge.dst, u->edge.weight);
+          EraseOne(in_[u->edge.dst], v, u->edge.weight);
+        }
+      }
+    }
+  }
+
+  template <typename Fn>
+  void ForEachOut(VertexId v, Fn&& fn) const {
+    for (const auto& [dst, w] : out_[v]) fn(dst, w, uint64_t{1});
+  }
+  template <typename Fn>
+  void ForEachIn(VertexId v, Fn&& fn) const {
+    for (const auto& [src, w] : in_[v]) fn(src, w, uint64_t{1});
+  }
+  uint64_t OutDegree(VertexId v) const { return out_[v].size(); }
+
+  uint64_t scanned_vertices() const { return scanned_vertices_; }
+
+ private:
+  struct Entry {
+    VertexId other;
+    Weight weight;
+  };
+
+  void EraseOne(std::vector<Entry>& list, VertexId other, Weight w) {
+    for (size_t i = 0; i < list.size(); ++i) {
+      scanned_edges_++;
+      if (list[i].other == other && list[i].weight == w) {
+        list[i] = list.back();
+        list.pop_back();
+        return;
+      }
+    }
+  }
+
+  std::vector<std::vector<Entry>> out_;
+  std::vector<std::vector<Entry>> in_;
+  uint64_t scanned_vertices_ = 0;
+  uint64_t scanned_edges_ = 0;
+};
+
+/// LiveGraph-like store: per-vertex append-only logs with tombstones and a
+/// per-vertex bloom filter for existence checks. Insertions that hit the
+/// bloom (including false positives) scan the log; deletions always scan.
+class LiveGraphLikeStore {
+ public:
+  explicit LiveGraphLikeStore(uint64_t num_vertices)
+      : vertices_(num_vertices) {}
+
+  uint64_t NumVertices() const { return vertices_.size(); }
+
+  void InsertEdge(const Edge& e) {
+    VertexLog& v = vertices_[e.src];
+    uint64_t h = HashEdgeKey(e.dst, e.weight);
+    if (BloomMaybe(v.bloom, h)) {
+      // Possible duplicate: scan to find it (false positives pay this too —
+      // the paper measures 541 scanned edges per insertion on Twitter-2010).
+      for (Entry& entry : v.log) {
+        scanned_entries_++;
+        if (entry.valid && entry.dst == e.dst && entry.weight == e.weight) {
+          entry.count++;
+          return;
+        }
+      }
+    }
+    BloomSet(v.bloom, h);
+    v.log.push_back(Entry{e.dst, e.weight, 1, true});
+  }
+
+  bool DeleteEdge(const Edge& e) {
+    VertexLog& v = vertices_[e.src];
+    // No per-edge index: deletion scans the adjacency log.
+    for (Entry& entry : v.log) {
+      scanned_entries_++;
+      if (entry.valid && entry.dst == e.dst && entry.weight == e.weight) {
+        if (--entry.count == 0) entry.valid = false;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  template <typename Fn>
+  void ForEachOut(VertexId v, Fn&& fn) const {
+    for (const Entry& entry : vertices_[v].log) {
+      if (entry.valid) fn(entry.dst, entry.weight, entry.count);
+    }
+  }
+
+  uint64_t scanned_entries() const { return scanned_entries_; }
+
+ private:
+  struct Entry {
+    VertexId dst;
+    Weight weight;
+    uint64_t count;
+    bool valid;
+  };
+  struct VertexLog {
+    uint64_t bloom[4] = {};  // 256-bit bloom filter, 2 probes
+    std::vector<Entry> log;
+  };
+
+  static bool BloomMaybe(const uint64_t* bloom, uint64_t h) {
+    uint64_t b1 = h & 255;
+    uint64_t b2 = (h >> 8) & 255;
+    return ((bloom[b1 >> 6] >> (b1 & 63)) & 1) &&
+           ((bloom[b2 >> 6] >> (b2 & 63)) & 1);
+  }
+  static void BloomSet(uint64_t* bloom, uint64_t h) {
+    uint64_t b1 = h & 255;
+    uint64_t b2 = (h >> 8) & 255;
+    bloom[b1 >> 6] |= uint64_t{1} << (b1 & 63);
+    bloom[b2 >> 6] |= uint64_t{1} << (b2 & 63);
+  }
+
+  std::vector<VertexLog> vertices_;
+  uint64_t scanned_entries_ = 0;
+};
+
+/// GraphOne-like store: updates land in a global edge log; a per-batch
+/// compaction pass moves them into per-vertex arrays (deletions scan).
+/// Readers see compacted state + the uncompacted tail.
+class GraphOneLikeStore {
+ public:
+  explicit GraphOneLikeStore(uint64_t num_vertices) : adj_(num_vertices) {}
+
+  uint64_t NumVertices() const { return adj_.size(); }
+
+  void Append(const Update& u) { log_.push_back(u); }
+
+  /// Batch boundary: drains the log into the adjacency arrays.
+  void Compact() {
+    for (const Update& u : log_) {
+      if (u.kind == UpdateKind::kInsertEdge) {
+        adj_[u.edge.src].push_back({u.edge.dst, u.edge.weight});
+      } else if (u.kind == UpdateKind::kDeleteEdge) {
+        auto& list = adj_[u.edge.src];
+        for (size_t i = 0; i < list.size(); ++i) {
+          scanned_entries_++;
+          if (list[i].dst == u.edge.dst && list[i].weight == u.edge.weight) {
+            list[i] = list.back();
+            list.pop_back();
+            break;
+          }
+        }
+      }
+    }
+    log_.clear();
+  }
+
+  template <typename Fn>
+  void ForEachOut(VertexId v, Fn&& fn) const {
+    for (const auto& [dst, w] : adj_[v]) fn(dst, w, uint64_t{1});
+  }
+
+  uint64_t scanned_entries() const { return scanned_entries_; }
+  size_t log_size() const { return log_.size(); }
+
+ private:
+  struct Entry {
+    VertexId dst;
+    Weight weight;
+  };
+  std::vector<std::vector<Entry>> adj_;
+  std::vector<Update> log_;
+  uint64_t scanned_entries_ = 0;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_BASELINES_SCAN_STORES_H_

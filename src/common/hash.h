@@ -1,0 +1,27 @@
+#ifndef RISGRAPH_COMMON_HASH_H_
+#define RISGRAPH_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace risgraph {
+
+/// MurmurHash3's 64-bit finalizer (fmix64). The paper's hash index is built on
+/// Google Dense Hashmap + MurmurHash3; we use the same avalanche function for
+/// our open-addressing table.
+inline uint64_t Murmur3Fmix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Hash a (dst, weight) edge key to a well-mixed 64-bit value.
+inline uint64_t HashEdgeKey(uint64_t dst, uint64_t weight) {
+  return Murmur3Fmix64(dst ^ Murmur3Fmix64(weight + 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_COMMON_HASH_H_

@@ -1,0 +1,109 @@
+#ifndef RISGRAPH_COMMON_LATENCY_H_
+#define RISGRAPH_COMMON_LATENCY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace risgraph {
+
+/// Log-bucketed latency histogram (HDR-style, ~2.4% relative error). The
+/// evaluation reports mean and P999 processing-time latency (Figure 10b); a
+/// histogram keeps recording O(1) regardless of the number of updates.
+class LatencyRecorder {
+ public:
+  LatencyRecorder() : buckets_(kNumBuckets, 0) {}
+
+  void RecordNanos(int64_t ns) {
+    if (ns < 1) ns = 1;
+    size_t b = BucketFor(static_cast<uint64_t>(ns));
+    buckets_[b]++;
+    count_++;
+    sum_ns_ += ns;
+    max_ns_ = std::max(max_ns_, ns);
+  }
+
+  uint64_t count() const { return count_; }
+
+  double MeanMicros() const {
+    return count_ == 0 ? 0.0 : (sum_ns_ / 1e3) / static_cast<double>(count_);
+  }
+
+  /// Returns the latency (in nanoseconds) at quantile q in [0, 1].
+  int64_t PercentileNanos(double q) const {
+    if (count_ == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    rank = std::max<uint64_t>(rank, 1);
+    uint64_t seen = 0;
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      seen += buckets_[b];
+      if (seen >= rank) return BucketUpperBound(b);
+    }
+    return max_ns_;
+  }
+
+  double P50Micros() const { return PercentileNanos(0.50) / 1e3; }
+  double P99Micros() const { return PercentileNanos(0.99) / 1e3; }
+  double P999Millis() const { return PercentileNanos(0.999) / 1e6; }
+  double MaxMillis() const { return max_ns_ / 1e6; }
+
+  /// Fraction of samples at or below `limit_ns` (used by the scheduler to
+  /// track the share of qualified updates).
+  double FractionBelowNanos(int64_t limit_ns) const {
+    if (count_ == 0) return 1.0;
+    uint64_t ok = 0;
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      if (BucketUpperBound(b) <= limit_ns) {
+        ok += buckets_[b];
+      }
+    }
+    return static_cast<double>(ok) / static_cast<double>(count_);
+  }
+
+  void Merge(const LatencyRecorder& other) {
+    for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ns_ += other.sum_ns_;
+    max_ns_ = std::max(max_ns_, other.max_ns_);
+  }
+
+  void Reset() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ns_ = 0;
+    max_ns_ = 0;
+  }
+
+ private:
+  // 64 exponents x 16 linear sub-buckets covers [1ns, ~5.8e18ns].
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr size_t kNumBuckets = 64 * kSubBuckets;
+
+  static size_t BucketFor(uint64_t ns) {
+    int msb = 63 - __builtin_clzll(ns);
+    if (msb < kSubBits) return ns;  // exact for tiny values
+    uint64_t sub = (ns >> (msb - kSubBits)) & (kSubBuckets - 1);
+    return static_cast<size_t>(msb) * kSubBuckets + sub;
+  }
+
+  static int64_t BucketUpperBound(size_t b) {
+    if (b < kSubBuckets) return static_cast<int64_t>(b);
+    int msb = static_cast<int>(b / kSubBuckets);
+    uint64_t sub = b % kSubBuckets;
+    uint64_t base = uint64_t{1} << msb;
+    uint64_t step = base >> kSubBits;
+    return static_cast<int64_t>(base + (sub + 1) * step - 1);
+  }
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t sum_ns_ = 0;
+  int64_t max_ns_ = 0;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_COMMON_LATENCY_H_

@@ -1,0 +1,78 @@
+#ifndef RISGRAPH_COMMON_STABLE_VECTOR_H_
+#define RISGRAPH_COMMON_STABLE_VECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace risgraph {
+
+/// A grow-only sequence whose elements never move.
+///
+/// The graph store keeps one adjacency structure per vertex and lets many
+/// threads touch *existing* vertices while new vertices are being inserted
+/// (vertex insertions are safe updates and run in parallel, Section 4).
+/// std::vector invalidates references on growth, so we store elements in
+/// fixed-size segments and pre-allocate the segment pointer table: readers
+/// index lock-free, growth only appends segments under a lock.
+template <typename T, size_t kSegmentBits = 16>
+class StableVector {
+ public:
+  static constexpr size_t kSegmentSize = size_t{1} << kSegmentBits;
+
+  explicit StableVector(size_t max_segments = 1 << 16)
+      : segments_(max_segments) {}
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  T& operator[](size_t i) {
+    return segments_[i >> kSegmentBits][i & (kSegmentSize - 1)];
+  }
+  const T& operator[](size_t i) const {
+    return segments_[i >> kSegmentBits][i & (kSegmentSize - 1)];
+  }
+
+  /// Appends a default-constructed element; returns its index. Thread-safe
+  /// against concurrent reads of existing elements and other EmplaceBacks.
+  size_t EmplaceBack() {
+    std::lock_guard<std::mutex> g(grow_mu_);
+    size_t i = size_.load(std::memory_order_relaxed);
+    size_t seg = i >> kSegmentBits;
+    if (!segments_[seg]) {
+      segments_[seg] = std::make_unique<T[]>(kSegmentSize);
+    }
+    size_.store(i + 1, std::memory_order_release);
+    return i;
+  }
+
+  /// Grows to at least n elements (single-threaded setup path).
+  void Resize(size_t n) {
+    std::lock_guard<std::mutex> g(grow_mu_);
+    size_t cur = size_.load(std::memory_order_relaxed);
+    if (n <= cur) return;
+    size_t last_seg = (n - 1) >> kSegmentBits;
+    for (size_t s = 0; s <= last_seg; ++s) {
+      if (!segments_[s]) segments_[s] = std::make_unique<T[]>(kSegmentSize);
+    }
+    size_.store(n, std::memory_order_release);
+  }
+
+  size_t MemoryBytes() const {
+    size_t segs = 0;
+    size_t n = size();
+    if (n > 0) segs = ((n - 1) >> kSegmentBits) + 1;
+    return segs * kSegmentSize * sizeof(T) +
+           segments_.size() * sizeof(std::unique_ptr<T[]>);
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> segments_;
+  std::atomic<size_t> size_{0};
+  std::mutex grow_mu_;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_COMMON_STABLE_VECTOR_H_

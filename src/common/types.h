@@ -1,0 +1,89 @@
+#ifndef RISGRAPH_COMMON_TYPES_H_
+#define RISGRAPH_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace risgraph {
+
+/// Vertex identifiers are 64-bit to support graphs beyond 4 B vertices, as in
+/// the paper's cross-system comparison setup (Section 6.4).
+using VertexId = uint64_t;
+
+/// Edge payload. All four paper algorithms (BFS, SSSP, SSWP, WCC) use at most
+/// one 64-bit weight; unweighted algorithms ignore it.
+using Weight = uint64_t;
+
+/// Result-version identifier handed back by the Interactive API.
+using VersionId = uint64_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr VersionId kInvalidVersion =
+    std::numeric_limits<VersionId>::max();
+
+/// A large-but-safe "infinite" distance: large enough to dominate any real
+/// path, small enough that `kInfWeight + w` never wraps for sane weights.
+inline constexpr uint64_t kInfWeight = uint64_t{1} << 62;
+
+/// A directed edge with payload. The (dst, weight) pair is the edge key used
+/// by the Indexed Adjacency Lists (Section 5, "the key of an edge is a pair of
+/// its destination vertex ID and its weight").
+struct Edge {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  Weight weight = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Key of an edge inside one vertex's adjacency list.
+struct EdgeKey {
+  VertexId dst = kInvalidVertex;
+  Weight weight = 0;
+
+  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+  friend auto operator<=>(const EdgeKey&, const EdgeKey&) = default;
+};
+
+/// The kinds of updates accepted by the Interactive API (Table 1).
+enum class UpdateKind : uint8_t {
+  kInsertEdge,
+  kDeleteEdge,
+  kInsertVertex,
+  kDeleteVertex,
+};
+
+/// One streamed update. Vertex operations only use `edge.src`.
+struct Update {
+  UpdateKind kind = UpdateKind::kInsertEdge;
+  Edge edge;
+
+  static Update InsertEdge(VertexId src, VertexId dst, Weight w = 1) {
+    return Update{UpdateKind::kInsertEdge, Edge{src, dst, w}};
+  }
+  static Update DeleteEdge(VertexId src, VertexId dst, Weight w = 1) {
+    return Update{UpdateKind::kDeleteEdge, Edge{src, dst, w}};
+  }
+  static Update InsertVertex(VertexId v) {
+    return Update{UpdateKind::kInsertVertex, Edge{v, kInvalidVertex, 0}};
+  }
+  static Update DeleteVertex(VertexId v) {
+    return Update{UpdateKind::kDeleteVertex, Edge{v, kInvalidVertex, 0}};
+  }
+
+  friend bool operator==(const Update&, const Update&) = default;
+};
+
+}  // namespace risgraph
+
+template <>
+struct std::hash<risgraph::EdgeKey> {
+  size_t operator()(const risgraph::EdgeKey& k) const noexcept {
+    uint64_t x = k.dst * 0x9e3779b97f4a7c15ULL ^ (k.weight + 0x7f4a7c15ULL);
+    x ^= x >> 32;
+    return static_cast<size_t>(x);
+  }
+};
+
+#endif  // RISGRAPH_COMMON_TYPES_H_

@@ -1,0 +1,136 @@
+#ifndef RISGRAPH_CORE_ALGORITHM_API_H_
+#define RISGRAPH_CORE_ALGORITHM_API_H_
+
+#include <concepts>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace risgraph {
+
+/// RisGraph's Algorithm API (paper Table 1, upper half).
+///
+/// A monotonic algorithm is described by three pure functions:
+///
+///   init_val(vid)                    -> initial value
+///   gen_next(edge, src_value)        -> candidate value for edge.dst
+///   need_upd(cur_value, next_value)  -> should dst adopt the candidate?
+///
+/// `need_upd` must define a strict partial order under which values only ever
+/// move in one direction (monotonicity); that is what makes dependency-tree
+/// incremental maintenance sound. Values are uint64_t for all shipped
+/// algorithms, which lets the runtime expose a single type-erased Interactive
+/// API.
+template <typename A>
+concept MonotonicAlgorithm = requires(VertexId v, VertexId root, Weight w,
+                                      uint64_t val) {
+  { A::kUndirected } -> std::convertible_to<bool>;
+  { A::Name() } -> std::convertible_to<const char*>;
+  { A::InitValue(v, root) } -> std::same_as<uint64_t>;
+  { A::GenNext(w, val) } -> std::same_as<uint64_t>;
+  { A::NeedUpdate(val, val) } -> std::same_as<bool>;
+  { A::IsReached(val) } -> std::same_as<bool>;
+};
+
+/// Breadth-First Search: value = hop distance from root (Table 2, column 1).
+struct Bfs {
+  static constexpr bool kUndirected = false;
+  static const char* Name() { return "BFS"; }
+  static uint64_t InitValue(VertexId v, VertexId root) {
+    return v == root ? 0 : kInfWeight;
+  }
+  static uint64_t GenNext(Weight /*w*/, uint64_t src_val) {
+    return src_val + 1;
+  }
+  static bool NeedUpdate(uint64_t cur, uint64_t next) { return next < cur; }
+  static bool IsReached(uint64_t val) { return val < kInfWeight; }
+};
+
+/// Single-Source Shortest Path: value = weighted distance (Table 2, col. 2).
+struct Sssp {
+  static constexpr bool kUndirected = false;
+  static const char* Name() { return "SSSP"; }
+  static uint64_t InitValue(VertexId v, VertexId root) {
+    return v == root ? 0 : kInfWeight;
+  }
+  static uint64_t GenNext(Weight w, uint64_t src_val) { return src_val + w; }
+  static bool NeedUpdate(uint64_t cur, uint64_t next) { return next < cur; }
+  static bool IsReached(uint64_t val) { return val < kInfWeight; }
+};
+
+/// Single-Source Widest Path: value = max-over-paths of min edge weight along
+/// the path (Table 2, column 3). Monotone increasing.
+struct Sswp {
+  static constexpr bool kUndirected = false;
+  static const char* Name() { return "SSWP"; }
+  static uint64_t InitValue(VertexId v, VertexId root) {
+    return v == root ? kInfWeight : 0;
+  }
+  static uint64_t GenNext(Weight w, uint64_t src_val) {
+    return w < src_val ? w : src_val;
+  }
+  static bool NeedUpdate(uint64_t cur, uint64_t next) { return next > cur; }
+  static bool IsReached(uint64_t val) { return val > 0; }
+};
+
+/// Weakly Connected Components via min-label propagation over undirected
+/// edges (Table 2, column 4). Every vertex starts reached with its own id.
+struct Wcc {
+  static constexpr bool kUndirected = true;
+  static const char* Name() { return "WCC"; }
+  static uint64_t InitValue(VertexId v, VertexId /*root*/) { return v; }
+  static uint64_t GenNext(Weight /*w*/, uint64_t src_val) { return src_val; }
+  static bool NeedUpdate(uint64_t cur, uint64_t next) { return next < cur; }
+  static bool IsReached(uint64_t /*val*/) { return true; }
+};
+
+/// Reachability from the root (the paper lists it among the monotonic
+/// algorithms, Section 1): value 1 = reachable, 0 = not. A specialization of
+/// BFS that converges faster because any reached state is final.
+struct Reachability {
+  static constexpr bool kUndirected = false;
+  static const char* Name() { return "Reach"; }
+  static uint64_t InitValue(VertexId v, VertexId root) {
+    return v == root ? 1 : 0;
+  }
+  static uint64_t GenNext(Weight /*w*/, uint64_t src_val) { return src_val; }
+  static bool NeedUpdate(uint64_t cur, uint64_t next) { return next > cur; }
+  static bool IsReached(uint64_t val) { return val != 0; }
+};
+
+/// Max-label propagation over undirected edges (paper Section 1 lists
+/// "Min/Max Label Propagation"): every vertex converges to the largest label
+/// in its weakly-connected component. The mirror image of Wcc.
+struct MaxLabel {
+  static constexpr bool kUndirected = true;
+  static const char* Name() { return "MaxLabel"; }
+  static uint64_t InitValue(VertexId v, VertexId /*root*/) { return v; }
+  static uint64_t GenNext(Weight /*w*/, uint64_t src_val) { return src_val; }
+  static bool NeedUpdate(uint64_t cur, uint64_t next) { return next > cur; }
+  static bool IsReached(uint64_t /*val*/) { return true; }
+};
+
+/// Min-label propagation over *directed* edges: every vertex converges to the
+/// smallest label that can reach it. The directed counterpart of Wcc (which
+/// propagates min labels over undirected edges); together with MaxLabel this
+/// completes the paper's "Min/Max Label Propagation" family (Section 1).
+struct MinLabel {
+  static constexpr bool kUndirected = false;
+  static const char* Name() { return "MinLabel"; }
+  static uint64_t InitValue(VertexId v, VertexId /*root*/) { return v; }
+  static uint64_t GenNext(Weight /*w*/, uint64_t src_val) { return src_val; }
+  static bool NeedUpdate(uint64_t cur, uint64_t next) { return next < cur; }
+  static bool IsReached(uint64_t /*val*/) { return true; }
+};
+
+static_assert(MonotonicAlgorithm<Bfs>);
+static_assert(MonotonicAlgorithm<Sssp>);
+static_assert(MonotonicAlgorithm<Sswp>);
+static_assert(MonotonicAlgorithm<Wcc>);
+static_assert(MonotonicAlgorithm<Reachability>);
+static_assert(MonotonicAlgorithm<MaxLabel>);
+static_assert(MonotonicAlgorithm<MinLabel>);
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_CORE_ALGORITHM_API_H_

@@ -1,0 +1,122 @@
+#ifndef RISGRAPH_CORE_HYBRID_PARALLEL_H_
+#define RISGRAPH_CORE_HYBRID_PARALLEL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace risgraph {
+
+/// Parallelization strategy for one push step (paper Section 3.2, Figure 6).
+enum class ParallelMode : uint8_t {
+  kVertexParallel,  // active vertices are the parallel units
+  kEdgeParallel,    // all edges of the active set are the parallel units
+  kHybrid,          // pick per push step via the linear classifier
+};
+
+/// One observation for training / tracing: a push step's active-set shape,
+/// the mode used, and the time it took.
+struct PushSample {
+  uint64_t active_vertices = 0;
+  uint64_t active_edges = 0;
+  ParallelMode mode = ParallelMode::kVertexParallel;
+  int64_t nanos = 0;
+};
+
+/// The linear classifier of Figure 7: in (log #active-vertices,
+/// log #active-edges) space, a straight line separates the region where
+/// edge-parallel wins (few vertices, many edges — hub-dominated frontiers)
+/// from the region where vertex-parallel wins.
+///
+/// Decision rule: edge-parallel iff
+///     log2(E + 1) > slope * log2(V + 1) + intercept.
+///
+/// The defaults are trained offline on an R-MAT analog of UK-2007 (bench
+/// `fig7`); `TrainLeastSquares` refits from labeled samples exactly as the
+/// paper does ("trained by linear regression", Section 3.2).
+class HybridClassifier {
+ public:
+  HybridClassifier() = default;
+  HybridClassifier(double slope, double intercept)
+      : slope_(slope), intercept_(intercept) {}
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+
+  ParallelMode Decide(uint64_t active_vertices, uint64_t active_edges) const {
+    double lv = std::log2(static_cast<double>(active_vertices) + 1.0);
+    double le = std::log2(static_cast<double>(active_edges) + 1.0);
+    return le > slope_ * lv + intercept_ ? ParallelMode::kEdgeParallel
+                                         : ParallelMode::kVertexParallel;
+  }
+
+  /// A labeled training point: the active-set shape plus which mode won.
+  struct LabeledSample {
+    uint64_t active_vertices = 0;
+    uint64_t active_edges = 0;
+    bool edge_parallel_wins = false;
+  };
+
+  /// Fits the boundary by least squares: regress the target y = +1
+  /// (edge-parallel wins) / -1 onto [1, log V, log E]; the decision boundary
+  /// y = 0 gives the line in (log V, log E) space. Returns false (leaving the
+  /// classifier unchanged) if the samples are degenerate.
+  bool TrainLeastSquares(const std::vector<LabeledSample>& samples) {
+    if (samples.size() < 3) return false;
+    // Normal equations for 3 unknowns (w0, w1, w2).
+    double a[3][3] = {};
+    double b[3] = {};
+    for (const LabeledSample& s : samples) {
+      double x[3] = {
+          1.0, std::log2(static_cast<double>(s.active_vertices) + 1.0),
+          std::log2(static_cast<double>(s.active_edges) + 1.0)};
+      double y = s.edge_parallel_wins ? 1.0 : -1.0;
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) a[i][j] += x[i] * x[j];
+        b[i] += x[i] * y;
+      }
+    }
+    double w[3];
+    if (!Solve3x3(a, b, w)) return false;
+    if (std::abs(w[2]) < 1e-12) return false;
+    // w0 + w1*lv + w2*le = 0  =>  le = (-w1/w2)*lv + (-w0/w2).
+    slope_ = -w[1] / w[2];
+    intercept_ = -w[0] / w[2];
+    return true;
+  }
+
+ private:
+  static bool Solve3x3(double a[3][3], double b[3], double out[3]) {
+    // Gaussian elimination with partial pivoting.
+    int idx[3] = {0, 1, 2};
+    for (int col = 0; col < 3; ++col) {
+      int pivot = col;
+      for (int r = col + 1; r < 3; ++r) {
+        if (std::abs(a[idx[r]][col]) > std::abs(a[idx[pivot]][col])) pivot = r;
+      }
+      std::swap(idx[col], idx[pivot]);
+      double diag = a[idx[col]][col];
+      if (std::abs(diag) < 1e-12) return false;
+      for (int r = col + 1; r < 3; ++r) {
+        double f = a[idx[r]][col] / diag;
+        for (int c = col; c < 3; ++c) a[idx[r]][c] -= f * a[idx[col]][c];
+        b[idx[r]] -= f * b[idx[col]];
+      }
+    }
+    for (int row = 2; row >= 0; --row) {
+      double sum = b[idx[row]];
+      for (int c = row + 1; c < 3; ++c) sum -= a[idx[row]][c] * out[c];
+      out[row] = sum / a[idx[row]][row];
+    }
+    return true;
+  }
+
+  // Defaults: edge-parallel once the frontier carries > ~64 edges per active
+  // vertex (hub-dominated); refit with bench_fig7_parallel_modes.
+  double slope_ = 1.0;
+  double intercept_ = 6.0;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_CORE_HYBRID_PARALLEL_H_

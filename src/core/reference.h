@@ -1,0 +1,49 @@
+#ifndef RISGRAPH_CORE_REFERENCE_H_
+#define RISGRAPH_CORE_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/algorithm_api.h"
+
+namespace risgraph {
+
+/// From-scratch fixpoint computation of a monotonic algorithm over the
+/// current graph — a deliberately simple, independent oracle used by tests to
+/// validate the incremental engine, and by benches as the "recompute"
+/// baseline lower bound. Bellman-Ford style: sweep all vertices until no
+/// value changes.
+template <typename Algo, typename Store>
+std::vector<uint64_t> ReferenceCompute(const Store& store, VertexId root) {
+  uint64_t n = store.NumVertices();
+  std::vector<uint64_t> values(n);
+  for (VertexId v = 0; v < n; ++v) values[v] = Algo::InitValue(v, root);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId u = 0; u < n; ++u) {
+      if (!Algo::IsReached(values[u])) continue;
+      auto relax = [&](VertexId to, Weight w) {
+        uint64_t cand = Algo::GenNext(w, values[u]);
+        if (Algo::NeedUpdate(values[to], cand)) {
+          values[to] = cand;
+          changed = true;
+        }
+      };
+      store.ForEachOut(u, [&](VertexId dst, Weight w, uint64_t) {
+        relax(dst, w);
+      });
+      if constexpr (Algo::kUndirected) {
+        store.ForEachIn(u, [&](VertexId src, Weight w, uint64_t) {
+          relax(src, w);
+        });
+      }
+    }
+  }
+  return values;
+}
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_CORE_REFERENCE_H_

@@ -1,0 +1,170 @@
+#ifndef RISGRAPH_HISTORY_HISTORY_STORE_H_
+#define RISGRAPH_HISTORY_HISTORY_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/incremental_engine.h"
+
+namespace risgraph {
+
+/// Versioned result history for one maintained algorithm (paper Section 2 and
+/// Section 5, "History Store").
+///
+/// Structure mirrors the paper: a version chain per vertex (new -> old) plus
+/// a sparse array of modified vertices per version. The chain entry for
+/// version k stores the vertex's value/parent *as of* k; `GetValue(ver, v)`
+/// returns the entry with the greatest version <= ver, falling back to the
+/// initial snapshot taken at construction.
+///
+/// Garbage collection follows the paper's lazy scheme: `ReleaseBefore(v)`
+/// moves the release floor and eagerly drops per-version modification lists;
+/// per-vertex chains are trimmed lazily the next time a version touches the
+/// vertex (and in bulk via CollectGarbage for tests and shutdown).
+class HistoryStore {
+ public:
+  /// Captures the initial snapshot (values/parents at version `base`).
+  template <typename Engine>
+  HistoryStore(const Engine& engine, VersionId base = 0)
+      : base_version_(base), floor_(base) {
+    uint64_t n = engine.NumVertices();
+    initial_values_.reserve(n);
+    initial_parents_.reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+      initial_values_.push_back(engine.Value(v));
+      ParentEdge pe = engine.Parent(v);
+      initial_parents_.push_back(pe);
+    }
+    chains_.resize(n);
+  }
+
+  /// Records one version's modification set. `records` carry pre-update
+  /// state; the current state is read from the engine accessors passed in.
+  template <typename Engine>
+  void Record(VersionId version, const std::vector<ModifiedRecord>& records,
+              const Engine& engine) {
+    std::vector<VertexId>& mods = version_mods_[version];
+    mods.reserve(records.size());
+    for (const ModifiedRecord& r : records) {
+      VertexId v = r.vertex;
+      mods.push_back(v);
+      GrowTo(v);
+      Chain& chain = chains_[v];
+      if (chain.entries.empty()) {
+        // Seed the chain with the pre-update state so queries at versions in
+        // (base, version) still see it.
+        chain.entries.push_back(Entry{base_version_, r.old_value,
+                                      r.old_parent, r.old_parent_weight});
+      }
+      ParentEdge pe = engine.Parent(v);
+      chain.entries.push_back(Entry{version, engine.Value(v), pe.parent,
+                                    pe.weight});
+      TrimChain(chain);  // lazy GC: only when the vertex is touched again
+    }
+  }
+
+  /// Value of v at `version` (greatest recorded change <= version).
+  uint64_t GetValue(VersionId version, VertexId v) const {
+    const Entry* e = FindEntry(version, v);
+    return e != nullptr ? e->value : InitialValue(v);
+  }
+
+  /// Dependency-tree parent of v at `version`.
+  ParentEdge GetParent(VersionId version, VertexId v) const {
+    const Entry* e = FindEntry(version, v);
+    if (e != nullptr) return ParentEdge{e->parent, e->parent_weight};
+    return v < initial_parents_.size() ? initial_parents_[v] : ParentEdge{};
+  }
+
+  /// Vertices modified by exactly `version` (empty for safe updates and
+  /// released versions).
+  std::vector<VertexId> GetModifiedVertices(VersionId version) const {
+    auto it = version_mods_.find(version);
+    return it == version_mods_.end() ? std::vector<VertexId>{} : it->second;
+  }
+
+  /// Marks versions strictly below `version` unused (paper:
+  /// release_history). Eagerly drops their modification lists.
+  void ReleaseBefore(VersionId version) {
+    floor_ = std::max(floor_, version);
+    version_mods_.erase(version_mods_.begin(),
+                        version_mods_.lower_bound(floor_));
+  }
+
+  /// Full sweep trimming every chain against the release floor.
+  void CollectGarbage() {
+    for (Chain& c : chains_) TrimChain(c);
+  }
+
+  VersionId release_floor() const { return floor_; }
+
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(*this) +
+                   initial_values_.capacity() * sizeof(uint64_t) +
+                   initial_parents_.capacity() * sizeof(ParentEdge);
+    for (const Chain& c : chains_) {
+      bytes += c.entries.size() * sizeof(Entry);
+    }
+    for (const auto& [ver, mods] : version_mods_) {
+      bytes += mods.capacity() * sizeof(VertexId) + sizeof(ver);
+    }
+    return bytes;
+  }
+
+ private:
+  struct Entry {
+    VersionId version;
+    uint64_t value;
+    VertexId parent;
+    Weight parent_weight;
+  };
+  struct Chain {
+    // Version chain, oldest -> newest. A deque because GC pops from the
+    // front while new versions push at the back (the paper's doubly-linked
+    // list with the same access pattern, but cache-friendlier).
+    std::deque<Entry> entries;
+  };
+
+  void GrowTo(VertexId v) {
+    if (v >= chains_.size()) chains_.resize(v + 1);
+  }
+
+  uint64_t InitialValue(VertexId v) const {
+    return v < initial_values_.size() ? initial_values_[v] : 0;
+  }
+
+  const Entry* FindEntry(VersionId version, VertexId v) const {
+    if (v >= chains_.size()) return nullptr;
+    const auto& entries = chains_[v].entries;
+    // Last entry with entry.version <= version.
+    auto it = std::upper_bound(
+        entries.begin(), entries.end(), version,
+        [](VersionId ver, const Entry& e) { return ver < e.version; });
+    if (it == entries.begin()) return nullptr;
+    return &*std::prev(it);
+  }
+
+  // Drops entries strictly older than the newest entry at-or-below the
+  // release floor (that one stays as the base for floor-level reads).
+  void TrimChain(Chain& chain) {
+    auto& entries = chain.entries;
+    while (entries.size() >= 2 && entries[1].version <= floor_) {
+      entries.pop_front();
+    }
+  }
+
+  VersionId base_version_;
+  VersionId floor_;
+  std::vector<uint64_t> initial_values_;
+  std::vector<ParentEdge> initial_parents_;
+  std::vector<Chain> chains_;
+  std::map<VersionId, std::vector<VertexId>> version_mods_;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_HISTORY_HISTORY_STORE_H_

@@ -1,0 +1,613 @@
+#ifndef RISGRAPH_INDEX_ART_INDEX_H_
+#define RISGRAPH_INDEX_ART_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.h"
+
+namespace risgraph {
+
+/// Adaptive Radix Tree (Leis et al., ICDE'13) mapping (dst, weight) edge keys
+/// to a 64-bit payload — the third index alternative evaluated in Table 8.
+///
+/// Keys are the 16-byte big-endian concatenation of dst and weight, so tree
+/// order equals EdgeKey order. Inner nodes adapt between Node4 / Node16 /
+/// Node48 / Node256 and carry pessimistic path-compression prefixes (the key
+/// is only 16 bytes, so prefixes are stored in full — no optimistic
+/// re-checks needed). Erase shrinks: emptied nodes are removed and
+/// single-child inner nodes are collapsed into their child's prefix.
+class ArtIndex {
+ public:
+  static constexpr const char* kName = "art";
+
+  ArtIndex() = default;
+  ~ArtIndex() { DestroyRec(root_); }
+
+  ArtIndex(const ArtIndex&) = delete;
+  ArtIndex& operator=(const ArtIndex&) = delete;
+
+  void Insert(EdgeKey key, uint64_t value) {
+    uint8_t kb[kKeyLen];
+    EncodeKey(key, kb);
+    root_ = InsertRec(root_, kb, 0, key, value);
+  }
+
+  uint64_t* Find(EdgeKey key) {
+    uint8_t kb[kKeyLen];
+    EncodeKey(key, kb);
+    Node* node = root_;
+    size_t depth = 0;
+    while (node != nullptr) {
+      if (node->type == NodeType::kLeaf) {
+        auto* leaf = static_cast<LeafNode*>(node);
+        return leaf->key == key ? &leaf->value : nullptr;
+      }
+      auto* inner = static_cast<InnerNode*>(node);
+      if (!MatchesPrefix(inner, kb, depth)) return nullptr;
+      depth += inner->prefix_len;
+      if (depth >= kKeyLen) return nullptr;
+      node = FindChild(inner, kb[depth]);
+      depth++;
+    }
+    return nullptr;
+  }
+  const uint64_t* Find(EdgeKey key) const {
+    return const_cast<ArtIndex*>(this)->Find(key);
+  }
+
+  bool Erase(EdgeKey key) {
+    uint8_t kb[kKeyLen];
+    EncodeKey(key, kb);
+    bool erased = false;
+    root_ = EraseRec(root_, kb, 0, key, erased);
+    return erased;
+  }
+
+  size_t Size() const { return size_; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    ForEachRec(root_, fn);
+  }
+
+  void Clear() {
+    DestroyRec(root_);
+    root_ = nullptr;
+    size_ = 0;
+    mem_bytes_ = 0;
+  }
+
+  size_t MemoryBytes() const { return mem_bytes_ + sizeof(*this); }
+
+ private:
+  static constexpr size_t kKeyLen = 16;
+
+  enum class NodeType : uint8_t { kLeaf, kNode4, kNode16, kNode48, kNode256 };
+
+  struct Node {
+    NodeType type;
+  };
+
+  struct LeafNode : Node {
+    EdgeKey key;
+    uint64_t value;
+  };
+
+  struct InnerNode : Node {
+    uint8_t num_children = 0;
+    uint8_t prefix_len = 0;
+    uint8_t prefix[kKeyLen] = {};
+  };
+
+  struct Node4 : InnerNode {
+    uint8_t keys[4] = {};
+    Node* children[4] = {};
+  };
+  struct Node16 : InnerNode {
+    uint8_t keys[16] = {};
+    Node* children[16] = {};
+  };
+  struct Node48 : InnerNode {
+    static constexpr uint8_t kEmpty = 255;
+    uint8_t child_index[256];
+    Node* children[48] = {};
+    Node48() { std::memset(child_index, kEmpty, sizeof(child_index)); }
+  };
+  struct Node256 : InnerNode {
+    Node* children[256] = {};
+  };
+
+  static void EncodeKey(EdgeKey key, uint8_t out[kKeyLen]) {
+    for (int i = 0; i < 8; ++i) {
+      out[i] = static_cast<uint8_t>(key.dst >> (56 - 8 * i));
+      out[8 + i] = static_cast<uint8_t>(key.weight >> (56 - 8 * i));
+    }
+  }
+
+  template <typename T>
+  T* NewNode() {
+    mem_bytes_ += sizeof(T);
+    return new T();
+  }
+  void DeleteNode(Node* n) {
+    mem_bytes_ -= NodeBytes(n);
+    switch (n->type) {
+      case NodeType::kLeaf: delete static_cast<LeafNode*>(n); break;
+      case NodeType::kNode4: delete static_cast<Node4*>(n); break;
+      case NodeType::kNode16: delete static_cast<Node16*>(n); break;
+      case NodeType::kNode48: delete static_cast<Node48*>(n); break;
+      case NodeType::kNode256: delete static_cast<Node256*>(n); break;
+    }
+  }
+  static size_t NodeBytes(const Node* n) {
+    switch (n->type) {
+      case NodeType::kLeaf: return sizeof(LeafNode);
+      case NodeType::kNode4: return sizeof(Node4);
+      case NodeType::kNode16: return sizeof(Node16);
+      case NodeType::kNode48: return sizeof(Node48);
+      case NodeType::kNode256: return sizeof(Node256);
+    }
+    return 0;
+  }
+
+  static bool MatchesPrefix(const InnerNode* inner, const uint8_t* kb,
+                            size_t depth) {
+    if (depth + inner->prefix_len > kKeyLen) return false;
+    return std::memcmp(inner->prefix, kb + depth, inner->prefix_len) == 0;
+  }
+
+  static Node* FindChild(const InnerNode* inner, uint8_t byte) {
+    switch (inner->type) {
+      case NodeType::kNode4: {
+        auto* n = static_cast<const Node4*>(inner);
+        for (uint8_t i = 0; i < n->num_children; ++i) {
+          if (n->keys[i] == byte) return n->children[i];
+        }
+        return nullptr;
+      }
+      case NodeType::kNode16: {
+        auto* n = static_cast<const Node16*>(inner);
+        for (uint8_t i = 0; i < n->num_children; ++i) {
+          if (n->keys[i] == byte) return n->children[i];
+        }
+        return nullptr;
+      }
+      case NodeType::kNode48: {
+        auto* n = static_cast<const Node48*>(inner);
+        uint8_t slot = n->child_index[byte];
+        return slot == Node48::kEmpty ? nullptr : n->children[slot];
+      }
+      case NodeType::kNode256:
+        return static_cast<const Node256*>(inner)->children[byte];
+      default:
+        return nullptr;
+    }
+  }
+
+  // Adds (byte -> child); grows the node if full. Returns the node to link in
+  // the parent (a new, larger node if growth happened).
+  InnerNode* AddChild(InnerNode* inner, uint8_t byte, Node* child) {
+    switch (inner->type) {
+      case NodeType::kNode4: {
+        auto* n = static_cast<Node4*>(inner);
+        if (n->num_children < 4) {
+          uint8_t i = n->num_children;
+          while (i > 0 && n->keys[i - 1] > byte) {
+            n->keys[i] = n->keys[i - 1];
+            n->children[i] = n->children[i - 1];
+            i--;
+          }
+          n->keys[i] = byte;
+          n->children[i] = child;
+          n->num_children++;
+          return n;
+        }
+        auto* bigger = NewNode<Node16>();
+        bigger->type = NodeType::kNode16;
+        CopyHeader(bigger, n);
+        std::copy(n->keys, n->keys + 4, bigger->keys);
+        std::copy(n->children, n->children + 4, bigger->children);
+        bigger->num_children = 4;
+        DeleteNode(n);
+        return AddChild(bigger, byte, child);
+      }
+      case NodeType::kNode16: {
+        auto* n = static_cast<Node16*>(inner);
+        if (n->num_children < 16) {
+          uint8_t i = n->num_children;
+          while (i > 0 && n->keys[i - 1] > byte) {
+            n->keys[i] = n->keys[i - 1];
+            n->children[i] = n->children[i - 1];
+            i--;
+          }
+          n->keys[i] = byte;
+          n->children[i] = child;
+          n->num_children++;
+          return n;
+        }
+        auto* bigger = NewNode<Node48>();
+        bigger->type = NodeType::kNode48;
+        CopyHeader(bigger, n);
+        for (uint8_t i = 0; i < 16; ++i) {
+          bigger->child_index[n->keys[i]] = i;
+          bigger->children[i] = n->children[i];
+        }
+        bigger->num_children = 16;
+        DeleteNode(n);
+        return AddChild(bigger, byte, child);
+      }
+      case NodeType::kNode48: {
+        auto* n = static_cast<Node48*>(inner);
+        if (n->num_children < 48) {
+          uint8_t slot = 0;
+          while (n->children[slot] != nullptr) slot++;
+          n->children[slot] = child;
+          n->child_index[byte] = slot;
+          n->num_children++;
+          return n;
+        }
+        auto* bigger = NewNode<Node256>();
+        bigger->type = NodeType::kNode256;
+        CopyHeader(bigger, n);
+        for (int b = 0; b < 256; ++b) {
+          if (n->child_index[b] != Node48::kEmpty) {
+            bigger->children[b] = n->children[n->child_index[b]];
+          }
+        }
+        bigger->num_children = 48;
+        DeleteNode(n);
+        return AddChild(bigger, byte, child);
+      }
+      case NodeType::kNode256: {
+        auto* n = static_cast<Node256*>(inner);
+        n->children[byte] = child;
+        n->num_children++;
+        return n;
+      }
+      default:
+        return inner;
+    }
+  }
+
+  static void CopyHeader(InnerNode* dst, const InnerNode* src) {
+    dst->prefix_len = src->prefix_len;
+    std::copy(src->prefix, src->prefix + src->prefix_len, dst->prefix);
+  }
+
+  Node* InsertRec(Node* node, const uint8_t* kb, size_t depth, EdgeKey key,
+                  uint64_t value) {
+    if (node == nullptr) {
+      auto* leaf = NewNode<LeafNode>();
+      leaf->type = NodeType::kLeaf;
+      leaf->key = key;
+      leaf->value = value;
+      size_++;
+      return leaf;
+    }
+    if (node->type == NodeType::kLeaf) {
+      auto* leaf = static_cast<LeafNode*>(node);
+      if (leaf->key == key) {
+        leaf->value = value;
+        return leaf;
+      }
+      // Split: make a Node4 with the common suffix-prefix of both keys.
+      uint8_t existing[kKeyLen];
+      EncodeKey(leaf->key, existing);
+      size_t common = depth;
+      while (common < kKeyLen && existing[common] == kb[common]) common++;
+      auto* inner = NewNode<Node4>();
+      inner->type = NodeType::kNode4;
+      inner->prefix_len = static_cast<uint8_t>(common - depth);
+      std::copy(kb + depth, kb + common, inner->prefix);
+      auto* new_leaf = NewNode<LeafNode>();
+      new_leaf->type = NodeType::kLeaf;
+      new_leaf->key = key;
+      new_leaf->value = value;
+      size_++;
+      AddChild(inner, existing[common], leaf);
+      AddChild(inner, kb[common], new_leaf);
+      return inner;
+    }
+    auto* inner = static_cast<InnerNode*>(node);
+    // Check how much of the node's prefix matches the key.
+    size_t matched = 0;
+    while (matched < inner->prefix_len &&
+           inner->prefix[matched] == kb[depth + matched]) {
+      matched++;
+    }
+    if (matched < inner->prefix_len) {
+      // Split the prefix at the divergence point.
+      auto* parent = NewNode<Node4>();
+      parent->type = NodeType::kNode4;
+      parent->prefix_len = static_cast<uint8_t>(matched);
+      std::copy(inner->prefix, inner->prefix + matched, parent->prefix);
+      uint8_t inner_byte = inner->prefix[matched];
+      // Shrink the old node's prefix past the split byte.
+      uint8_t rest = static_cast<uint8_t>(inner->prefix_len - matched - 1);
+      std::copy(inner->prefix + matched + 1,
+                inner->prefix + inner->prefix_len, inner->prefix);
+      inner->prefix_len = rest;
+      auto* new_leaf = NewNode<LeafNode>();
+      new_leaf->type = NodeType::kLeaf;
+      new_leaf->key = key;
+      new_leaf->value = value;
+      size_++;
+      AddChild(parent, inner_byte, inner);
+      AddChild(parent, kb[depth + matched], new_leaf);
+      return parent;
+    }
+    depth += inner->prefix_len;
+    uint8_t byte = kb[depth];
+    Node* child = FindChild(inner, byte);
+    if (child != nullptr) {
+      Node* replacement = InsertRec(child, kb, depth + 1, key, value);
+      if (replacement != child) ReplaceChild(inner, byte, replacement);
+      return inner;
+    }
+    auto* new_leaf = NewNode<LeafNode>();
+    new_leaf->type = NodeType::kLeaf;
+    new_leaf->key = key;
+    new_leaf->value = value;
+    size_++;
+    return AddChild(inner, byte, new_leaf);
+  }
+
+  static void ReplaceChild(InnerNode* inner, uint8_t byte, Node* child) {
+    switch (inner->type) {
+      case NodeType::kNode4: {
+        auto* n = static_cast<Node4*>(inner);
+        for (uint8_t i = 0; i < n->num_children; ++i) {
+          if (n->keys[i] == byte) {
+            n->children[i] = child;
+            return;
+          }
+        }
+        break;
+      }
+      case NodeType::kNode16: {
+        auto* n = static_cast<Node16*>(inner);
+        for (uint8_t i = 0; i < n->num_children; ++i) {
+          if (n->keys[i] == byte) {
+            n->children[i] = child;
+            return;
+          }
+        }
+        break;
+      }
+      case NodeType::kNode48: {
+        auto* n = static_cast<Node48*>(inner);
+        n->children[n->child_index[byte]] = child;
+        break;
+      }
+      case NodeType::kNode256:
+        static_cast<Node256*>(inner)->children[byte] = child;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Removes (byte -> child) from the node. Caller guarantees presence.
+  static void RemoveChild(InnerNode* inner, uint8_t byte) {
+    switch (inner->type) {
+      case NodeType::kNode4: {
+        auto* n = static_cast<Node4*>(inner);
+        uint8_t i = 0;
+        while (n->keys[i] != byte) i++;
+        std::copy(n->keys + i + 1, n->keys + n->num_children, n->keys + i);
+        std::copy(n->children + i + 1, n->children + n->num_children,
+                  n->children + i);
+        n->num_children--;
+        break;
+      }
+      case NodeType::kNode16: {
+        auto* n = static_cast<Node16*>(inner);
+        uint8_t i = 0;
+        while (n->keys[i] != byte) i++;
+        std::copy(n->keys + i + 1, n->keys + n->num_children, n->keys + i);
+        std::copy(n->children + i + 1, n->children + n->num_children,
+                  n->children + i);
+        n->num_children--;
+        break;
+      }
+      case NodeType::kNode48: {
+        auto* n = static_cast<Node48*>(inner);
+        n->children[n->child_index[byte]] = nullptr;
+        n->child_index[byte] = Node48::kEmpty;
+        n->num_children--;
+        break;
+      }
+      case NodeType::kNode256: {
+        auto* n = static_cast<Node256*>(inner);
+        n->children[byte] = nullptr;
+        n->num_children--;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Returns the single remaining (byte, child) of an inner node.
+  static void OnlyChild(const InnerNode* inner, uint8_t& byte, Node*& child) {
+    switch (inner->type) {
+      case NodeType::kNode4: {
+        auto* n = static_cast<const Node4*>(inner);
+        byte = n->keys[0];
+        child = n->children[0];
+        return;
+      }
+      case NodeType::kNode16: {
+        auto* n = static_cast<const Node16*>(inner);
+        byte = n->keys[0];
+        child = n->children[0];
+        return;
+      }
+      case NodeType::kNode48: {
+        auto* n = static_cast<const Node48*>(inner);
+        for (int b = 0; b < 256; ++b) {
+          if (n->child_index[b] != Node48::kEmpty) {
+            byte = static_cast<uint8_t>(b);
+            child = n->children[n->child_index[b]];
+            return;
+          }
+        }
+        break;
+      }
+      case NodeType::kNode256: {
+        auto* n = static_cast<const Node256*>(inner);
+        for (int b = 0; b < 256; ++b) {
+          if (n->children[b] != nullptr) {
+            byte = static_cast<uint8_t>(b);
+            child = n->children[b];
+            return;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  Node* EraseRec(Node* node, const uint8_t* kb, size_t depth, EdgeKey key,
+                 bool& erased) {
+    if (node == nullptr) return nullptr;
+    if (node->type == NodeType::kLeaf) {
+      auto* leaf = static_cast<LeafNode*>(node);
+      if (leaf->key == key) {
+        DeleteNode(leaf);
+        size_--;
+        erased = true;
+        return nullptr;
+      }
+      return node;
+    }
+    auto* inner = static_cast<InnerNode*>(node);
+    if (!MatchesPrefix(inner, kb, depth)) return node;
+    depth += inner->prefix_len;
+    uint8_t byte = kb[depth];
+    Node* child = FindChild(inner, byte);
+    if (child == nullptr) return node;
+    Node* replacement = EraseRec(child, kb, depth + 1, key, erased);
+    if (replacement == child) return node;
+    if (replacement != nullptr) {
+      ReplaceChild(inner, byte, replacement);
+      return node;
+    }
+    RemoveChild(inner, byte);
+    if (inner->num_children == 1) {
+      // Collapse: merge this node's prefix + link byte into the only child.
+      uint8_t only_byte = 0;
+      Node* only = nullptr;
+      OnlyChild(inner, only_byte, only);
+      if (only->type != NodeType::kLeaf) {
+        auto* child_inner = static_cast<InnerNode*>(only);
+        uint8_t merged[kKeyLen];
+        size_t len = 0;
+        for (uint8_t i = 0; i < inner->prefix_len; ++i)
+          merged[len++] = inner->prefix[i];
+        merged[len++] = only_byte;
+        for (uint8_t i = 0; i < child_inner->prefix_len; ++i)
+          merged[len++] = child_inner->prefix[i];
+        std::copy(merged, merged + len, child_inner->prefix);
+        child_inner->prefix_len = static_cast<uint8_t>(len);
+      }
+      DeleteNode(inner);
+      return only;
+    }
+    if (inner->num_children == 0) {
+      DeleteNode(inner);
+      return nullptr;
+    }
+    return node;
+  }
+
+  template <typename Fn>
+  void ForEachRec(const Node* node, Fn&& fn) const {
+    if (node == nullptr) return;
+    if (node->type == NodeType::kLeaf) {
+      auto* leaf = static_cast<const LeafNode*>(node);
+      fn(leaf->key, leaf->value);
+      return;
+    }
+    auto* inner = static_cast<const InnerNode*>(node);
+    switch (inner->type) {
+      case NodeType::kNode4: {
+        auto* n = static_cast<const Node4*>(inner);
+        for (uint8_t i = 0; i < n->num_children; ++i)
+          ForEachRec(n->children[i], fn);
+        break;
+      }
+      case NodeType::kNode16: {
+        auto* n = static_cast<const Node16*>(inner);
+        for (uint8_t i = 0; i < n->num_children; ++i)
+          ForEachRec(n->children[i], fn);
+        break;
+      }
+      case NodeType::kNode48: {
+        auto* n = static_cast<const Node48*>(inner);
+        for (int b = 0; b < 256; ++b) {
+          if (n->child_index[b] != Node48::kEmpty)
+            ForEachRec(n->children[n->child_index[b]], fn);
+        }
+        break;
+      }
+      case NodeType::kNode256: {
+        auto* n = static_cast<const Node256*>(inner);
+        for (int b = 0; b < 256; ++b) ForEachRec(n->children[b], fn);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void DestroyRec(Node* node) {
+    if (node == nullptr) return;
+    if (node->type != NodeType::kLeaf) {
+      auto* inner = static_cast<InnerNode*>(node);
+      switch (inner->type) {
+        case NodeType::kNode4: {
+          auto* n = static_cast<Node4*>(inner);
+          for (uint8_t i = 0; i < n->num_children; ++i)
+            DestroyRec(n->children[i]);
+          break;
+        }
+        case NodeType::kNode16: {
+          auto* n = static_cast<Node16*>(inner);
+          for (uint8_t i = 0; i < n->num_children; ++i)
+            DestroyRec(n->children[i]);
+          break;
+        }
+        case NodeType::kNode48: {
+          auto* n = static_cast<Node48*>(inner);
+          for (int b = 0; b < 256; ++b) {
+            if (n->child_index[b] != Node48::kEmpty)
+              DestroyRec(n->children[n->child_index[b]]);
+          }
+          break;
+        }
+        case NodeType::kNode256: {
+          auto* n = static_cast<Node256*>(inner);
+          for (int b = 0; b < 256; ++b) DestroyRec(n->children[b]);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    DeleteNode(node);
+  }
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  size_t mem_bytes_ = 0;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_INDEX_ART_INDEX_H_

@@ -1,0 +1,314 @@
+#ifndef RISGRAPH_INDEX_BTREE_INDEX_H_
+#define RISGRAPH_INDEX_BTREE_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace risgraph {
+
+/// B+-tree mapping (dst, weight) edge keys to a 64-bit payload.
+///
+/// The paper evaluates BTree as a memory-frugal alternative to the hash index
+/// (Tables 8 and 9): ~1.15x raw-data memory savings for ~22% performance.
+/// Leaves hold sorted (key, value) runs and are chained for iteration; inner
+/// nodes hold separator keys. Deletion removes keys in place and collapses
+/// emptied nodes (no borrowing: simple, correct, and bounded — an emptied
+/// node is unlinked from its parent immediately).
+class BTreeIndex {
+ public:
+  static constexpr const char* kName = "btree";
+
+  BTreeIndex() = default;
+  ~BTreeIndex() { DestroyNode(root_); }
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  void Insert(EdgeKey key, uint64_t value) {
+    if (root_ == nullptr) {
+      auto* leaf = new Leaf();
+      leaf->keys[0] = key;
+      leaf->values[0] = value;
+      leaf->count = 1;
+      root_ = leaf;
+      height_ = 1;
+      size_ = 1;
+      return;
+    }
+    SplitResult split = InsertRec(root_, height_, key, value);
+    if (split.new_node != nullptr) {
+      auto* inner = new Inner();
+      inner->keys[0] = split.separator;
+      inner->children[0] = root_;
+      inner->children[1] = split.new_node;
+      inner->count = 1;
+      root_ = inner;
+      height_++;
+    }
+  }
+
+  uint64_t* Find(EdgeKey key) {
+    void* node = root_;
+    size_t level = height_;
+    while (node != nullptr && level > 1) {
+      auto* inner = static_cast<Inner*>(node);
+      node = inner->children[ChildSlot(inner, key)];
+      level--;
+    }
+    if (node == nullptr) return nullptr;
+    auto* leaf = static_cast<Leaf*>(node);
+    size_t i = LowerBound(leaf->keys, leaf->count, key);
+    if (i < leaf->count && leaf->keys[i] == key) return &leaf->values[i];
+    return nullptr;
+  }
+  const uint64_t* Find(EdgeKey key) const {
+    return const_cast<BTreeIndex*>(this)->Find(key);
+  }
+
+  bool Erase(EdgeKey key) {
+    if (root_ == nullptr) return false;
+    bool erased = EraseRec(root_, height_, key);
+    if (erased) {
+      size_--;
+      // Collapse a root that lost all separators or all keys.
+      while (height_ > 1 && static_cast<Inner*>(root_)->count == 0) {
+        auto* inner = static_cast<Inner*>(root_);
+        void* only = inner->children[0];
+        delete inner;
+        root_ = only;
+        height_--;
+      }
+      if (height_ == 1 && static_cast<Leaf*>(root_)->count == 0) {
+        delete static_cast<Leaf*>(root_);
+        root_ = nullptr;
+        height_ = 0;
+      }
+    }
+    return erased;
+  }
+
+  size_t Size() const { return size_; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    ForEachRec(root_, height_, fn);
+  }
+
+  void Clear() {
+    DestroyNode(root_);
+    root_ = nullptr;
+    height_ = 0;
+    size_ = 0;
+  }
+
+  /// Heap footprint; walks all nodes (memory is only queried by the Table 9
+  /// reporter, never on the hot path).
+  size_t MemoryBytes() const { return CountMemory(root_, height_) + sizeof(*this); }
+
+ private:
+  static constexpr size_t kLeafFanout = 32;
+  static constexpr size_t kInnerFanout = 32;
+
+  struct Leaf {
+    EdgeKey keys[kLeafFanout];
+    uint64_t values[kLeafFanout];
+    uint16_t count = 0;
+  };
+
+  struct Inner {
+    EdgeKey keys[kInnerFanout];          // separators
+    void* children[kInnerFanout + 1] = {};  // count+1 children
+    uint16_t count = 0;
+  };
+
+  struct SplitResult {
+    void* new_node = nullptr;  // right sibling created by a split
+    EdgeKey separator;
+  };
+
+  static size_t LowerBound(const EdgeKey* keys, size_t count, EdgeKey key) {
+    return static_cast<size_t>(
+        std::lower_bound(keys, keys + count, key) - keys);
+  }
+
+  // Child to descend into: first separator strictly greater than key.
+  static size_t ChildSlot(const Inner* inner, EdgeKey key) {
+    return static_cast<size_t>(
+        std::upper_bound(inner->keys, inner->keys + inner->count, key) -
+        inner->keys);
+  }
+
+  SplitResult InsertRec(void* node, size_t level, EdgeKey key,
+                        uint64_t value) {
+    if (level == 1) {
+      auto* leaf = static_cast<Leaf*>(node);
+      size_t i = LowerBound(leaf->keys, leaf->count, key);
+      if (i < leaf->count && leaf->keys[i] == key) {
+        leaf->values[i] = value;
+        return {};
+      }
+      if (leaf->count < kLeafFanout) {
+        InsertAt(leaf, i, key, value);
+        size_++;
+        return {};
+      }
+      // Split the leaf, then insert into the proper half.
+      auto* right = new Leaf();
+      size_t mid = kLeafFanout / 2;
+      right->count = static_cast<uint16_t>(kLeafFanout - mid);
+      std::copy(leaf->keys + mid, leaf->keys + kLeafFanout, right->keys);
+      std::copy(leaf->values + mid, leaf->values + kLeafFanout, right->values);
+      leaf->count = static_cast<uint16_t>(mid);
+      if (key < right->keys[0]) {
+        InsertAt(leaf, LowerBound(leaf->keys, leaf->count, key), key, value);
+      } else {
+        InsertAt(right, LowerBound(right->keys, right->count, key), key,
+                 value);
+      }
+      size_++;
+      return {right, right->keys[0]};
+    }
+    auto* inner = static_cast<Inner*>(node);
+    size_t slot = ChildSlot(inner, key);
+    SplitResult child_split =
+        InsertRec(inner->children[slot], level - 1, key, value);
+    if (child_split.new_node == nullptr) return {};
+    if (inner->count < kInnerFanout) {
+      InsertChildAt(inner, slot, child_split.separator, child_split.new_node);
+      return {};
+    }
+    // Split the inner node around its median separator.
+    auto* right = new Inner();
+    size_t mid = kInnerFanout / 2;
+    EdgeKey up_key = inner->keys[mid];
+    right->count = static_cast<uint16_t>(kInnerFanout - mid - 1);
+    std::copy(inner->keys + mid + 1, inner->keys + kInnerFanout, right->keys);
+    std::copy(inner->children + mid + 1, inner->children + kInnerFanout + 1,
+              right->children);
+    inner->count = static_cast<uint16_t>(mid);
+    if (child_split.separator < up_key) {
+      InsertChildAt(inner, ChildSlot(inner, child_split.separator),
+                    child_split.separator, child_split.new_node);
+    } else {
+      InsertChildAt(right, ChildSlot(right, child_split.separator),
+                    child_split.separator, child_split.new_node);
+    }
+    return {right, up_key};
+  }
+
+  void InsertAt(Leaf* leaf, size_t i, EdgeKey key, uint64_t value) {
+    std::copy_backward(leaf->keys + i, leaf->keys + leaf->count,
+                       leaf->keys + leaf->count + 1);
+    std::copy_backward(leaf->values + i, leaf->values + leaf->count,
+                       leaf->values + leaf->count + 1);
+    leaf->keys[i] = key;
+    leaf->values[i] = value;
+    leaf->count++;
+  }
+
+  void InsertChildAt(Inner* inner, size_t slot, EdgeKey separator,
+                     void* child) {
+    std::copy_backward(inner->keys + slot, inner->keys + inner->count,
+                       inner->keys + inner->count + 1);
+    std::copy_backward(inner->children + slot + 1,
+                       inner->children + inner->count + 1,
+                       inner->children + inner->count + 2);
+    inner->keys[slot] = separator;
+    inner->children[slot + 1] = child;
+    inner->count++;
+  }
+
+  bool EraseRec(void* node, size_t level, EdgeKey key) {
+    if (level == 1) {
+      auto* leaf = static_cast<Leaf*>(node);
+      size_t i = LowerBound(leaf->keys, leaf->count, key);
+      if (i >= leaf->count || !(leaf->keys[i] == key)) return false;
+      std::copy(leaf->keys + i + 1, leaf->keys + leaf->count, leaf->keys + i);
+      std::copy(leaf->values + i + 1, leaf->values + leaf->count,
+                leaf->values + i);
+      leaf->count--;
+      return true;
+    }
+    auto* inner = static_cast<Inner*>(node);
+    size_t slot = ChildSlot(inner, key);
+    if (!EraseRec(inner->children[slot], level - 1, key)) return false;
+    if (ChildEmpty(inner->children[slot], level - 1)) {
+      // Unlink and free the emptied child, dropping one separator.
+      FreeNode(inner->children[slot], level - 1);
+      size_t sep = slot == 0 ? 0 : slot - 1;
+      std::copy(inner->keys + sep + 1, inner->keys + inner->count,
+                inner->keys + sep);
+      std::copy(inner->children + slot + 1,
+                inner->children + inner->count + 1, inner->children + slot);
+      inner->count--;
+    }
+    return true;
+  }
+
+  static bool ChildEmpty(void* node, size_t level) {
+    if (level == 1) return static_cast<Leaf*>(node)->count == 0;
+    return false;  // inner nodes are collapsed only when the root shrinks
+  }
+
+  void FreeNode(void* node, size_t level) {
+    if (level == 1) {
+      delete static_cast<Leaf*>(node);
+    } else {
+      delete static_cast<Inner*>(node);
+    }
+  }
+
+  template <typename Fn>
+  void ForEachRec(void* node, size_t level, Fn&& fn) const {
+    if (node == nullptr) return;
+    if (level == 1) {
+      auto* leaf = static_cast<const Leaf*>(node);
+      for (size_t i = 0; i < leaf->count; ++i) fn(leaf->keys[i], leaf->values[i]);
+      return;
+    }
+    auto* inner = static_cast<const Inner*>(node);
+    for (size_t i = 0; i <= inner->count; ++i) {
+      ForEachRec(inner->children[i], level - 1, fn);
+    }
+  }
+
+  void DestroyNode(void* node) { DestroyRec(node, height_); }
+
+  void DestroyRec(void* node, size_t level) {
+    if (node == nullptr) return;
+    if (level <= 1) {
+      delete static_cast<Leaf*>(node);
+      return;
+    }
+    auto* inner = static_cast<Inner*>(node);
+    for (size_t i = 0; i <= inner->count; ++i) {
+      DestroyRec(inner->children[i], level - 1);
+    }
+    delete inner;
+  }
+
+  // Approximate: nodes are small and fixed-size, so count them on the fly.
+  // Maintained incrementally would complicate splits; instead recompute.
+  size_t CountMemory(void* node, size_t level) const {
+    if (node == nullptr) return 0;
+    if (level == 1) return sizeof(Leaf);
+    size_t total = sizeof(Inner);
+    auto* inner = static_cast<const Inner*>(node);
+    for (size_t i = 0; i <= inner->count; ++i) {
+      total += CountMemory(inner->children[i], level - 1);
+    }
+    return total;
+  }
+
+  void* root_ = nullptr;
+  size_t height_ = 0;  // 0 = empty, 1 = root is a leaf
+  size_t size_ = 0;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_INDEX_BTREE_INDEX_H_

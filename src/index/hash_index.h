@@ -1,0 +1,150 @@
+#ifndef RISGRAPH_INDEX_HASH_INDEX_H_
+#define RISGRAPH_INDEX_HASH_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace risgraph {
+
+/// Open-addressing hash table mapping (dst, weight) edge keys to a 64-bit
+/// payload (array offset in IA mode, duplicate count in IO mode).
+///
+/// This is RisGraph's default index (Section 5: Google Dense Hashmap +
+/// MurmurHash3): linear probing over a power-of-two table, tombstones on
+/// erase, rehash at 70% occupancy. Average O(1) insert/erase/find.
+class HashIndex {
+ public:
+  static constexpr const char* kName = "hash";
+
+  HashIndex() { Rehash(kMinCapacity); }
+
+  /// Inserts key -> value, overwriting any existing mapping.
+  void Insert(EdgeKey key, uint64_t value) {
+    MaybeGrow();
+    size_t slot = FindSlotForInsert(key);
+    Slot& s = slots_[slot];
+    if (s.state == State::kLive && s.key == key) {
+      s.value = value;
+      return;
+    }
+    if (s.state == State::kTombstone) tombstones_--;
+    s.state = State::kLive;
+    s.key = key;
+    s.value = value;
+    size_++;
+  }
+
+  /// Returns a pointer to the stored value, or nullptr if absent.
+  uint64_t* Find(EdgeKey key) {
+    size_t slot;
+    return FindLive(key, slot) ? &slots_[slot].value : nullptr;
+  }
+  const uint64_t* Find(EdgeKey key) const {
+    size_t slot;
+    return FindLive(key, slot) ? &slots_[slot].value : nullptr;
+  }
+
+  /// Removes key; returns true if it was present.
+  bool Erase(EdgeKey key) {
+    size_t slot;
+    if (!FindLive(key, slot)) return false;
+    slots_[slot].state = State::kTombstone;
+    size_--;
+    tombstones_++;
+    return true;
+  }
+
+  size_t Size() const { return size_; }
+
+  /// Visits every live (key, value) pair.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.state == State::kLive) fn(s.key, s.value);
+    }
+  }
+
+  void Clear() {
+    slots_.clear();
+    size_ = 0;
+    tombstones_ = 0;
+    Rehash(kMinCapacity);
+  }
+
+  size_t MemoryBytes() const {
+    return slots_.capacity() * sizeof(Slot) + sizeof(*this);
+  }
+
+ private:
+  enum class State : uint8_t { kEmpty, kLive, kTombstone };
+
+  struct Slot {
+    EdgeKey key;
+    uint64_t value = 0;
+    State state = State::kEmpty;
+  };
+
+  static constexpr size_t kMinCapacity = 8;
+
+  bool FindLive(EdgeKey key, size_t& out_slot) const {
+    size_t mask = slots_.size() - 1;
+    size_t i = HashEdgeKey(key.dst, key.weight) & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.state == State::kEmpty) return false;
+      if (s.state == State::kLive && s.key == key) {
+        out_slot = i;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // First live slot holding `key`, else the first tombstone/empty slot on the
+  // probe path (classic reuse-tombstone insertion).
+  size_t FindSlotForInsert(EdgeKey key) const {
+    size_t mask = slots_.size() - 1;
+    size_t i = HashEdgeKey(key.dst, key.weight) & mask;
+    size_t first_free = SIZE_MAX;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.state == State::kEmpty) {
+        return first_free != SIZE_MAX ? first_free : i;
+      }
+      if (s.state == State::kTombstone) {
+        if (first_free == SIZE_MAX) first_free = i;
+      } else if (s.key == key) {
+        return i;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void MaybeGrow() {
+    if ((size_ + tombstones_ + 1) * 10 >= slots_.size() * 7) {
+      Rehash(slots_.size() * 2);
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    size_ = 0;
+    tombstones_ = 0;
+    for (const Slot& s : old) {
+      if (s.state == State::kLive) Insert(s.key, s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_INDEX_HASH_INDEX_H_

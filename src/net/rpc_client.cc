@@ -1,0 +1,231 @@
+#include "net/rpc_client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace risgraph {
+
+namespace {
+
+bool ReadAll(int fd, void* buf, size_t len) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = ::read(fd, p, len);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const void* buf, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = ::write(fd, p, len);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RpcClient::Connect(const std::string& socket_path) {
+  Close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    Close();
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+void RpcClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool RpcClient::Call(rpc::Status* status_out) {
+  if (fd_ < 0) return false;
+  uint32_t len = static_cast<uint32_t>(request_.size());
+  if (!WriteAll(fd_, &len, 4) || !WriteAll(fd_, request_.data(), len)) {
+    Close();
+    return false;
+  }
+  uint32_t rlen = 0;
+  if (!ReadAll(fd_, &rlen, 4) || rlen == 0 || rlen > rpc::kMaxFrameBytes) {
+    Close();
+    return false;
+  }
+  response_.resize(rlen);
+  if (!ReadAll(fd_, response_.data(), rlen)) {
+    Close();
+    return false;
+  }
+  *status_out = static_cast<rpc::Status>(response_[0]);
+  return true;
+}
+
+bool RpcClient::Ping() {
+  request_.clear();
+  rpc::Writer w(request_);
+  w.U8(static_cast<uint8_t>(rpc::Op::kPing));
+  rpc::Status status;
+  return Call(&status) && status == rpc::Status::kOk;
+}
+
+VersionId RpcClient::InsEdge(VertexId src, VertexId dst, Weight weight) {
+  request_.clear();
+  rpc::Writer w(request_);
+  w.U8(static_cast<uint8_t>(rpc::Op::kInsEdge));
+  w.U64(src);
+  w.U64(dst);
+  w.U64(weight);
+  rpc::Status status;
+  if (!Call(&status) || status != rpc::Status::kOk) return kInvalidVersion;
+  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  return r.U64();
+}
+
+VersionId RpcClient::DelEdge(VertexId src, VertexId dst, Weight weight) {
+  request_.clear();
+  rpc::Writer w(request_);
+  w.U8(static_cast<uint8_t>(rpc::Op::kDelEdge));
+  w.U64(src);
+  w.U64(dst);
+  w.U64(weight);
+  rpc::Status status;
+  if (!Call(&status) || status != rpc::Status::kOk) return kInvalidVersion;
+  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  return r.U64();
+}
+
+VersionId RpcClient::InsVertex(VertexId* vertex_out) {
+  request_.clear();
+  rpc::Writer w(request_);
+  w.U8(static_cast<uint8_t>(rpc::Op::kInsVertex));
+  rpc::Status status;
+  if (!Call(&status) || status != rpc::Status::kOk) return kInvalidVersion;
+  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  VersionId ver = r.U64();
+  VertexId fresh = r.U64();
+  if (vertex_out != nullptr) *vertex_out = fresh;
+  return r.ok() ? ver : kInvalidVersion;
+}
+
+VersionId RpcClient::DelVertex(VertexId v) {
+  request_.clear();
+  rpc::Writer w(request_);
+  w.U8(static_cast<uint8_t>(rpc::Op::kDelVertex));
+  w.U64(v);
+  rpc::Status status;
+  if (!Call(&status) || status != rpc::Status::kOk) return kInvalidVersion;
+  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  return r.U64();
+}
+
+VersionId RpcClient::TxnUpdates(const std::vector<Update>& updates) {
+  request_.clear();
+  rpc::Writer w(request_);
+  w.U8(static_cast<uint8_t>(rpc::Op::kTxn));
+  w.U32(static_cast<uint32_t>(updates.size()));
+  for (const Update& u : updates) rpc::WriteUpdate(w, u);
+  rpc::Status status;
+  if (!Call(&status) || status != rpc::Status::kOk) return kInvalidVersion;
+  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  return r.U64();
+}
+
+bool RpcClient::GetValue(uint64_t algo, VertexId v, uint64_t* out) {
+  request_.clear();
+  rpc::Writer w(request_);
+  w.U8(static_cast<uint8_t>(rpc::Op::kGetValue));
+  w.U64(algo);
+  w.U64(v);
+  rpc::Status status;
+  if (!Call(&status) || status != rpc::Status::kOk) return false;
+  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  *out = r.U64();
+  return r.ok();
+}
+
+bool RpcClient::GetValueAt(uint64_t algo, VersionId version, VertexId v,
+                           uint64_t* out) {
+  request_.clear();
+  rpc::Writer w(request_);
+  w.U8(static_cast<uint8_t>(rpc::Op::kGetValueAt));
+  w.U64(algo);
+  w.U64(version);
+  w.U64(v);
+  rpc::Status status;
+  if (!Call(&status) || status != rpc::Status::kOk) return false;
+  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  *out = r.U64();
+  return r.ok();
+}
+
+bool RpcClient::GetParent(uint64_t algo, VertexId v, ParentEdge* out) {
+  request_.clear();
+  rpc::Writer w(request_);
+  w.U8(static_cast<uint8_t>(rpc::Op::kGetParent));
+  w.U64(algo);
+  w.U64(v);
+  rpc::Status status;
+  if (!Call(&status) || status != rpc::Status::kOk) return false;
+  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  out->parent = r.U64();
+  out->weight = r.U64();
+  return r.ok();
+}
+
+bool RpcClient::GetCurrentVersion(VersionId* out) {
+  request_.clear();
+  rpc::Writer w(request_);
+  w.U8(static_cast<uint8_t>(rpc::Op::kGetCurrentVersion));
+  rpc::Status status;
+  if (!Call(&status) || status != rpc::Status::kOk) return false;
+  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  *out = r.U64();
+  return r.ok();
+}
+
+bool RpcClient::GetModified(uint64_t algo, VersionId version,
+                            std::vector<VertexId>* out) {
+  request_.clear();
+  rpc::Writer w(request_);
+  w.U8(static_cast<uint8_t>(rpc::Op::kGetModified));
+  w.U64(algo);
+  w.U64(version);
+  rpc::Status status;
+  if (!Call(&status) || status != rpc::Status::kOk) return false;
+  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  uint32_t count = r.U32();
+  out->clear();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) out->push_back(r.U64());
+  return r.ok();
+}
+
+bool RpcClient::ReleaseHistory(VersionId version) {
+  request_.clear();
+  rpc::Writer w(request_);
+  w.U8(static_cast<uint8_t>(rpc::Op::kReleaseHistory));
+  w.U64(version);
+  rpc::Status status;
+  return Call(&status) && status == rpc::Status::kOk;
+}
+
+}  // namespace risgraph

@@ -1,0 +1,66 @@
+#ifndef RISGRAPH_NET_RPC_CLIENT_H_
+#define RISGRAPH_NET_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/incremental_engine.h"  // ParentEdge
+#include "net/rpc_protocol.h"
+
+namespace risgraph {
+
+/// Blocking client stub for the RPC tier — one connection, one outstanding
+/// request (the closed-loop shape of the paper's emulated users: "repeatedly
+/// send a single update and wait for the response", Section 6.2). Not
+/// thread-safe; use one client per thread like one session per user.
+class RpcClient {
+ public:
+  RpcClient() = default;
+  ~RpcClient() { Close(); }
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  bool Connect(const std::string& socket_path);
+  void Close();
+  bool IsConnected() const { return fd_ >= 0; }
+
+  /// Liveness check; false on a broken connection.
+  bool Ping();
+
+  /// Interactive API over the wire (Table 1). Updates return the version of
+  /// the resulting snapshot (kInvalidVersion on error).
+  VersionId InsEdge(VertexId src, VertexId dst, Weight w = 1);
+  VersionId DelEdge(VertexId src, VertexId dst, Weight w = 1);
+  /// Returns the fresh vertex id via out-param.
+  VersionId InsVertex(VertexId* vertex_out);
+  VersionId DelVertex(VertexId v);
+  VersionId TxnUpdates(const std::vector<Update>& updates);
+
+  /// Current value (lock-free server-side); kInfWeight conventions as local.
+  bool GetValue(uint64_t algo, VertexId v, uint64_t* out);
+  /// Historical value (serialized server-side through the sequential lane).
+  bool GetValueAt(uint64_t algo, VersionId version, VertexId v,
+                  uint64_t* out);
+  bool GetParent(uint64_t algo, VertexId v, ParentEdge* out);
+  bool GetCurrentVersion(VersionId* out);
+  bool GetModified(uint64_t algo, VersionId version,
+                   std::vector<VertexId>* out);
+  bool ReleaseHistory(VersionId version);
+
+ private:
+  /// Sends `request_` and reads the response into `response_`; returns the
+  /// payload reader positioned after the status byte, or nullopt on
+  /// transport/status failure.
+  bool Call(rpc::Status* status_out);
+
+  int fd_ = -1;
+  std::vector<uint8_t> request_;
+  std::vector<uint8_t> response_;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_NET_RPC_CLIENT_H_

@@ -1,0 +1,320 @@
+#include "net/rpc_server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace risgraph {
+
+namespace {
+
+// Blocking full-buffer I/O over a stream socket; false on EOF/error.
+bool ReadAll(int fd, void* buf, size_t len) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = ::read(fd, p, len);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const void* buf, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = ::write(fd, p, len);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+RpcServer::RpcServer(RisGraph<>& system, RisGraphService<>& service,
+                     std::string socket_path)
+    : system_(system), service_(service), socket_path_(std::move(socket_path)) {}
+
+RpcServer::~RpcServer() { Stop(); }
+
+bool RpcServer::Start(int max_clients) {
+  if (listen_fd_ >= 0) return false;
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(socket_path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  // Sessions must exist before clients arrive (OpenSession is not safe
+  // against a running coordinator), so pre-allocate the pool.
+  session_pool_.reserve(max_clients);
+  for (int i = 0; i < max_clients; ++i) {
+    session_pool_.push_back(service_.OpenSession());
+  }
+
+  stopping_.store(false);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void RpcServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  // shutdown()/close() on a listening socket does not wake a blocked
+  // accept() on every kernel; poke it with a throwaway connection instead.
+  int poke = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (poke >= 0) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path_.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::connect(poke, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::close(poke);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  // Wake handlers blocked mid-read on connections the clients never closed.
+  // Handlers remove their fd from the set before closing it, so no shutdown
+  // can hit a recycled descriptor.
+  {
+    std::lock_guard<std::mutex> g(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& t : handlers_) {
+    if (t.joinable()) t.join();
+  }
+  handlers_.clear();
+  ::close(listen_fd_);
+  ::unlink(socket_path_.c_str());
+  listen_fd_ = -1;
+}
+
+void RpcServer::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (fd >= 0) ::close(fd);  // the Stop() poke, or a raced-in client
+      return;
+    }
+    if (fd < 0) continue;
+    size_t slot = next_session_.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= session_pool_.size()) {
+      ::close(fd);  // session pool exhausted; client sees EOF
+      continue;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> g(conn_mu_);
+      conn_fds_.push_back(fd);
+    }
+    Session* session = session_pool_[slot];
+    handlers_.emplace_back(
+        [this, fd, session] { HandleConnection(fd, session); });
+  }
+}
+
+void RpcServer::HandleConnection(int fd, Session* session) {
+  std::vector<uint8_t> request;
+  std::vector<uint8_t> response;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    uint32_t len = 0;
+    if (!ReadAll(fd, &len, 4)) break;
+    if (len == 0 || len > rpc::kMaxFrameBytes) break;  // hostile or broken
+    request.resize(len);
+    if (!ReadAll(fd, request.data(), len)) break;
+
+    response.clear();
+    bool parsed = Dispatch(request.data(), len, session, response);
+    if (!parsed) {
+      // One bad frame poisons the stream (framing may be lost): answer with
+      // kBadRequest, then drop the connection.
+      response.clear();
+      rpc::Writer w(response);
+      w.U8(static_cast<uint8_t>(rpc::Status::kBadRequest));
+    }
+    uint32_t rlen = static_cast<uint32_t>(response.size());
+    if (!WriteAll(fd, &rlen, 4) ||
+        !WriteAll(fd, response.data(), response.size()) || !parsed) {
+      break;
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> g(conn_mu_);
+    for (size_t i = 0; i < conn_fds_.size(); ++i) {
+      if (conn_fds_[i] == fd) {
+        conn_fds_[i] = conn_fds_.back();
+        conn_fds_.pop_back();
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+bool RpcServer::Dispatch(const uint8_t* payload, size_t len, Session* session,
+                         std::vector<uint8_t>& response) {
+  rpc::Reader r(payload, len);
+  rpc::Writer w(response);
+  uint8_t op_raw = r.U8();
+  if (!r.ok() || op_raw > static_cast<uint8_t>(rpc::Op::kReleaseHistory)) {
+    return false;
+  }
+  auto op = static_cast<rpc::Op>(op_raw);
+  auto ok_u64 = [&](uint64_t v) {
+    w.U8(static_cast<uint8_t>(rpc::Status::kOk));
+    w.U64(v);
+  };
+  auto check_algo = [&](uint64_t algo) {
+    if (algo < system_.NumAlgorithms()) return true;
+    w.U8(static_cast<uint8_t>(rpc::Status::kError));
+    return false;
+  };
+
+  switch (op) {
+    case rpc::Op::kPing: {
+      if (!r.AtEnd()) return false;
+      w.U8(static_cast<uint8_t>(rpc::Status::kOk));
+      return true;
+    }
+    case rpc::Op::kInsEdge:
+    case rpc::Op::kDelEdge: {
+      uint64_t src = r.U64();
+      uint64_t dst = r.U64();
+      uint64_t weight = r.U64();
+      if (!r.ok() || !r.AtEnd()) return false;
+      Update u = op == rpc::Op::kInsEdge
+                     ? Update::InsertEdge(src, dst, weight)
+                     : Update::DeleteEdge(src, dst, weight);
+      if (src >= system_.store().NumVertices() ||
+          dst >= system_.store().NumVertices()) {
+        w.U8(static_cast<uint8_t>(rpc::Status::kError));
+        return true;
+      }
+      ok_u64(session->Submit(u));
+      return true;
+    }
+    case rpc::Op::kInsVertex: {
+      if (!r.AtEnd()) return false;
+      // Routed through the sequential lane so the fresh id can be returned.
+      VertexId fresh = kInvalidVertex;
+      VersionId ver = session->SubmitReadWrite(
+          [&](RwTxn& txn) { fresh = txn.InsVertex(); });
+      w.U8(static_cast<uint8_t>(rpc::Status::kOk));
+      w.U64(ver);
+      w.U64(fresh);
+      return true;
+    }
+    case rpc::Op::kDelVertex: {
+      uint64_t v = r.U64();
+      if (!r.ok() || !r.AtEnd()) return false;
+      ok_u64(session->Submit(Update::DeleteVertex(v)));
+      return true;
+    }
+    case rpc::Op::kTxn: {
+      uint32_t count = r.U32();
+      if (!r.ok() || count > 65536) return false;
+      std::vector<Update> txn(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!rpc::ReadUpdate(r, &txn[i])) return false;
+      }
+      if (!r.AtEnd()) return false;
+      ok_u64(session->SubmitTxn(std::move(txn)));
+      return true;
+    }
+    case rpc::Op::kGetValue: {
+      uint64_t algo = r.U64();
+      uint64_t v = r.U64();
+      if (!r.ok() || !r.AtEnd()) return false;
+      if (!check_algo(algo)) return true;
+      if (v >= system_.store().NumVertices()) {
+        w.U8(static_cast<uint8_t>(rpc::Status::kError));
+        return true;
+      }
+      ok_u64(system_.GetValue(algo, v));  // atomic read, lock-free
+      return true;
+    }
+    case rpc::Op::kGetValueAt: {
+      uint64_t algo = r.U64();
+      uint64_t version = r.U64();
+      uint64_t v = r.U64();
+      if (!r.ok() || !r.AtEnd()) return false;
+      if (!check_algo(algo)) return true;
+      if (v >= system_.store().NumVertices()) {
+        w.U8(static_cast<uint8_t>(rpc::Status::kError));
+        return true;
+      }
+      uint64_t value = 0;
+      session->SubmitReadWrite([&](RwTxn&) {  // history is single-writer
+        value = system_.GetValue(algo, version, v);
+      });
+      ok_u64(value);
+      return true;
+    }
+    case rpc::Op::kGetParent: {
+      uint64_t algo = r.U64();
+      uint64_t v = r.U64();
+      if (!r.ok() || !r.AtEnd()) return false;
+      if (!check_algo(algo)) return true;
+      if (v >= system_.store().NumVertices()) {
+        w.U8(static_cast<uint8_t>(rpc::Status::kError));
+        return true;
+      }
+      ParentEdge p;
+      session->SubmitReadWrite(
+          [&](RwTxn& txn) { p = txn.GetParent(algo, v); });
+      w.U8(static_cast<uint8_t>(rpc::Status::kOk));
+      w.U64(p.parent);
+      w.U64(p.weight);
+      return true;
+    }
+    case rpc::Op::kGetCurrentVersion: {
+      if (!r.AtEnd()) return false;
+      ok_u64(system_.GetCurrentVersion());
+      return true;
+    }
+    case rpc::Op::kGetModified: {
+      uint64_t algo = r.U64();
+      uint64_t version = r.U64();
+      if (!r.ok() || !r.AtEnd()) return false;
+      if (!check_algo(algo)) return true;
+      std::vector<VertexId> mods;
+      session->SubmitReadWrite([&](RwTxn&) {
+        mods = system_.GetModifiedVertices(algo, version);
+      });
+      w.U8(static_cast<uint8_t>(rpc::Status::kOk));
+      w.U32(static_cast<uint32_t>(mods.size()));
+      for (VertexId m : mods) w.U64(m);
+      return true;
+    }
+    case rpc::Op::kReleaseHistory: {
+      uint64_t version = r.U64();
+      if (!r.ok() || !r.AtEnd()) return false;
+      session->SubmitReadWrite(
+          [&](RwTxn&) { system_.ReleaseHistory(version); });
+      w.U8(static_cast<uint8_t>(rpc::Status::kOk));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace risgraph

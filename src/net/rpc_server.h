@@ -1,0 +1,83 @@
+#ifndef RISGRAPH_NET_RPC_SERVER_H_
+#define RISGRAPH_NET_RPC_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/rpc_protocol.h"
+#include "runtime/risgraph.h"
+#include "runtime/service.h"
+
+namespace risgraph {
+
+/// RPC front end over a RisGraphService: the top tier of the paper's Figure
+/// 1 architecture, serving remote clients instead of in-process ones.
+///
+/// Each accepted connection gets its own service Session (preserving the
+/// paper's session semantics: per-session FIFO order and sequential
+/// consistency) and a dedicated handler thread that decodes one request at a
+/// time — remote clients are closed-loop, exactly like the evaluation's
+/// emulated users.
+///
+/// Consistency of reads:
+///  * kGetValue / kGetCurrentVersion read lock-free server state (values are
+///    atomics), matching the "current value" fast path.
+///  * kGetValueAt / kGetParent / kGetModified touch the history store, which
+///    is single-writer — they execute as read-only read-write transactions
+///    in the sequential lane (Section 4's long-term-unsafe treatment).
+///
+/// Lifecycle: construct with a *started* service, then Start(); Stop() (or
+/// destruction) closes the listener and drains the per-client threads.
+class RpcServer {
+ public:
+  RpcServer(RisGraph<>& system, RisGraphService<>& service,
+            std::string socket_path);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Binds the Unix-domain socket and starts accepting. `max_clients` bounds
+  /// the session pool (sessions must be opened before the service runs, so
+  /// the pool is pre-allocated).
+  bool Start(int max_clients = 64);
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+  uint64_t connections_served() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd, Session* session);
+  /// Decodes and executes one request; appends the response payload.
+  /// Returns false when the frame is unparseable (connection is dropped).
+  bool Dispatch(const uint8_t* payload, size_t len, Session* session,
+                std::vector<uint8_t>& response);
+
+  RisGraph<>& system_;
+  RisGraphService<>& service_;
+  std::string socket_path_;
+
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::vector<std::thread> handlers_;
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;  // open connections (for shutdown at Stop)
+  std::vector<Session*> session_pool_;
+  std::atomic<size_t> next_session_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_NET_RPC_SERVER_H_

@@ -1,0 +1,49 @@
+#ifndef RISGRAPH_PARALLEL_PARALLEL_FOR_H_
+#define RISGRAPH_PARALLEL_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "parallel/thread_pool.h"
+
+namespace risgraph {
+
+/// Convenience wrapper: parallel loop over [0, total) calling fn(tid, i) per
+/// element, using the given pool (global pool by default).
+template <typename Fn>
+void ParallelForEach(uint64_t total, uint64_t grain, Fn&& fn,
+                     ThreadPool* pool = nullptr) {
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  p.ParallelFor(total, grain,
+                [&fn](size_t tid, uint64_t begin, uint64_t end) {
+                  for (uint64_t i = begin; i < end; ++i) fn(tid, i);
+                });
+}
+
+/// Lock-free atomic minimum: returns true if the stored value was lowered.
+template <typename T>
+bool AtomicFetchMin(std::atomic<T>& target, T value) {
+  T cur = target.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (target.compare_exchange_weak(cur, value, std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Lock-free atomic maximum: returns true if the stored value was raised.
+template <typename T>
+bool AtomicFetchMax(std::atomic<T>& target, T value) {
+  T cur = target.load(std::memory_order_relaxed);
+  while (value > cur) {
+    if (target.compare_exchange_weak(cur, value, std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_PARALLEL_PARALLEL_FOR_H_

@@ -1,0 +1,141 @@
+#include "parallel/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace risgraph {
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (size_t tid = 1; tid < num_threads_; ++tid) {
+    workers_.emplace_back([this, tid] { WorkerMain(tid); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t total, uint64_t grain,
+    const std::function<void(size_t, uint64_t, uint64_t)>& fn) {
+  if (total == 0) return;
+  if (num_threads_ == 1 || total <= grain) {
+    fn(0, 0, total);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    loop_.cursor.store(0, std::memory_order_relaxed);
+    loop_.total = total;
+    loop_.grain = grain == 0 ? 1 : grain;
+    loop_.fn = &fn;
+    loop_.once_fn = nullptr;
+    loop_.done_workers.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  RunLoop(0);
+  // Wait until all workers drained the loop (they may still be finishing
+  // their last chunk after the cursor ran out).
+  std::unique_lock<std::mutex> g(done_mu_);
+  done_cv_.wait(g, [&] {
+    return loop_.done_workers.load(std::memory_order_acquire) ==
+           num_threads_ - 1;
+  });
+  loop_.fn = nullptr;
+}
+
+void ThreadPool::RunOnAll(const std::function<void(size_t)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    loop_.fn = nullptr;
+    loop_.once_fn = &fn;
+    loop_.done_workers.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> g(done_mu_);
+  done_cv_.wait(g, [&] {
+    return loop_.done_workers.load(std::memory_order_acquire) ==
+           num_threads_ - 1;
+  });
+  loop_.once_fn = nullptr;
+}
+
+void ThreadPool::WorkerMain(size_t tid) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> g(mu_);
+      cv_.wait(g, [&] {
+        return epoch_.load(std::memory_order_acquire) != seen_epoch;
+      });
+      seen_epoch = epoch_.load(std::memory_order_acquire);
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (loop_.once_fn != nullptr) {
+      (*loop_.once_fn)(tid);
+    } else if (loop_.fn != nullptr) {
+      RunLoop(tid);
+    }
+    if (loop_.done_workers.fetch_add(1, std::memory_order_acq_rel) ==
+        num_threads_ - 2) {
+      std::lock_guard<std::mutex> g(done_mu_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::RunLoop(size_t tid) {
+  const auto& fn = *loop_.fn;
+  const uint64_t total = loop_.total;
+  const uint64_t grain = loop_.grain;
+  while (true) {
+    uint64_t begin = loop_.cursor.fetch_add(grain, std::memory_order_relaxed);
+    if (begin >= total) return;
+    uint64_t end = std::min(begin + grain, total);
+    fn(tid, begin, end);
+  }
+}
+
+namespace {
+
+size_t DefaultThreadCount() {
+  if (const char* env = std::getenv("RISGRAPH_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return static_cast<size_t>(n);
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 4 : hc;
+}
+
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool>* slot = new std::unique_ptr<ThreadPool>(
+      std::make_unique<ThreadPool>(DefaultThreadCount()));
+  return *slot;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() { return *GlobalSlot(); }
+
+void ThreadPool::ResetGlobal(size_t num_threads) {
+  GlobalSlot() = std::make_unique<ThreadPool>(
+      num_threads == 0 ? DefaultThreadCount() : num_threads);
+}
+
+}  // namespace risgraph

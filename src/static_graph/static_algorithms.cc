@@ -1,0 +1,174 @@
+#include "static_graph/static_algorithms.h"
+
+#include <algorithm>
+
+namespace risgraph {
+
+std::vector<uint64_t> DirectionOptimizingBfs(const CsrGraph& g, VertexId root,
+                                             ThreadPool* pool) {
+  if (pool == nullptr) pool = &ThreadPool::Global();
+  uint64_t n = g.num_vertices;
+  std::vector<uint64_t> dist(n, kInfWeight);
+  if (n == 0) return dist;
+  dist[root] = 0;
+
+  // GAP-style switching constants: go bottom-up when the frontier's edges
+  // exceed |E|/alpha, back top-down when the frontier shrinks below |V|/beta.
+  constexpr uint64_t kAlpha = 14;
+  constexpr uint64_t kBeta = 24;
+
+  std::vector<VertexId> frontier{root};
+  Bitmap cur_bits(n);
+  std::vector<std::atomic<uint8_t>> visited(n);
+  visited[root].store(1, std::memory_order_relaxed);
+  std::vector<std::vector<VertexId>> next_local(pool->num_threads());
+  uint64_t depth = 0;
+
+  while (!frontier.empty()) {
+    depth++;
+    uint64_t frontier_edges = 0;
+    for (VertexId v : frontier) frontier_edges += g.OutDegree(v);
+
+    bool bottom_up = g.HasTranspose() && frontier_edges > g.num_edges / kAlpha &&
+                     frontier.size() > n / kBeta;
+    for (auto& buf : next_local) buf.clear();
+
+    if (bottom_up) {
+      // Bottom-up: every unvisited vertex scans its in-edges for a parent in
+      // the current frontier (bitmap test).
+      cur_bits.Clear();
+      cur_bits.FillFrom(frontier);
+      pool->ParallelFor(n, 4096, [&](size_t tid, uint64_t b, uint64_t e) {
+        for (VertexId v = b; v < e; ++v) {
+          if (dist[v] != kInfWeight) continue;
+          for (uint64_t i = g.in_offsets[v]; i < g.in_offsets[v + 1]; ++i) {
+            if (cur_bits.Get(g.in_src[i])) {
+              dist[v] = depth;
+              visited[v].store(1, std::memory_order_relaxed);
+              next_local[tid].push_back(v);
+              break;
+            }
+          }
+        }
+      });
+    } else {
+      // Top-down: classic push with an atomic claim per destination.
+      uint64_t grain =
+          std::max<uint64_t>(1, frontier.size() / (pool->num_threads() * 8));
+      pool->ParallelFor(
+          frontier.size(), grain, [&](size_t tid, uint64_t b, uint64_t e) {
+            for (uint64_t i = b; i < e; ++i) {
+              VertexId u = frontier[i];
+              g.ForEachOut(u, [&](VertexId dst, Weight) {
+                uint8_t expect = 0;
+                if (visited[dst].compare_exchange_strong(
+                        expect, 1, std::memory_order_acq_rel)) {
+                  dist[dst] = depth;
+                  next_local[tid].push_back(dst);
+                }
+              });
+            }
+          });
+    }
+
+    frontier.clear();
+    for (auto& buf : next_local) {
+      frontier.insert(frontier.end(), buf.begin(), buf.end());
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> StaticConnectedComponents(const CsrGraph& g,
+                                                ThreadPool* pool) {
+  if (pool == nullptr) pool = &ThreadPool::Global();
+  uint64_t n = g.num_vertices;
+  std::vector<std::atomic<uint64_t>> label(n);
+  pool->ParallelFor(n, 65536, [&](size_t, uint64_t b, uint64_t e) {
+    for (VertexId v = b; v < e; ++v) {
+      label[v].store(v, std::memory_order_relaxed);
+    }
+  });
+
+  auto hook = [&](VertexId a, VertexId b) {
+    // Union by min label with lock-free retry.
+    uint64_t la = label[a].load(std::memory_order_relaxed);
+    uint64_t lb = label[b].load(std::memory_order_relaxed);
+    while (la != lb) {
+      if (la > lb) {
+        if (label[a].compare_exchange_weak(la, lb,
+                                           std::memory_order_acq_rel)) {
+          return true;
+        }
+      } else {
+        if (label[b].compare_exchange_weak(lb, la,
+                                           std::memory_order_acq_rel)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
+    pool->ParallelFor(n, 1024, [&](size_t, uint64_t b, uint64_t e) {
+      bool local = false;
+      for (VertexId v = b; v < e; ++v) {
+        g.ForEachOut(v, [&](VertexId dst, Weight) { local |= hook(v, dst); });
+      }
+      if (local) changed.store(true, std::memory_order_relaxed);
+    });
+    // Pointer jumping: compress label chains so propagation converges in
+    // O(log n) rounds instead of O(diameter).
+    pool->ParallelFor(n, 65536, [&](size_t, uint64_t b, uint64_t e) {
+      bool local = false;
+      for (VertexId v = b; v < e; ++v) {
+        uint64_t l = label[v].load(std::memory_order_relaxed);
+        uint64_t ll = label[l].load(std::memory_order_relaxed);
+        while (ll < l) {
+          label[v].store(ll, std::memory_order_relaxed);
+          local = true;
+          l = ll;
+          ll = label[l].load(std::memory_order_relaxed);
+        }
+      }
+      if (local) changed.store(true, std::memory_order_relaxed);
+    });
+  }
+
+  std::vector<uint64_t> out(n);
+  for (VertexId v = 0; v < n; ++v) {
+    out[v] = label[v].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+GraphStats ComputeStats(const CsrGraph& g, VertexId root, ThreadPool* pool) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices;
+  s.num_edges = g.num_edges;
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    s.max_out_degree = std::max(s.max_out_degree, g.OutDegree(v));
+  }
+  s.mean_out_degree = g.num_vertices == 0
+                          ? 0.0
+                          : static_cast<double>(g.num_edges) /
+                                static_cast<double>(g.num_vertices);
+
+  auto dist = DirectionOptimizingBfs(g, root, pool);
+  for (uint64_t d : dist) {
+    if (d != kInfWeight) s.reachable_from_root++;
+  }
+
+  auto cc = StaticConnectedComponents(g, pool);
+  uint64_t components = 0;
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    if (cc[v] == v) components++;
+  }
+  s.num_components = components;
+  return s;
+}
+
+}  // namespace risgraph

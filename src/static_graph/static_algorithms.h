@@ -1,0 +1,114 @@
+#ifndef RISGRAPH_STATIC_GRAPH_STATIC_ALGORITHMS_H_
+#define RISGRAPH_STATIC_GRAPH_STATIC_ALGORITHMS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/algorithm_api.h"
+#include "core/sparse_array.h"
+#include "parallel/thread_pool.h"
+#include "static_graph/csr.h"
+
+namespace risgraph {
+
+/// Whole-graph parallel fixpoint of any MonotonicAlgorithm over a CSR
+/// snapshot — the "recompute from scratch" regime the paper contrasts with
+/// incremental maintenance (Sections 3.2 and 6.4). Frontier-based label
+/// correction with lock-free atomic adoption of better values.
+template <MonotonicAlgorithm Algo>
+std::vector<uint64_t> StaticCompute(const CsrGraph& g, VertexId root,
+                                    ThreadPool* pool = nullptr) {
+  if (pool == nullptr) pool = &ThreadPool::Global();
+  uint64_t n = g.num_vertices;
+  std::vector<std::atomic<uint64_t>> values(n);
+  pool->ParallelFor(n, 4096, [&](size_t, uint64_t b, uint64_t e) {
+    for (VertexId v = b; v < e; ++v) {
+      values[v].store(Algo::InitValue(v, root), std::memory_order_relaxed);
+    }
+  });
+
+  SparseFrontier frontier(pool->num_threads());
+  GenerationMarks queued(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (Algo::IsReached(values[v].load(std::memory_order_relaxed)) &&
+        queued.Claim(v)) {
+      frontier.Append(0, v, 0);
+    }
+  }
+
+  // Lock-free monotone adoption: retry the CAS while our candidate is still
+  // an improvement. Parent tracking is not needed for snapshot analytics.
+  auto relax = [&](size_t tid, VertexId to, uint64_t cand) {
+    uint64_t cur = values[to].load(std::memory_order_relaxed);
+    while (Algo::NeedUpdate(cur, cand)) {
+      if (values[to].compare_exchange_weak(cur, cand,
+                                           std::memory_order_acq_rel)) {
+        if (queued.Claim(to)) frontier.Append(tid, to, 0);
+        return;
+      }
+    }
+  };
+
+  std::vector<VertexId> cur;
+  frontier.Drain(cur);
+  while (!cur.empty()) {
+    queued.NextGeneration();
+    uint64_t grain = std::max<uint64_t>(1, cur.size() / (pool->num_threads() * 8));
+    pool->ParallelFor(cur.size(), grain, [&](size_t tid, uint64_t b,
+                                             uint64_t e) {
+      for (uint64_t i = b; i < e; ++i) {
+        VertexId u = cur[i];
+        uint64_t uv = values[u].load(std::memory_order_relaxed);
+        if (!Algo::IsReached(uv)) continue;
+        g.ForEachOut(u, [&](VertexId dst, Weight w) {
+          relax(tid, dst, Algo::GenNext(w, uv));
+        });
+        if constexpr (Algo::kUndirected) {
+          g.ForEachIn(u, [&](VertexId src, Weight w) {
+            relax(tid, src, Algo::GenNext(w, uv));
+          });
+        }
+      }
+    });
+    frontier.Drain(cur);
+  }
+
+  std::vector<uint64_t> out(n);
+  for (VertexId v = 0; v < n; ++v) {
+    out[v] = values[v].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+/// Direction-optimizing BFS (Beamer et al., the technique cited by the
+/// paper's push/pull discussion in Section 3.2): top-down while the frontier
+/// is small, bottom-up (scan unvisited vertices' in-edges) once the frontier
+/// covers a large fraction of the edges. Requires the transpose. Returns hop
+/// distances (kInfWeight = unreached).
+std::vector<uint64_t> DirectionOptimizingBfs(const CsrGraph& g, VertexId root,
+                                             ThreadPool* pool = nullptr);
+
+/// Connected components by label propagation with pointer-jumping shortcuts
+/// (afforest-style sampling skipped for clarity). Treats edges as undirected;
+/// returns the min vertex id per component — identical output to Wcc.
+std::vector<uint64_t> StaticConnectedComponents(const CsrGraph& g,
+                                                ThreadPool* pool = nullptr);
+
+/// Snapshot statistics used by examples and Table 3 reporting.
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t max_out_degree = 0;
+  double mean_out_degree = 0;
+  uint64_t reachable_from_root = 0;  // via directed BFS
+  uint64_t num_components = 0;       // undirected
+};
+
+GraphStats ComputeStats(const CsrGraph& g, VertexId root,
+                        ThreadPool* pool = nullptr);
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_STATIC_GRAPH_STATIC_ALGORITHMS_H_

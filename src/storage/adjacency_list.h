@@ -1,0 +1,244 @@
+#ifndef RISGRAPH_STORAGE_ADJACENCY_LIST_H_
+#define RISGRAPH_STORAGE_ADJACENCY_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace risgraph {
+
+/// One live adjacency entry: a distinct (dst, weight) key plus the number of
+/// duplicate edges sharing it (Section 5: adjacency lists "consist of the
+/// destination vertex IDs, the weight of each edge and the number of
+/// duplicated edges"). count == 0 marks a tombstone.
+struct AdjEntry {
+  VertexId dst = kInvalidVertex;
+  Weight weight = 0;
+  uint64_t count = 0;
+};
+
+/// Outcome of a deletion against one adjacency list.
+enum class DeleteResult : uint8_t {
+  kNotFound,     // no such (dst, weight) edge
+  kDecremented,  // a duplicate was removed; the key is still present
+  kRemoved,      // the last duplicate was removed; the key is gone
+};
+
+/// One vertex's Indexed Adjacency List (paper Section 3.1 / Figure 3).
+///
+/// Edges live in a dynamic array that doubles when full, keeping all
+/// out-edges contiguous for analysis. Deletions tombstone in place; tombs are
+/// recycled (and the index rebuilt) when the array would otherwise double.
+/// Once the number of live keys exceeds `index_threshold`, a (dst, weight) ->
+/// offset index accelerates point lookups to average O(1) (hash) — low-degree
+/// vertices skip the index to save memory, which is the paper's
+/// memory/performance trade-off (threshold 512 by default).
+///
+/// With kIndexOnly = true the array is dropped entirely and edges live only
+/// in the index, keyed to their duplicate count — the "IO" configuration of
+/// Table 8.
+///
+/// EdgeArray is the dynamic-array implementation: std::vector by default,
+/// ArenaVector<AdjEntry> for the out-of-core prototype (Section 6.3), which
+/// places the bulk edge storage in a file-backed mmap arena.
+template <typename IndexT, bool kIndexOnly = false,
+          typename EdgeArray = std::vector<AdjEntry>>
+class AdjacencyList {
+ public:
+  explicit AdjacencyList(uint32_t index_threshold = 512)
+      : index_threshold_(index_threshold) {}
+
+  /// Adjusts the indexing threshold. The graph store calls this right after
+  /// slot creation (slots are default-constructed in bulk segments).
+  void SetIndexThreshold(uint32_t threshold) { index_threshold_ = threshold; }
+
+  /// Number of distinct live (dst, weight) keys.
+  uint64_t LiveKeys() const { return live_; }
+
+  /// Total live edges including duplicates.
+  uint64_t TotalEdges() const { return total_; }
+
+  /// Inserts one edge; returns true if it created a new key (false if it only
+  /// bumped a duplicate count).
+  bool Insert(EdgeKey key) {
+    total_++;
+    if constexpr (kIndexOnly) {
+      EnsureIndex();
+      if (uint64_t* cnt = index_->Find(key)) {
+        (*cnt)++;
+        return false;
+      }
+      index_->Insert(key, 1);
+      live_++;
+      return true;
+    } else {
+      if (AdjEntry* e = Locate(key)) {
+        e->count++;
+        return false;
+      }
+      Append(key);
+      live_++;
+      return true;
+    }
+  }
+
+  /// Deletes one edge (one duplicate).
+  DeleteResult Delete(EdgeKey key) {
+    if constexpr (kIndexOnly) {
+      if (index_ == nullptr) return DeleteResult::kNotFound;
+      uint64_t* cnt = index_->Find(key);
+      if (cnt == nullptr) return DeleteResult::kNotFound;
+      total_--;
+      if (*cnt > 1) {
+        (*cnt)--;
+        return DeleteResult::kDecremented;
+      }
+      index_->Erase(key);
+      live_--;
+      return DeleteResult::kRemoved;
+    } else {
+      AdjEntry* e = Locate(key);
+      if (e == nullptr) return DeleteResult::kNotFound;
+      total_--;
+      if (e->count > 1) {
+        e->count--;
+        return DeleteResult::kDecremented;
+      }
+      e->count = 0;  // tombstone; recycled at the next doubling
+      tombstones_++;
+      live_--;
+      if (index_ != nullptr) index_->Erase(key);
+      return DeleteResult::kRemoved;
+    }
+  }
+
+  /// Duplicate count for a key (0 if absent).
+  uint64_t Count(EdgeKey key) const {
+    if constexpr (kIndexOnly) {
+      if (index_ == nullptr) return 0;
+      const uint64_t* cnt = index_->Find(key);
+      return cnt == nullptr ? 0 : *cnt;
+    } else {
+      const AdjEntry* e = Locate(key);
+      return e == nullptr ? 0 : e->count;
+    }
+  }
+
+  /// Visits each distinct live edge as fn(dst, weight, duplicate_count).
+  /// In IA mode this scans the contiguous array without touching the index
+  /// ("indexes do not hurt analyzing performance", Section 3.1).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if constexpr (kIndexOnly) {
+      if (index_ == nullptr) return;
+      index_->ForEach(
+          [&fn](EdgeKey key, uint64_t count) { fn(key.dst, key.weight, count); });
+    } else {
+      for (const AdjEntry& e : edges_) {
+        if (e.count > 0) fn(e.dst, e.weight, e.count);
+      }
+    }
+  }
+
+  bool HasIndex() const { return index_ != nullptr; }
+
+  /// Whether raw slot access (needed by edge-parallel push) is available.
+  static constexpr bool kHasRawSlots = !kIndexOnly;
+
+  /// Raw array size including tombstones (IA mode only; 0 in IO mode).
+  /// Edge-parallel push partitions raw slots across threads and skips
+  /// tombstones inline.
+  size_t RawSize() const {
+    if constexpr (kIndexOnly) {
+      return 0;
+    } else {
+      return edges_.size();
+    }
+  }
+
+  const AdjEntry& RawEntry(size_t i) const {
+    static constexpr AdjEntry kNone{};
+    if constexpr (kIndexOnly) {
+      return kNone;
+    } else {
+      return edges_[i];
+    }
+  }
+
+  size_t MemoryBytes() const {
+    size_t bytes = edges_.capacity() * sizeof(AdjEntry) + sizeof(*this);
+    if (index_ != nullptr) bytes += index_->MemoryBytes();
+    return bytes;
+  }
+
+ private:
+  AdjEntry* Locate(EdgeKey key) {
+    if (index_ != nullptr) {
+      uint64_t* off = index_->Find(key);
+      return off == nullptr ? nullptr : &edges_[*off];
+    }
+    for (AdjEntry& e : edges_) {
+      if (e.count > 0 && e.dst == key.dst && e.weight == key.weight) return &e;
+    }
+    return nullptr;
+  }
+  const AdjEntry* Locate(EdgeKey key) const {
+    return const_cast<AdjacencyList*>(this)->Locate(key);
+  }
+
+  void Append(EdgeKey key) {
+    if (edges_.size() == edges_.capacity()) {
+      if (tombstones_ > 0) {
+        Compact();
+      } else {
+        edges_.reserve(edges_.empty() ? 4 : edges_.capacity() * 2);
+      }
+    }
+    edges_.push_back(AdjEntry{key.dst, key.weight, 1});
+    if (index_ != nullptr) {
+      index_->Insert(key, edges_.size() - 1);
+    } else if (live_ + 1 > index_threshold_) {
+      BuildIndex();
+    }
+  }
+
+  // Drops tombstones in place and rebuilds the index over new offsets — the
+  // paper's "recycle them and their indexes when doubling".
+  void Compact() {
+    size_t w = 0;
+    for (size_t r = 0; r < edges_.size(); ++r) {
+      if (edges_[r].count > 0) edges_[w++] = edges_[r];
+    }
+    edges_.resize(w);
+    tombstones_ = 0;
+    if (index_ != nullptr) BuildIndex();
+  }
+
+  void BuildIndex() {
+    if (index_ == nullptr) index_ = std::make_unique<IndexT>();
+    index_->Clear();
+    for (size_t i = 0; i < edges_.size(); ++i) {
+      if (edges_[i].count > 0) {
+        index_->Insert(EdgeKey{edges_[i].dst, edges_[i].weight}, i);
+      }
+    }
+  }
+
+  void EnsureIndex() {
+    if (index_ == nullptr) index_ = std::make_unique<IndexT>();
+  }
+
+  EdgeArray edges_;                // unused in IO mode
+  std::unique_ptr<IndexT> index_;  // lazy: only hubs carry one in IA mode
+  uint64_t live_ = 0;
+  uint64_t total_ = 0;
+  uint64_t tombstones_ = 0;
+  uint32_t index_threshold_;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_STORAGE_ADJACENCY_LIST_H_

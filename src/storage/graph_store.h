@@ -1,0 +1,212 @@
+#ifndef RISGRAPH_STORAGE_GRAPH_STORE_H_
+#define RISGRAPH_STORAGE_GRAPH_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "common/stable_vector.h"
+#include "common/types.h"
+#include "index/hash_index.h"
+#include "storage/adjacency_list.h"
+
+namespace risgraph {
+
+/// Graph store configuration.
+struct StoreOptions {
+  /// Degree above which a per-vertex edge index is built (Section 5: "in our
+  /// implementations, the threshold is 512").
+  uint32_t index_threshold = 512;
+  /// Keep a transpose (in-edge) graph. Required by the incremental model's
+  /// deletion path; can be disabled for ingest-only microbenchmarks.
+  bool keep_transpose = true;
+};
+
+/// The in-memory graph store: one Indexed Adjacency List per vertex for
+/// out-edges plus (optionally) one for in-edges (the transpose required by
+/// the incremental model, Section 5).
+///
+/// Thread-safety: edge mutations take the source vertex's out-lock and then
+/// the destination's in-lock (two disjoint lock families acquired in a fixed
+/// order, so no deadlock). Concurrent mutations of *different* vertices
+/// proceed in parallel — this is what makes parallel safe-update execution
+/// possible (Section 4). Readers of the adjacency lists must not run
+/// concurrently with writers; RisGraph's epoch loop guarantees that by
+/// separating the parallel safe phase from analysis.
+template <typename IndexT = HashIndex, bool kIndexOnly = false,
+          typename EdgeArray = std::vector<AdjEntry>>
+class GraphStore {
+ public:
+  using Adjacency = AdjacencyList<IndexT, kIndexOnly, EdgeArray>;
+
+  explicit GraphStore(uint64_t num_vertices = 0, StoreOptions options = {})
+      : options_(options) {
+    EnsureVertices(num_vertices);
+  }
+
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  const StoreOptions& options() const { return options_; }
+
+  //===------------------------------------------------------------------===//
+  // Vertex management
+  //===------------------------------------------------------------------===//
+
+  uint64_t NumVertices() const { return out_.size(); }
+
+  /// Grows the vertex set to at least n vertices (bulk-load path).
+  void EnsureVertices(uint64_t n) {
+    size_t old = out_.size();
+    out_.Resize(n);
+    if (options_.keep_transpose) in_.Resize(n);
+    for (size_t v = old; v < n; ++v) {
+      out_[v].adj.SetIndexThreshold(options_.index_threshold);
+      if (options_.keep_transpose) {
+        in_[v].adj.SetIndexThreshold(options_.index_threshold);
+      }
+    }
+  }
+
+  /// Allocates a vertex ID — recycled from the deleted pool when available,
+  /// fresh otherwise (Section 5). Thread-safe.
+  VertexId AddVertex() {
+    std::lock_guard<std::mutex> g(vertex_mu_);
+    if (!recycled_.empty()) {
+      VertexId v = recycled_.back();
+      recycled_.pop_back();
+      return v;
+    }
+    size_t v = out_.EmplaceBack();
+    if (options_.keep_transpose) in_.EmplaceBack();
+    out_[v].adj.SetIndexThreshold(options_.index_threshold);
+    if (options_.keep_transpose) {
+      in_[v].adj.SetIndexThreshold(options_.index_threshold);
+    }
+    return v;
+  }
+
+  /// Deletes a vertex. Valid only for isolated vertices (the paper requires
+  /// users to delete incident edges first); returns false otherwise.
+  bool RemoveVertex(VertexId v) {
+    if (v >= out_.size()) return false;
+    if (out_[v].adj.LiveKeys() != 0) return false;
+    if (options_.keep_transpose && in_[v].adj.LiveKeys() != 0) return false;
+    std::lock_guard<std::mutex> g(vertex_mu_);
+    recycled_.push_back(v);
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Edge mutations (thread-safe across distinct vertices)
+  //===------------------------------------------------------------------===//
+
+  /// Inserts one directed edge; returns true if a new (dst, weight) key was
+  /// created (false = duplicate count bump).
+  bool InsertEdge(const Edge& e) {
+    bool fresh;
+    {
+      SpinLockGuard g(out_[e.src].lock);
+      fresh = out_[e.src].adj.Insert(EdgeKey{e.dst, e.weight});
+    }
+    if (options_.keep_transpose) {
+      SpinLockGuard g(in_[e.dst].lock);
+      in_[e.dst].adj.Insert(EdgeKey{e.src, e.weight});
+    }
+    num_edges_.fetch_add(1, std::memory_order_relaxed);
+    return fresh;
+  }
+
+  /// Deletes one directed edge (one duplicate).
+  DeleteResult DeleteEdge(const Edge& e) {
+    DeleteResult r;
+    {
+      SpinLockGuard g(out_[e.src].lock);
+      r = out_[e.src].adj.Delete(EdgeKey{e.dst, e.weight});
+    }
+    if (r == DeleteResult::kNotFound) return r;
+    if (options_.keep_transpose) {
+      SpinLockGuard g(in_[e.dst].lock);
+      in_[e.dst].adj.Delete(EdgeKey{e.src, e.weight});
+    }
+    num_edges_.fetch_sub(1, std::memory_order_relaxed);
+    return r;
+  }
+
+  /// Duplicate count of an edge key (0 = absent).
+  uint64_t EdgeCount(VertexId src, EdgeKey key) const {
+    return out_[src].adj.Count(key);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Analysis accessors (single-writer phases only)
+  //===------------------------------------------------------------------===//
+
+  /// Visits every distinct out-edge of v as fn(dst, weight, dup_count).
+  template <typename Fn>
+  void ForEachOut(VertexId v, Fn&& fn) const {
+    out_[v].adj.ForEach(fn);
+  }
+
+  /// Visits every distinct in-edge of v as fn(src, weight, dup_count).
+  template <typename Fn>
+  void ForEachIn(VertexId v, Fn&& fn) const {
+    in_[v].adj.ForEach(fn);
+  }
+
+  uint64_t OutDegree(VertexId v) const { return out_[v].adj.LiveKeys(); }
+  uint64_t InDegree(VertexId v) const {
+    return options_.keep_transpose ? in_[v].adj.LiveKeys() : 0;
+  }
+
+  /// Raw adjacency slot access for edge-parallel push (IA mode only).
+  static constexpr bool kHasRawSlots = Adjacency::kHasRawSlots;
+  size_t RawOutSize(VertexId v) const { return out_[v].adj.RawSize(); }
+  const AdjEntry& RawOutEntry(VertexId v, size_t i) const {
+    return out_[v].adj.RawEntry(i);
+  }
+  size_t RawInSize(VertexId v) const { return in_[v].adj.RawSize(); }
+  const AdjEntry& RawInEntry(VertexId v, size_t i) const {
+    return in_[v].adj.RawEntry(i);
+  }
+
+  /// Total directed edges including duplicates.
+  uint64_t NumEdges() const {
+    return num_edges_.load(std::memory_order_relaxed);
+  }
+
+  size_t MemoryBytes() const {
+    size_t bytes = 0;
+    for (size_t v = 0; v < out_.size(); ++v) bytes += out_[v].adj.MemoryBytes();
+    if (options_.keep_transpose) {
+      for (size_t v = 0; v < in_.size(); ++v) bytes += in_[v].adj.MemoryBytes();
+    }
+    return bytes + out_.MemoryBytes() +
+           (options_.keep_transpose ? in_.MemoryBytes() : 0);
+  }
+
+ private:
+  struct VertexSlot {
+    SpinLock lock;
+    Adjacency adj;
+  };
+
+  StoreOptions options_;
+  StableVector<VertexSlot> out_;
+  StableVector<VertexSlot> in_;
+  std::atomic<uint64_t> num_edges_{0};
+
+  std::mutex vertex_mu_;
+  std::vector<VertexId> recycled_;
+};
+
+/// The configuration RisGraph ships by default: Indexed Adjacency Lists with
+/// a hash index ("IA_Hash", the winner of Table 8).
+using DefaultGraphStore = GraphStore<HashIndex, false>;
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_STORAGE_GRAPH_STORE_H_

@@ -1,0 +1,215 @@
+#ifndef RISGRAPH_STORAGE_MMAP_ARENA_H_
+#define RISGRAPH_STORAGE_MMAP_ARENA_H_
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace risgraph {
+
+/// File-backed bump allocator for the out-of-core prototype (paper Section
+/// 6.3: "We use mmap to build a prototype that swaps to an SSD").
+///
+/// The arena mmaps a sparse file with MAP_SHARED, so allocations beyond
+/// physical memory swap to the backing device under pressure instead of
+/// OOM-ing — exactly the paper's scaling experiment. Allocation is a
+/// thread-safe atomic bump (parallel safe updates insert edges
+/// concurrently); freed blocks are not reclaimed, which matches the
+/// prototype scope: adjacency arrays grow by doubling, so abandoned
+/// generations are bounded by ~1x the final footprint.
+class MmapArena {
+ public:
+  MmapArena() = default;
+  ~MmapArena() { Close(); }
+
+  MmapArena(const MmapArena&) = delete;
+  MmapArena& operator=(const MmapArena&) = delete;
+
+  /// Creates (truncating) the backing file and maps `capacity_bytes` of it.
+  /// The file is sparse: untouched pages occupy no disk space.
+  bool Open(const std::string& path, size_t capacity_bytes) {
+    Close();
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return false;
+    if (::ftruncate(fd, static_cast<off_t>(capacity_bytes)) != 0) {
+      ::close(fd);
+      return false;
+    }
+    void* base = ::mmap(nullptr, capacity_bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, fd, 0);
+    ::close(fd);  // the mapping keeps the file alive
+    if (base == MAP_FAILED) return false;
+    base_ = static_cast<uint8_t*>(base);
+    capacity_ = capacity_bytes;
+    offset_.store(0, std::memory_order_relaxed);
+    path_ = path;
+    return true;
+  }
+
+  void Close() {
+    if (base_ != nullptr) {
+      ::munmap(base_, capacity_);
+      base_ = nullptr;
+      capacity_ = 0;
+    }
+  }
+
+  bool IsOpen() const { return base_ != nullptr; }
+  const std::string& path() const { return path_; }
+  size_t capacity() const { return capacity_; }
+  size_t allocated() const { return offset_.load(std::memory_order_relaxed); }
+
+  /// Thread-safe bump allocation; nullptr once the arena is exhausted
+  /// (callers fall back to the heap and count the event).
+  void* Allocate(size_t bytes, size_t align = 16) {
+    if (base_ == nullptr || bytes == 0) return nullptr;
+    size_t cur = offset_.load(std::memory_order_relaxed);
+    while (true) {
+      size_t aligned = (cur + align - 1) & ~(align - 1);
+      size_t next = aligned + bytes;
+      if (next > capacity_) return nullptr;
+      if (offset_.compare_exchange_weak(cur, next,
+                                        std::memory_order_acq_rel)) {
+        return base_ + aligned;
+      }
+    }
+  }
+
+  /// The arena ArenaVector instances allocate from (nullptr = heap).
+  /// Set once before building the out-of-core store; not synchronized
+  /// against in-flight allocations.
+  static MmapArena* GlobalEdgeArena() { return global_; }
+  static void SetGlobalEdgeArena(MmapArena* arena) { global_ = arena; }
+
+ private:
+  static inline MmapArena* global_ = nullptr;
+
+  uint8_t* base_ = nullptr;
+  size_t capacity_ = 0;
+  std::atomic<size_t> offset_{0};
+  std::string path_;
+};
+
+/// RAII installer for the global edge arena.
+class ScopedEdgeArena {
+ public:
+  explicit ScopedEdgeArena(MmapArena* arena)
+      : previous_(MmapArena::GlobalEdgeArena()) {
+    MmapArena::SetGlobalEdgeArena(arena);
+  }
+  ~ScopedEdgeArena() { MmapArena::SetGlobalEdgeArena(previous_); }
+
+  ScopedEdgeArena(const ScopedEdgeArena&) = delete;
+  ScopedEdgeArena& operator=(const ScopedEdgeArena&) = delete;
+
+ private:
+  MmapArena* previous_;
+};
+
+/// Minimal vector over trivially-copyable elements whose buffers come from
+/// the global MmapArena (heap when none is installed, or once the arena is
+/// exhausted). Drop-in for the std::vector subset AdjacencyList uses, so
+/// `GraphStore<BTreeIndex, false, ArenaVector<AdjEntry>>` is the paper's
+/// out-of-core IA_BTree configuration.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "arena buffers are grown by memcpy");
+
+ public:
+  ArenaVector() = default;
+  ~ArenaVector() {
+    if (heap_) delete[] reinterpret_cast<uint8_t*>(data_);
+  }
+
+  ArenaVector(const ArenaVector&) = delete;
+  ArenaVector& operator=(const ArenaVector&) = delete;
+  ArenaVector(ArenaVector&& other) noexcept { *this = std::move(other); }
+  ArenaVector& operator=(ArenaVector&& other) noexcept {
+    if (this != &other) {
+      if (heap_) delete[] reinterpret_cast<uint8_t*>(data_);
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      heap_ = other.heap_;
+      other.data_ = nullptr;
+      other.size_ = other.capacity_ = 0;
+      other.heap_ = false;
+    }
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) reserve(capacity_ == 0 ? 4 : capacity_ * 2);
+    data_[size_++] = value;
+  }
+
+  /// Shrinking keeps capacity (matching the adjacency list's compaction);
+  /// growing value-initializes the new tail.
+  void resize(size_t n) {
+    if (n > capacity_) reserve(n);
+    if (n > size_) std::memset(data_ + size_, 0, (n - size_) * sizeof(T));
+    size_ = n;
+  }
+
+  void reserve(size_t n) {
+    if (n <= capacity_) return;
+    bool new_heap = false;
+    T* fresh = nullptr;
+    if (MmapArena* arena = MmapArena::GlobalEdgeArena()) {
+      fresh = static_cast<T*>(arena->Allocate(n * sizeof(T), alignof(T)));
+      if (fresh == nullptr) {  // arena installed but exhausted
+        heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (fresh == nullptr) {
+      fresh = reinterpret_cast<T*>(new uint8_t[n * sizeof(T)]);
+      new_heap = true;
+    }
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    if (heap_) delete[] reinterpret_cast<uint8_t*>(data_);
+    data_ = fresh;
+    capacity_ = n;
+    heap_ = new_heap;
+  }
+
+  /// Process-wide count of allocations that could not be served by the
+  /// arena (diagnosis for under-provisioned arena files).
+  static uint64_t heap_fallbacks() {
+    return heap_fallbacks_.load(std::memory_order_relaxed);
+  }
+  static void reset_heap_fallbacks() {
+    heap_fallbacks_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static inline std::atomic<uint64_t> heap_fallbacks_{0};
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+  bool heap_ = false;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_STORAGE_MMAP_ARENA_H_

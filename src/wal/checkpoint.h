@@ -1,0 +1,124 @@
+#ifndef RISGRAPH_WAL_CHECKPOINT_H_
+#define RISGRAPH_WAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/types.h"
+#include "wal/wal.h"
+
+namespace risgraph {
+
+/// Binary graph-store snapshots. A checkpoint bounds recovery time: load the
+/// snapshot, then replay only the WAL records with LSN > checkpoint LSN
+/// (classic checkpoint + log-tail recovery; complements WriteAheadLog).
+///
+/// Format (little-endian):
+///   header : magic(8) format_version(4) pad(4) last_lsn(8) num_vertices(8)
+///            num_entries(8)
+///   entries: src(8) dst(8) weight(8) count(8) per distinct edge key
+///   trailer: crc32c over everything above (4)
+namespace checkpoint_internal {
+inline constexpr uint64_t kMagic = 0x52495347435031ULL;  // "RISGCP1"
+inline constexpr uint32_t kFormatVersion = 1;
+}  // namespace checkpoint_internal
+
+/// Serializes `store` (current graph, duplicate counts included) plus the
+/// WAL position `last_lsn` it reflects. Returns false on I/O failure.
+template <typename Store>
+bool WriteCheckpoint(const Store& store, uint64_t last_lsn,
+                     const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  uint32_t crc = 0;
+  auto put = [&](const void* data, size_t len) {
+    crc = Crc32c(data, len, crc);
+    return std::fwrite(data, 1, len, f) == len;
+  };
+  uint64_t num_vertices = store.NumVertices();
+  // First pass: count distinct live keys.
+  uint64_t num_entries = 0;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    store.ForEachOut(v, [&](VertexId, Weight, uint64_t) { num_entries++; });
+  }
+  bool ok = true;
+  uint64_t magic = checkpoint_internal::kMagic;
+  uint32_t version = checkpoint_internal::kFormatVersion;
+  uint32_t pad = 0;
+  ok &= put(&magic, 8);
+  ok &= put(&version, 4);
+  ok &= put(&pad, 4);
+  ok &= put(&last_lsn, 8);
+  ok &= put(&num_vertices, 8);
+  ok &= put(&num_entries, 8);
+  for (VertexId v = 0; v < num_vertices && ok; ++v) {
+    store.ForEachOut(v, [&](VertexId dst, Weight w, uint64_t count) {
+      uint64_t rec[4] = {v, dst, w, count};
+      ok &= put(rec, sizeof(rec));
+    });
+  }
+  ok &= std::fwrite(&crc, 1, 4, f) == 4;
+  ok &= std::fclose(f) == 0;
+  return ok;
+}
+
+/// Result of loading a checkpoint.
+struct CheckpointInfo {
+  bool ok = false;
+  uint64_t last_lsn = 0;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;  // including duplicates
+};
+
+/// Loads a checkpoint into an empty store (EnsureVertices + InsertEdge).
+/// Validates magic, version and CRC; any mismatch returns ok=false without
+/// touching conclusions (the store may be partially filled on corruption —
+/// recover into a fresh store).
+template <typename Store>
+CheckpointInfo LoadCheckpoint(Store& store, const std::string& path) {
+  CheckpointInfo info;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return info;
+  uint32_t crc = 0;
+  auto get = [&](void* data, size_t len) {
+    if (std::fread(data, 1, len, f) != len) return false;
+    crc = Crc32c(data, len, crc);
+    return true;
+  };
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t pad = 0;
+  uint64_t num_entries = 0;
+  bool ok = get(&magic, 8) && get(&version, 4) && get(&pad, 4) &&
+            get(&info.last_lsn, 8) && get(&info.num_vertices, 8) &&
+            get(&num_entries, 8);
+  if (!ok || magic != checkpoint_internal::kMagic ||
+      version != checkpoint_internal::kFormatVersion) {
+    std::fclose(f);
+    return info;
+  }
+  store.EnsureVertices(info.num_vertices);
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    uint64_t rec[4];
+    if (!get(rec, sizeof(rec))) {
+      std::fclose(f);
+      return info;
+    }
+    for (uint64_t dup = 0; dup < rec[3]; ++dup) {
+      store.InsertEdge(Edge{rec[0], rec[1], rec[2]});
+      info.num_edges++;
+    }
+  }
+  uint32_t stored_crc = 0;
+  bool tail_ok = std::fread(&stored_crc, 1, 4, f) == 4;
+  std::fclose(f);
+  if (!tail_ok || stored_crc != crc) return info;
+  info.ok = true;
+  return info;
+}
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_WAL_CHECKPOINT_H_

@@ -1,0 +1,94 @@
+#ifndef RISGRAPH_WAL_RECOVERY_H_
+#define RISGRAPH_WAL_RECOVERY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "runtime/risgraph.h"
+#include "wal/checkpoint.h"
+#include "wal/wal.h"
+
+namespace risgraph {
+
+/// Checkpoint + log-tail recovery and log compaction for a durable RisGraph
+/// instance. Ties together WriteAheadLog (wal.h) and the graph-store
+/// snapshot format (checkpoint.h) into the classic flow:
+///
+///   crash recovery:  load checkpoint -> replay WAL records with
+///                    lsn >= checkpoint LSN -> continue the LSN sequence
+///   compaction:      write checkpoint at the current LSN -> truncate the WAL
+///
+/// Usage after a crash (paths as before the crash):
+///
+///   RisGraphOptions opt;
+///   opt.wal_path = wal_path;                 // reopened for appending
+///   RisGraph<> sys(0, opt);
+///   RecoveryResult r = RecoverRisGraph(sys, ckpt_path, wal_path);
+///   sys.AddAlgorithm<Bfs>(root);             // register algorithms *after*
+///   sys.InitializeResults();                 // recovery, then recompute
+struct RecoveryResult {
+  bool checkpoint_loaded = false;
+  uint64_t replayed_records = 0;
+  /// First LSN new appends will use (continues the pre-crash sequence).
+  uint64_t next_lsn = 0;
+};
+
+/// Rebuilds `sys`'s graph store from the checkpoint (when present and
+/// intact) plus the WAL tail, and repositions the system's WAL LSN. Must run
+/// before algorithms are registered; results are recomputed from the
+/// recovered store by InitializeResults.
+template <typename Store>
+RecoveryResult RecoverRisGraph(RisGraph<Store>& sys,
+                               const std::string& checkpoint_path,
+                               const std::string& wal_path) {
+  RecoveryResult result;
+  uint64_t floor_lsn = 0;
+  CheckpointInfo info = LoadCheckpoint(sys.store(), checkpoint_path);
+  if (info.ok) {
+    result.checkpoint_loaded = true;
+    floor_lsn = info.last_lsn;
+  }
+  result.next_lsn = floor_lsn;
+
+  WriteAheadLog::Replay(wal_path, [&](const WalRecord& r) {
+    result.next_lsn = std::max(result.next_lsn, r.lsn + 1);
+    if (r.lsn < floor_lsn) return;  // already inside the checkpoint
+    result.replayed_records++;
+    switch (r.update.kind) {
+      case UpdateKind::kInsertEdge:
+        sys.store().InsertEdge(r.update.edge);
+        break;
+      case UpdateKind::kDeleteEdge:
+        sys.store().DeleteEdge(r.update.edge);
+        break;
+      case UpdateKind::kInsertVertex:
+        sys.store().AddVertex();
+        break;
+      case UpdateKind::kDeleteVertex:
+        sys.store().RemoveVertex(r.update.edge.src);
+        break;
+    }
+  });
+
+  sys.wal().SetNextLsn(result.next_lsn);
+  return result;
+}
+
+/// Compacts the log: snapshots the current store at the current LSN, then
+/// truncates the WAL. After CompactWal, recovery needs only the (much
+/// shorter) log written since. Call from a quiesced system (no in-flight
+/// updates) — e.g. between service epochs or from the embedded API thread.
+template <typename Store>
+bool CompactWal(RisGraph<Store>& sys, const std::string& checkpoint_path) {
+  if (!sys.wal().IsOpen()) return false;
+  sys.wal().Flush();
+  if (!WriteCheckpoint(sys.store(), sys.wal().NextLsn(), checkpoint_path)) {
+    return false;
+  }
+  return sys.wal().TruncateAfterCheckpoint();
+}
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_WAL_RECOVERY_H_

@@ -1,0 +1,85 @@
+#ifndef RISGRAPH_WAL_WAL_H_
+#define RISGRAPH_WAL_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace risgraph {
+
+/// One durable log record: an update plus its log sequence number.
+struct WalRecord {
+  uint64_t lsn = 0;
+  Update update;
+};
+
+/// CRC32 (Castagnoli polynomial, software table) over a byte range.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+/// Append-only write-ahead log (paper Section 2: "RisGraph provides
+/// durability with write-ahead logs").
+///
+/// Records are fixed-size and CRC-protected; a torn tail (partial final
+/// record or CRC mismatch) is detected during replay and dropped. Appends are
+/// buffered; the epoch loop issues one Flush per epoch (group commit) and
+/// optionally fsyncs.
+struct WalOptions {
+  bool fsync_on_flush = false;  // benches keep this off; the paper's Optane
+                                // device makes syncs cheap anyway
+};
+
+class WriteAheadLog {
+ public:
+  using Options = WalOptions;
+
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens (creating or appending to) the log at `path`.
+  bool Open(const std::string& path, WalOptions options = WalOptions());
+  void Close();
+  bool IsOpen() const { return file_ != nullptr; }
+
+  /// Buffers one record; returns its LSN.
+  uint64_t Append(const Update& update);
+
+  /// Writes the buffer to the OS (and fsyncs when configured). Group commit
+  /// boundary.
+  bool Flush();
+
+  uint64_t NextLsn() const { return next_lsn_; }
+
+  /// Continues the LSN sequence after recovery (a reopened log would
+  /// otherwise restart at 0 and emit duplicate LSNs). See recovery.h.
+  void SetNextLsn(uint64_t lsn) { next_lsn_ = lsn; }
+
+  /// Truncates the log file after a checkpoint captured everything up to
+  /// NextLsn(): subsequent appends continue the LSN sequence in a fresh
+  /// file, so checkpoint + log tail stays a complete recovery pair while
+  /// the log stops growing without bound.
+  bool TruncateAfterCheckpoint();
+
+  /// Replays a log file, invoking fn for every intact record in order.
+  /// Returns the number of records replayed; stops (without error) at the
+  /// first torn or corrupt record.
+  static uint64_t Replay(const std::string& path,
+                         const std::function<void(const WalRecord&)>& fn);
+
+ private:
+  std::FILE* file_ = nullptr;
+  Options options_;
+  std::string path_;
+  uint64_t next_lsn_ = 0;
+  std::vector<uint8_t> buffer_;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_WAL_WAL_H_

@@ -1,0 +1,88 @@
+#include "workload/datasets.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/rmat.h"
+#include "workload/road.h"
+
+namespace risgraph {
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() {
+  // Miniature analogs of Table 3, ordered as in the paper. Scales are chosen
+  // so the full suite loads in seconds on a laptop-class machine; densities
+  // (|E|/|V|) track the originals' order of magnitude.
+  static const std::vector<DatasetSpec>* specs = new std::vector<DatasetSpec>{
+      {"hepph_sim", "HepPh (PH)", GraphKind::kPowerLaw, 13, 16.0, 64, 1, 101},
+      {"wiki_sim", "Wiki (WK)", GraphKind::kPowerLaw, 15, 4.0, 64, 0, 102},
+      {"flickr_sim", "Flickr (FC)", GraphKind::kPowerLaw, 15, 14.0, 64, 1, 103},
+      {"stackoverflow_sim", "StackOverflow (SO)", GraphKind::kPowerLaw, 15,
+       24.0, 64, 0, 104},
+      {"bitcoin_sim", "BitCoin (BC)", GraphKind::kPowerLaw, 17, 5.0, 64, 2,
+       105},
+      {"snb_sim", "SNB-SF-1000 (SB)", GraphKind::kPowerLaw, 15, 64.0, 64, 0,
+       106},
+      {"linkbench_sim", "LinkBench (LB)", GraphKind::kPowerLaw, 18, 4.4, 64, 0,
+       107},
+      {"twitter_sim", "Twitter-2010 (TT)", GraphKind::kPowerLaw, 16, 35.0, 64,
+       0, 108},
+      {"subdomain_sim", "Subdomain (SD)", GraphKind::kPowerLaw, 17, 20.0, 64,
+       0, 109},
+      {"uk_sim", "UK-2007 (UK)", GraphKind::kPowerLaw, 17, 35.0, 64, 0, 110},
+      {"usa_road", "USA road network", GraphKind::kRoad, 7, 3.0, 1024, 0, 111},
+  };
+  return *specs;
+}
+
+const DatasetSpec& FindDatasetSpec(const std::string& name) {
+  for (const DatasetSpec& s : AllDatasetSpecs()) {
+    if (s.name == name) return s;
+  }
+  std::fprintf(stderr, "unknown dataset '%s'; valid names:\n", name.c_str());
+  for (const DatasetSpec& s : AllDatasetSpecs()) {
+    std::fprintf(stderr, "  %s (%s)\n", s.name.c_str(), s.paper_name.c_str());
+  }
+  std::abort();
+}
+
+uint32_t EnvScaleBump() {
+  const char* env = std::getenv("RISGRAPH_SCALE");
+  if (env == nullptr) return 0;
+  long v = std::strtol(env, nullptr, 10);
+  uint32_t bump = 0;
+  while (v > 1) {
+    v /= 2;
+    bump++;
+  }
+  return bump;
+}
+
+Dataset LoadDataset(const DatasetSpec& spec) {
+  Dataset d;
+  d.spec = spec;
+  uint32_t scale = spec.scale + EnvScaleBump();
+  if (spec.kind == GraphKind::kPowerLaw) {
+    RmatParams p;
+    p.scale = scale;
+    p.num_edges = static_cast<uint64_t>(
+        spec.degree * static_cast<double>(uint64_t{1} << scale));
+    p.max_weight = spec.max_weight;
+    p.seed = spec.seed;
+    d.num_vertices = uint64_t{1} << scale;
+    d.edges = GenerateRmat(p);
+  } else {
+    RoadParams p;
+    p.side = uint32_t{1} << scale;
+    p.max_weight = spec.max_weight;
+    p.seed = spec.seed;
+    d.num_vertices = uint64_t{p.side} * p.side;
+    d.edges = GenerateRoad(p);
+  }
+  return d;
+}
+
+Dataset LoadDataset(const std::string& name) {
+  return LoadDataset(FindDatasetSpec(name));
+}
+
+}  // namespace risgraph

@@ -1,0 +1,57 @@
+#ifndef RISGRAPH_WORKLOAD_DATASETS_H_
+#define RISGRAPH_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace risgraph {
+
+/// The shape of a named dataset analog.
+enum class GraphKind : uint8_t { kPowerLaw, kRoad };
+
+/// A scaled-down synthetic analog of one of the paper's datasets (Table 3).
+/// Sizes are |V|-proportional miniatures at RISGRAPH_SCALE=1; the relative
+/// density (|E| / |V|) matches the original, which is what the safe-update
+/// ratios and AFF sizes depend on.
+struct DatasetSpec {
+  std::string name;          // e.g. "twitter_sim"
+  std::string paper_name;    // e.g. "Twitter-2010 (TT)"
+  GraphKind kind = GraphKind::kPowerLaw;
+  uint32_t scale = 16;       // R-MAT scale (power-law) or grid side log2
+  double degree = 16.0;      // average out-degree target
+  Weight max_weight = 64;
+  VertexId root = 0;
+  uint64_t seed = 42;
+};
+
+/// A fully materialized dataset: the vertex count and its edge list in
+/// arrival order.
+struct Dataset {
+  DatasetSpec spec;
+  uint64_t num_vertices = 0;
+  std::vector<Edge> edges;
+};
+
+/// All ten Table 3 analogs (PH, WK, FC, SO, BC, SB, LB, TT, SD, UK) plus the
+/// Section 7 road network ("usa_road").
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// Looks up a spec by name; aborts with a message listing valid names if
+/// absent.
+const DatasetSpec& FindDatasetSpec(const std::string& name);
+
+/// Materializes a dataset, applying the RISGRAPH_SCALE environment scale
+/// bump (scale += log2(RISGRAPH_SCALE)).
+Dataset LoadDataset(const DatasetSpec& spec);
+Dataset LoadDataset(const std::string& name);
+
+/// Benchmark default scale bump from the environment (RISGRAPH_SCALE=N adds
+/// log2(N) to every dataset's scale). Returns 0 when unset.
+uint32_t EnvScaleBump();
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_WORKLOAD_DATASETS_H_

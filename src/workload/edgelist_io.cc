@@ -1,0 +1,243 @@
+#include "workload/edgelist_io.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "wal/wal.h"  // Crc32c
+
+namespace risgraph {
+namespace {
+
+constexpr uint32_t kBinaryMagic = 0x4C454752;  // "RGEL"
+constexpr uint32_t kBinaryVersion = 1;
+
+struct BinaryHeader {
+  uint32_t magic = kBinaryMagic;
+  uint32_t version = kBinaryVersion;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t header_crc = 0;  // over the fields above
+  uint32_t pad = 0;
+};
+static_assert(sizeof(BinaryHeader) == 32);
+
+struct BinaryRecord {
+  uint64_t src;
+  uint64_t dst;
+  uint64_t weight;
+};
+static_assert(sizeof(BinaryRecord) == 24);
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+// Parses one unsigned decimal field, advancing *p past it. Returns false if
+// no digit is present.
+bool ParseField(const char** p, uint64_t* out) {
+  const char* s = *p;
+  while (*s == ' ' || *s == '\t' || *s == ',') s++;
+  if (*s < '0' || *s > '9') return false;
+  uint64_t v = 0;
+  while (*s >= '0' && *s <= '9') {
+    v = v * 10 + static_cast<uint64_t>(*s - '0');
+    s++;
+  }
+  *p = s;
+  *out = v;
+  return true;
+}
+
+class FileCloser {
+ public:
+  explicit FileCloser(std::FILE* f) : f_(f) {}
+  ~FileCloser() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+bool LoadEdgeListText(const std::string& path, ParsedEdgeList* out,
+                      const EdgeListParseOptions& options,
+                      std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    SetError(error, "cannot open " + path);
+    return false;
+  }
+  FileCloser closer(f);
+
+  out->num_vertices = 0;
+  out->edges.clear();
+  out->id_map.clear();
+  out->lines_skipped = 0;
+
+  std::unordered_map<VertexId, VertexId> remap;
+  auto dense_id = [&](VertexId raw) {
+    if (!options.remap_ids) return raw;
+    auto [it, fresh] = remap.try_emplace(raw, out->id_map.size());
+    if (fresh) out->id_map.push_back(raw);
+    return it->second;
+  };
+
+  char line[512];
+  VertexId max_id = 0;
+  bool any_edge = false;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') p++;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\r' || *p == '\0') {
+      out->lines_skipped++;
+      continue;
+    }
+    uint64_t src;
+    uint64_t dst;
+    uint64_t weight = 1;
+    if (!ParseField(&p, &src) || !ParseField(&p, &dst)) {
+      out->lines_skipped++;
+      continue;
+    }
+    if (options.weighted) ParseField(&p, &weight);  // absent column stays 1
+    if (options.skip_self_loops && src == dst) {
+      out->lines_skipped++;
+      continue;
+    }
+    VertexId s = dense_id(src);
+    VertexId d = dense_id(dst);
+    out->edges.push_back(Edge{s, d, weight});
+    max_id = std::max({max_id, s, d});
+    any_edge = true;
+  }
+  out->num_vertices = options.remap_ids ? out->id_map.size()
+                                        : (any_edge ? max_id + 1 : 0);
+  return true;
+}
+
+bool SaveEdgeListText(const std::string& path, const std::vector<Edge>& edges,
+                      bool weighted, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    SetError(error, "cannot create " + path);
+    return false;
+  }
+  FileCloser closer(f);
+  for (const Edge& e : edges) {
+    int n = weighted ? std::fprintf(f, "%llu %llu %llu\n",
+                                    static_cast<unsigned long long>(e.src),
+                                    static_cast<unsigned long long>(e.dst),
+                                    static_cast<unsigned long long>(e.weight))
+                     : std::fprintf(f, "%llu %llu\n",
+                                    static_cast<unsigned long long>(e.src),
+                                    static_cast<unsigned long long>(e.dst));
+    if (n < 0) {
+      SetError(error, "write failed for " + path);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SaveEdgeListBinary(const std::string& path, uint64_t num_vertices,
+                        const std::vector<Edge>& edges, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    SetError(error, "cannot create " + path);
+    return false;
+  }
+  FileCloser closer(f);
+
+  BinaryHeader header;
+  header.num_vertices = num_vertices;
+  header.num_edges = edges.size();
+  header.header_crc = Crc32c(&header, offsetof(BinaryHeader, header_crc));
+  if (std::fwrite(&header, sizeof(header), 1, f) != 1) {
+    SetError(error, "write failed for " + path);
+    return false;
+  }
+
+  uint32_t payload_crc = 0;
+  for (const Edge& e : edges) {
+    BinaryRecord rec{e.src, e.dst, e.weight};
+    payload_crc = Crc32c(&rec, sizeof(rec), payload_crc);
+    if (std::fwrite(&rec, sizeof(rec), 1, f) != 1) {
+      SetError(error, "write failed for " + path);
+      return false;
+    }
+  }
+  if (std::fwrite(&payload_crc, sizeof(payload_crc), 1, f) != 1) {
+    SetError(error, "write failed for " + path);
+    return false;
+  }
+  return true;
+}
+
+bool LoadEdgeListBinary(const std::string& path, ParsedEdgeList* out,
+                        std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    SetError(error, "cannot open " + path);
+    return false;
+  }
+  FileCloser closer(f);
+
+  BinaryHeader header;
+  if (std::fread(&header, sizeof(header), 1, f) != 1) {
+    SetError(error, "truncated header in " + path);
+    return false;
+  }
+  if (header.magic != kBinaryMagic) {
+    SetError(error, "bad magic in " + path);
+    return false;
+  }
+  if (header.version != kBinaryVersion) {
+    SetError(error, "unsupported version in " + path);
+    return false;
+  }
+  if (header.header_crc !=
+      Crc32c(&header, offsetof(BinaryHeader, header_crc))) {
+    SetError(error, "header CRC mismatch in " + path);
+    return false;
+  }
+
+  out->num_vertices = header.num_vertices;
+  out->edges.clear();
+  out->edges.reserve(header.num_edges);
+  out->id_map.clear();
+  out->lines_skipped = 0;
+
+  uint32_t payload_crc = 0;
+  for (uint64_t i = 0; i < header.num_edges; ++i) {
+    BinaryRecord rec;
+    if (std::fread(&rec, sizeof(rec), 1, f) != 1) {
+      SetError(error, "truncated payload in " + path);
+      return false;
+    }
+    payload_crc = Crc32c(&rec, sizeof(rec), payload_crc);
+    out->edges.push_back(Edge{rec.src, rec.dst, rec.weight});
+  }
+  uint32_t stored_crc = 0;
+  if (std::fread(&stored_crc, sizeof(stored_crc), 1, f) != 1 ||
+      stored_crc != payload_crc) {
+    SetError(error, "payload CRC mismatch in " + path);
+    return false;
+  }
+  return true;
+}
+
+uint64_t InferNumVertices(const std::vector<Edge>& edges) {
+  VertexId max_id = 0;
+  bool any = false;
+  for (const Edge& e : edges) {
+    max_id = std::max({max_id, e.src, e.dst});
+    any = true;
+  }
+  return any ? max_id + 1 : 0;
+}
+
+}  // namespace risgraph

@@ -1,0 +1,41 @@
+#include "workload/rmat.h"
+
+#include "common/random.h"
+
+namespace risgraph {
+
+std::vector<Edge> GenerateRmat(const RmatParams& params) {
+  const uint64_t n = uint64_t{1} << params.scale;
+  const uint64_t m =
+      params.num_edges == 0 ? 16 * n : params.num_edges;
+  Rng rng(params.seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  while (edges.size() < m) {
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    for (uint32_t bit = 0; bit < params.scale; ++bit) {
+      double r = rng.NextDouble();
+      if (r < params.a) {
+        // top-left: no bits set
+      } else if (r < ab) {
+        dst |= uint64_t{1} << bit;
+      } else if (r < abc) {
+        src |= uint64_t{1} << bit;
+      } else {
+        src |= uint64_t{1} << bit;
+        dst |= uint64_t{1} << bit;
+      }
+    }
+    if (src == dst) continue;  // self-loops never change monotonic results
+    Weight w = params.max_weight <= 1
+                   ? 1
+                   : 1 + rng.NextBounded(params.max_weight);
+    edges.push_back(Edge{src, dst, w});
+  }
+  return edges;
+}
+
+}  // namespace risgraph

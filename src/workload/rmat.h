@@ -1,0 +1,29 @@
+#ifndef RISGRAPH_WORKLOAD_RMAT_H_
+#define RISGRAPH_WORKLOAD_RMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace risgraph {
+
+/// Parameters for the recursive-matrix (R-MAT / Kronecker) generator used to
+/// stand in for the paper's power-law datasets (Twitter-2010, UK-2007, …).
+/// Defaults are the classic skewed social-graph setting.
+struct RmatParams {
+  uint32_t scale = 16;           // |V| = 2^scale
+  uint64_t num_edges = 0;        // 0 = 16 * |V|
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  Weight max_weight = 64;        // weights uniform in [1, max_weight]
+  uint64_t seed = 42;
+};
+
+/// Generates a deterministic R-MAT edge list. Self-loops are filtered;
+/// duplicate (src, dst) pairs are kept (they exercise the store's duplicate
+/// counting, as real streams do).
+std::vector<Edge> GenerateRmat(const RmatParams& params);
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_WORKLOAD_RMAT_H_

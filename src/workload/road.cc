@@ -1,0 +1,33 @@
+#include "workload/road.h"
+
+#include "common/random.h"
+
+namespace risgraph {
+
+std::vector<Edge> GenerateRoad(const RoadParams& params) {
+  Rng rng(params.seed);
+  const uint64_t side = params.side;
+  std::vector<Edge> edges;
+  edges.reserve(side * side * 5);
+  auto id = [side](uint64_t r, uint64_t c) { return r * side + c; };
+  auto add_both = [&](uint64_t u, uint64_t v, Weight w) {
+    edges.push_back(Edge{u, v, w});
+    edges.push_back(Edge{v, u, w});
+  };
+  for (uint64_t r = 0; r < side; ++r) {
+    for (uint64_t c = 0; c < side; ++c) {
+      Weight w = 1 + rng.NextBounded(params.max_weight);
+      if (c + 1 < side) add_both(id(r, c), id(r, c + 1), w);
+      w = 1 + rng.NextBounded(params.max_weight);
+      if (r + 1 < side) add_both(id(r, c), id(r + 1, c), w);
+      if (r + 1 < side && c + 1 < side &&
+          rng.NextBool(params.diagonal_prob)) {
+        add_both(id(r, c), id(r + 1, c + 1),
+                 1 + rng.NextBounded(params.max_weight));
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace risgraph

@@ -1,0 +1,27 @@
+#ifndef RISGRAPH_WORKLOAD_ROAD_H_
+#define RISGRAPH_WORKLOAD_ROAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace risgraph {
+
+/// Parameters for the synthetic road-network generator — the non-power-law
+/// substitute for the paper's USA road dataset (Section 7): a 2-D lattice
+/// with occasional diagonal shortcuts, bounded degree (<= 6), high diameter.
+struct RoadParams {
+  uint32_t side = 256;          // grid of side x side intersections
+  double diagonal_prob = 0.05;  // extra diagonal shortcut probability
+  Weight max_weight = 1024;     // road lengths uniform in [1, max_weight]
+  uint64_t seed = 7;
+};
+
+/// Generates a deterministic road-like graph as directed edge pairs (both
+/// directions emitted, matching how road graphs are streamed).
+std::vector<Edge> GenerateRoad(const RoadParams& params);
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_WORKLOAD_ROAD_H_

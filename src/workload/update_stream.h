@@ -1,0 +1,111 @@
+#ifndef RISGRAPH_WORKLOAD_UPDATE_STREAM_H_
+#define RISGRAPH_WORKLOAD_UPDATE_STREAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace risgraph {
+
+/// A streaming workload: a pre-populated graph plus an update stream,
+/// produced exactly as in the paper's setup (Section 6.1): "We load 90% edges
+/// first, select 10% edges as the deletion updates from loaded edges, and
+/// treat the remaining (10%) edges as the insertion updates … we alternately
+/// request insertions and deletions of each edge."
+struct StreamWorkload {
+  uint64_t num_vertices = 0;
+  std::vector<Edge> preload;    // edges loaded before the stream starts
+  std::vector<Update> updates;  // the interleaved update stream
+};
+
+struct StreamOptions {
+  /// Fraction of edges pre-populated (the sliding-window size, Table 5).
+  double preload_fraction = 0.9;
+  /// Share of insertions in the stream (Table 6); 0.5 alternates strictly.
+  double insert_fraction = 0.5;
+  /// Cap on the number of updates (0 = use every available pooled edge).
+  uint64_t max_updates = 0;
+  uint64_t seed = 1234;
+};
+
+/// Splits an edge list into preload + update stream. Edge order stands in
+/// for timestamps (the generators emit edges in arrival order): the *latest*
+/// edges become insertions and deletions are sampled from the loaded window.
+inline StreamWorkload BuildStream(uint64_t num_vertices,
+                                  std::vector<Edge> edges,
+                                  const StreamOptions& options = {}) {
+  StreamWorkload w;
+  w.num_vertices = num_vertices;
+  Rng rng(options.seed);
+
+  uint64_t n_load = static_cast<uint64_t>(
+      static_cast<double>(edges.size()) * options.preload_fraction);
+  n_load = std::min<uint64_t>(n_load, edges.size());
+
+  w.preload.assign(edges.begin(), edges.begin() + n_load);
+  std::vector<Edge> insert_pool(edges.begin() + n_load, edges.end());
+
+  // Deletions: sample ~insert-pool-sized set from the loaded window so the
+  // graph size stays near the window size under alternation.
+  std::vector<Edge> delete_pool;
+  uint64_t want_del = std::max<uint64_t>(insert_pool.size(), 1);
+  want_del = std::min<uint64_t>(want_del, n_load);
+  // Reservoir-free: take a deterministic random sample of loaded offsets.
+  delete_pool.reserve(want_del);
+  if (n_load > 0) {
+    // Sample without replacement via partial Fisher-Yates over indices.
+    std::vector<uint64_t> idx(n_load);
+    for (uint64_t i = 0; i < n_load; ++i) idx[i] = i;
+    for (uint64_t i = 0; i < want_del; ++i) {
+      uint64_t j = i + rng.NextBounded(n_load - i);
+      std::swap(idx[i], idx[j]);
+      delete_pool.push_back(w.preload[idx[i]]);
+    }
+  }
+
+  // Interleave insertions and deletions at the requested ratio using an
+  // error accumulator (deterministic, no bursts).
+  double ins_credit = 0.0;
+  size_t ii = 0;
+  size_t di = 0;
+  uint64_t limit = options.max_updates == 0
+                       ? insert_pool.size() + delete_pool.size()
+                       : options.max_updates;
+  while (w.updates.size() < limit &&
+         (ii < insert_pool.size() || di < delete_pool.size())) {
+    ins_credit += options.insert_fraction;
+    bool take_insert = ins_credit >= 1.0;
+    if (take_insert && ii >= insert_pool.size()) take_insert = false;
+    if (!take_insert && di >= delete_pool.size()) {
+      if (ii >= insert_pool.size()) break;
+      take_insert = true;
+    }
+    if (take_insert) {
+      ins_credit -= 1.0;
+      const Edge& e = insert_pool[ii++];
+      w.updates.push_back(Update::InsertEdge(e.src, e.dst, e.weight));
+    } else {
+      const Edge& e = delete_pool[di++];
+      w.updates.push_back(Update::DeleteEdge(e.src, e.dst, e.weight));
+    }
+  }
+  return w;
+}
+
+/// Packs a flat update stream into fixed-size transactions (Table 7). The
+/// tail shorter than `txn_size` is dropped to keep sizes uniform.
+inline std::vector<std::vector<Update>> PackTransactions(
+    const std::vector<Update>& updates, size_t txn_size) {
+  std::vector<std::vector<Update>> txns;
+  for (size_t i = 0; i + txn_size <= updates.size(); i += txn_size) {
+    txns.emplace_back(updates.begin() + i, updates.begin() + i + txn_size);
+  }
+  return txns;
+}
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_WORKLOAD_UPDATE_STREAM_H_

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "index/art_index.h"
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+#include "storage/adjacency_list.h"
+
+namespace risgraph {
+namespace {
+
+using IaHash = AdjacencyList<HashIndex, false>;
+using IoHash = AdjacencyList<HashIndex, true>;
+
+TEST(AdjacencyList, InsertCreatesKeysAndCountsDuplicates) {
+  IaHash adj;
+  EXPECT_TRUE(adj.Insert(EdgeKey{1, 10}));
+  EXPECT_FALSE(adj.Insert(EdgeKey{1, 10}));  // duplicate: count bump
+  EXPECT_TRUE(adj.Insert(EdgeKey{1, 11}));   // same dst, new weight: new key
+  EXPECT_EQ(adj.LiveKeys(), 2u);
+  EXPECT_EQ(adj.TotalEdges(), 3u);
+  EXPECT_EQ(adj.Count(EdgeKey{1, 10}), 2u);
+  EXPECT_EQ(adj.Count(EdgeKey{1, 11}), 1u);
+  EXPECT_EQ(adj.Count(EdgeKey{1, 12}), 0u);
+}
+
+TEST(AdjacencyList, DeleteDecrementsThenRemoves) {
+  IaHash adj;
+  adj.Insert(EdgeKey{2, 5});
+  adj.Insert(EdgeKey{2, 5});
+  EXPECT_EQ(adj.Delete(EdgeKey{2, 5}), DeleteResult::kDecremented);
+  EXPECT_EQ(adj.Count(EdgeKey{2, 5}), 1u);
+  EXPECT_EQ(adj.Delete(EdgeKey{2, 5}), DeleteResult::kRemoved);
+  EXPECT_EQ(adj.Count(EdgeKey{2, 5}), 0u);
+  EXPECT_EQ(adj.Delete(EdgeKey{2, 5}), DeleteResult::kNotFound);
+  EXPECT_EQ(adj.LiveKeys(), 0u);
+}
+
+TEST(AdjacencyList, TombstonesAreRecycledOnDoubling) {
+  IaHash adj;
+  // Fill, delete half, keep inserting: capacity must be reused, and ForEach
+  // must never yield tombstones.
+  for (uint64_t i = 0; i < 64; ++i) adj.Insert(EdgeKey{i, 0});
+  for (uint64_t i = 0; i < 64; i += 2) adj.Delete(EdgeKey{i, 0});
+  for (uint64_t i = 100; i < 200; ++i) adj.Insert(EdgeKey{i, 0});
+  EXPECT_EQ(adj.LiveKeys(), 32u + 100u);
+  std::set<uint64_t> seen;
+  adj.ForEach([&](VertexId dst, Weight, uint64_t count) {
+    EXPECT_GT(count, 0u);
+    seen.insert(dst);
+  });
+  EXPECT_EQ(seen.size(), 132u);
+  EXPECT_FALSE(seen.contains(0));
+  EXPECT_TRUE(seen.contains(1));
+}
+
+TEST(AdjacencyList, IndexAppearsAboveThreshold) {
+  AdjacencyList<HashIndex, false> adj(/*index_threshold=*/16);
+  for (uint64_t i = 0; i < 16; ++i) adj.Insert(EdgeKey{i, 0});
+  EXPECT_FALSE(adj.HasIndex());
+  adj.Insert(EdgeKey{16, 0});
+  EXPECT_TRUE(adj.HasIndex());
+  // Lookups and deletes keep working through the index.
+  EXPECT_EQ(adj.Count(EdgeKey{3, 0}), 1u);
+  EXPECT_EQ(adj.Delete(EdgeKey{3, 0}), DeleteResult::kRemoved);
+  EXPECT_EQ(adj.Count(EdgeKey{3, 0}), 0u);
+  for (uint64_t i = 17; i < 600; ++i) adj.Insert(EdgeKey{i, 0});
+  EXPECT_EQ(adj.LiveKeys(), 599u);
+  EXPECT_EQ(adj.Count(EdgeKey{599, 0}), 1u);
+}
+
+TEST(AdjacencyList, RawSlotsSkipTombstones) {
+  IaHash adj;
+  for (uint64_t i = 0; i < 10; ++i) adj.Insert(EdgeKey{i, 1});
+  adj.Delete(EdgeKey{4, 1});
+  uint64_t live = 0;
+  for (size_t i = 0; i < adj.RawSize(); ++i) {
+    if (adj.RawEntry(i).count > 0) live++;
+  }
+  EXPECT_EQ(live, 9u);
+  EXPECT_TRUE(IaHash::kHasRawSlots);
+  EXPECT_FALSE(IoHash::kHasRawSlots);
+}
+
+TEST(AdjacencyList, IndexOnlyModeStoresInIndex) {
+  IoHash adj;
+  adj.Insert(EdgeKey{7, 3});
+  adj.Insert(EdgeKey{7, 3});
+  adj.Insert(EdgeKey{8, 1});
+  EXPECT_EQ(adj.LiveKeys(), 2u);
+  EXPECT_EQ(adj.Count(EdgeKey{7, 3}), 2u);
+  EXPECT_EQ(adj.RawSize(), 0u);  // no array in IO mode
+  EXPECT_EQ(adj.Delete(EdgeKey{7, 3}), DeleteResult::kDecremented);
+  EXPECT_EQ(adj.Delete(EdgeKey{7, 3}), DeleteResult::kRemoved);
+  uint64_t total = 0;
+  adj.ForEach([&](VertexId, Weight, uint64_t c) { total += c; });
+  EXPECT_EQ(total, 1u);
+}
+
+template <typename T>
+class AdjacencyListIndexTest : public ::testing::Test {};
+
+using AdjIndexTypes = ::testing::Types<HashIndex, BTreeIndex, ArtIndex>;
+TYPED_TEST_SUITE(AdjacencyListIndexTest, AdjIndexTypes);
+
+// The same randomized differential test for all index back-ends, in both IA
+// and IO modes, against a plain std::map model.
+TYPED_TEST(AdjacencyListIndexTest, RandomizedDifferential) {
+  AdjacencyList<TypeParam, false> ia(/*index_threshold=*/32);
+  AdjacencyList<TypeParam, true> io;
+  std::map<EdgeKey, uint64_t> model;
+  Rng rng(777);
+  for (int op = 0; op < 30000; ++op) {
+    EdgeKey key{rng.NextBounded(200), rng.NextBounded(4)};
+    if (rng.NextBounded(10) < 6) {
+      ia.Insert(key);
+      io.Insert(key);
+      model[key]++;
+    } else {
+      DeleteResult ra = ia.Delete(key);
+      DeleteResult ro = io.Delete(key);
+      EXPECT_EQ(ra, ro);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_EQ(ra, DeleteResult::kNotFound);
+      } else if (it->second > 1) {
+        EXPECT_EQ(ra, DeleteResult::kDecremented);
+        it->second--;
+      } else {
+        EXPECT_EQ(ra, DeleteResult::kRemoved);
+        model.erase(it);
+      }
+    }
+  }
+  EXPECT_EQ(ia.LiveKeys(), model.size());
+  EXPECT_EQ(io.LiveKeys(), model.size());
+  uint64_t model_total = 0;
+  for (auto& [k, c] : model) {
+    EXPECT_EQ(ia.Count(k), c);
+    EXPECT_EQ(io.Count(k), c);
+    model_total += c;
+  }
+  EXPECT_EQ(ia.TotalEdges(), model_total);
+  uint64_t foreach_total = 0;
+  ia.ForEach([&](VertexId d, Weight w, uint64_t c) {
+    EXPECT_EQ((model[EdgeKey{d, w}]), c);
+    foreach_total += c;
+  });
+  EXPECT_EQ(foreach_total, model_total);
+}
+
+}  // namespace
+}  // namespace risgraph

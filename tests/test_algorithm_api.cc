@@ -1,0 +1,99 @@
+// Verifies the four shipped algorithms implement paper Table 2 exactly, plus
+// the monotonicity contract the engine relies on.
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm_api.h"
+
+namespace risgraph {
+namespace {
+
+TEST(Bfs, Table2Row) {
+  EXPECT_EQ(Bfs::InitValue(5, 5), 0u);          // root = 0
+  EXPECT_EQ(Bfs::InitValue(4, 5), kInfWeight);  // others = inf
+  EXPECT_EQ(Bfs::GenNext(99, 3), 4u);           // src_val + 1, weight ignored
+  EXPECT_TRUE(Bfs::NeedUpdate(5, 2));           // next < cur
+  EXPECT_FALSE(Bfs::NeedUpdate(2, 2));
+  EXPECT_FALSE(Bfs::NeedUpdate(2, 5));
+  EXPECT_TRUE(Bfs::IsReached(0));
+  EXPECT_FALSE(Bfs::IsReached(kInfWeight));
+}
+
+TEST(Sssp, Table2Row) {
+  EXPECT_EQ(Sssp::InitValue(5, 5), 0u);
+  EXPECT_EQ(Sssp::InitValue(4, 5), kInfWeight);
+  EXPECT_EQ(Sssp::GenNext(10, 3), 13u);  // src_val + e.data
+  EXPECT_TRUE(Sssp::NeedUpdate(20, 13));
+  EXPECT_FALSE(Sssp::NeedUpdate(13, 13));
+}
+
+TEST(Sswp, Table2Row) {
+  EXPECT_EQ(Sswp::InitValue(5, 5), kInfWeight);  // root = inf
+  EXPECT_EQ(Sswp::InitValue(4, 5), 0u);          // others = 0
+  EXPECT_EQ(Sswp::GenNext(10, 30), 10u);         // min(e.data, src_val)
+  EXPECT_EQ(Sswp::GenNext(30, 10), 10u);
+  EXPECT_TRUE(Sswp::NeedUpdate(5, 9));  // next > cur (wider is better)
+  EXPECT_FALSE(Sswp::NeedUpdate(9, 5));
+  EXPECT_FALSE(Sswp::IsReached(0));
+  EXPECT_TRUE(Sswp::IsReached(1));
+}
+
+TEST(Wcc, Table2Row) {
+  EXPECT_EQ(Wcc::InitValue(7, 0), 7u);  // own id, root ignored
+  EXPECT_EQ(Wcc::GenNext(99, 3), 3u);   // src_val
+  EXPECT_TRUE(Wcc::NeedUpdate(7, 3));   // smaller label wins
+  EXPECT_FALSE(Wcc::NeedUpdate(3, 7));
+  EXPECT_TRUE(Wcc::kUndirected);
+  EXPECT_TRUE(Wcc::IsReached(12345));
+}
+
+// Monotonicity contract: NeedUpdate must be a strict order (irreflexive and
+// asymmetric) — the engine's termination proof depends on it.
+template <typename Algo>
+void CheckStrictOrder() {
+  const uint64_t vals[] = {0, 1, 2, 100, kInfWeight - 1, kInfWeight};
+  for (uint64_t a : vals) {
+    EXPECT_FALSE(Algo::NeedUpdate(a, a)) << Algo::Name();
+    for (uint64_t b : vals) {
+      if (Algo::NeedUpdate(a, b)) {
+        EXPECT_FALSE(Algo::NeedUpdate(b, a)) << Algo::Name();
+      }
+    }
+  }
+}
+
+TEST(AlgorithmContract, NeedUpdateIsStrictOrder) {
+  CheckStrictOrder<Bfs>();
+  CheckStrictOrder<Sssp>();
+  CheckStrictOrder<Sswp>();
+  CheckStrictOrder<Wcc>();
+}
+
+// GenNext must never produce a value better than its input's successor chain
+// allows (no "improvement from nothing"): an unreached source cannot improve
+// any destination.
+template <typename Algo>
+void CheckUnreachedCannotImprove() {
+  uint64_t unreached = Algo::InitValue(1, 0);  // vertex 1 is not the root
+  if (Algo::IsReached(unreached)) return;      // WCC: vacuous
+  for (Weight w : {Weight{1}, Weight{100}}) {
+    uint64_t cand = Algo::GenNext(w, unreached);
+    for (uint64_t cur : {uint64_t{0}, uint64_t{5}, Algo::InitValue(1, 0)}) {
+      EXPECT_FALSE(Algo::NeedUpdate(cur, cand) &&
+                   !Algo::IsReached(unreached) && cur == unreached)
+          << Algo::Name();
+    }
+    // Specifically: it can never beat another unreached vertex's init value.
+    EXPECT_FALSE(Algo::NeedUpdate(Algo::InitValue(2, 0), cand))
+        << Algo::Name();
+  }
+}
+
+TEST(AlgorithmContract, UnreachedSourcesCannotImprove) {
+  CheckUnreachedCannotImprove<Bfs>();
+  CheckUnreachedCannotImprove<Sssp>();
+  CheckUnreachedCannotImprove<Sswp>();
+}
+
+}  // namespace
+}  // namespace risgraph

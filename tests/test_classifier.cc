@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hybrid_parallel.h"
+
+namespace risgraph {
+namespace {
+
+TEST(HybridClassifier, DefaultBoundaryShape) {
+  HybridClassifier c;
+  // Hub-dominated frontier: one vertex, a million edges -> edge-parallel.
+  EXPECT_EQ(c.Decide(1, 1'000'000), ParallelMode::kEdgeParallel);
+  // Broad flat frontier: many vertices, few edges each -> vertex-parallel.
+  EXPECT_EQ(c.Decide(100'000, 200'000), ParallelMode::kVertexParallel);
+}
+
+TEST(HybridClassifier, TrainRecoversPlantedBoundary) {
+  // Plant a ground-truth boundary le = 1.5*lv + 3 and emit labeled samples
+  // around it; training must recover a line that classifies them correctly.
+  std::vector<HybridClassifier::LabeledSample> samples;
+  for (uint64_t lv = 0; lv <= 20; ++lv) {
+    for (uint64_t le = 0; le <= 34; ++le) {
+      double boundary = 1.5 * static_cast<double>(lv) + 3.0;
+      bool edge_wins = static_cast<double>(le) > boundary;
+      // Skip points too close to the line (paper filters <20% differences).
+      if (std::abs(static_cast<double>(le) - boundary) < 1.5) continue;
+      samples.push_back({(uint64_t{1} << lv) - 1, (uint64_t{1} << le) - 1,
+                         edge_wins});
+    }
+  }
+  HybridClassifier c;
+  ASSERT_TRUE(c.TrainLeastSquares(samples));
+  int correct = 0;
+  for (const auto& s : samples) {
+    ParallelMode got = c.Decide(s.active_vertices, s.active_edges);
+    bool predicted_edge = got == ParallelMode::kEdgeParallel;
+    if (predicted_edge == s.edge_parallel_wins) correct++;
+  }
+  EXPECT_GT(static_cast<double>(correct) / samples.size(), 0.9);
+}
+
+TEST(HybridClassifier, DegenerateTrainingRejected) {
+  HybridClassifier c(2.0, 5.0);
+  std::vector<HybridClassifier::LabeledSample> too_few = {
+      {1, 1, true}, {2, 2, false}};
+  EXPECT_FALSE(c.TrainLeastSquares(too_few));
+  EXPECT_EQ(c.slope(), 2.0);  // unchanged
+  // All-identical samples are singular.
+  std::vector<HybridClassifier::LabeledSample> degenerate(
+      10, HybridClassifier::LabeledSample{4, 4, true});
+  EXPECT_FALSE(c.TrainLeastSquares(degenerate));
+}
+
+TEST(HybridClassifier, ExplicitParameters) {
+  HybridClassifier c(/*slope=*/0.0, /*intercept=*/10.0);  // edges > 1024 only
+  EXPECT_EQ(c.Decide(1'000'000, 1023), ParallelMode::kVertexParallel);
+  EXPECT_EQ(c.Decide(1, 4096), ParallelMode::kEdgeParallel);
+}
+
+}  // namespace
+}  // namespace risgraph

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/latency.h"
+#include "common/random.h"
+#include "common/spinlock.h"
+#include "common/stable_vector.h"
+#include "common/timer.h"
+#include "common/types.h"
+
+namespace risgraph {
+namespace {
+
+TEST(Types, EdgeKeyOrderingAndEquality) {
+  EdgeKey a{1, 5};
+  EdgeKey b{1, 6};
+  EdgeKey c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (EdgeKey{1, 5}));
+  EXPECT_NE(std::hash<EdgeKey>{}(a), std::hash<EdgeKey>{}(b));
+}
+
+TEST(Types, UpdateFactories) {
+  Update ins = Update::InsertEdge(3, 4, 7);
+  EXPECT_EQ(ins.kind, UpdateKind::kInsertEdge);
+  EXPECT_EQ(ins.edge.src, 3u);
+  EXPECT_EQ(ins.edge.dst, 4u);
+  EXPECT_EQ(ins.edge.weight, 7u);
+  Update dv = Update::DeleteVertex(9);
+  EXPECT_EQ(dv.kind, UpdateKind::kDeleteVertex);
+  EXPECT_EQ(dv.edge.src, 9u);
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(LatencyRecorder, MeanAndPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 1000; ++i) rec.RecordNanos(i * 1000);  // 1us..1000us
+  EXPECT_EQ(rec.count(), 1000u);
+  EXPECT_NEAR(rec.MeanMicros(), 500.5, 20.0);
+  // P50 about 500us, P99 about 990us (log-bucket error ~6%).
+  EXPECT_NEAR(rec.P50Micros(), 500, 40);
+  EXPECT_NEAR(rec.P99Micros(), 990, 70);
+  EXPECT_GT(rec.PercentileNanos(1.0), 990 * 1000);
+}
+
+TEST(LatencyRecorder, FractionBelow) {
+  LatencyRecorder rec;
+  for (int i = 0; i < 90; ++i) rec.RecordNanos(1000);
+  for (int i = 0; i < 10; ++i) rec.RecordNanos(100'000'000);
+  EXPECT_NEAR(rec.FractionBelowNanos(1'000'000), 0.9, 0.01);
+}
+
+TEST(LatencyRecorder, MergeCombinesCounts) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  a.RecordNanos(100);
+  b.RecordNanos(200);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  WallTimer t;
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  EXPECT_GT(t.ElapsedNanos(), 0);
+}
+
+TEST(ComponentTimer, Accumulates) {
+  ComponentTimer ct;
+  { ScopedTimer s(ct); }
+  { ScopedTimer s(ct); }
+  EXPECT_GE(ct.TotalNanos(), 0);
+  ct.Reset();
+  EXPECT_EQ(ct.TotalNanos(), 0);
+}
+
+TEST(SpinLock, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        SpinLockGuard g(lock);
+        counter++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(StableVector, ElementsStableAcrossGrowth) {
+  StableVector<int, 4> sv;  // tiny segments to force many allocations
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    size_t idx = sv.EmplaceBack();
+    sv[idx] = i;
+    ptrs.push_back(&sv[idx]);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(*ptrs[i], i);
+    EXPECT_EQ(&sv[i], ptrs[i]);  // never moved
+  }
+}
+
+TEST(StableVector, ResizeAndConcurrentAppend) {
+  StableVector<uint64_t, 8> sv;
+  sv.Resize(100);
+  EXPECT_EQ(sv.size(), 100u);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 250; ++i) sv.EmplaceBack();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(sv.size(), 1100u);
+  EXPECT_GT(sv.MemoryBytes(), 1100 * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace risgraph

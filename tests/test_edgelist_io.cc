@@ -1,0 +1,178 @@
+#include "workload/edgelist_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "workload/rmat.h"
+
+namespace risgraph {
+namespace {
+
+class EdgeListIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "risgraph_el_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+  }
+
+  std::string path_;
+};
+
+TEST_F(EdgeListIoTest, ParsesSnapStyleText) {
+  WriteFile(
+      "# Directed graph: example\n"
+      "# Nodes: 4 Edges: 3\n"
+      "0\t1\n"
+      "1\t2\n"
+      "3 0\n");
+  ParsedEdgeList parsed;
+  ASSERT_TRUE(LoadEdgeListText(path_, &parsed));
+  EXPECT_EQ(parsed.num_vertices, 4u);
+  ASSERT_EQ(parsed.edges.size(), 3u);
+  EXPECT_EQ(parsed.edges[0], (Edge{0, 1, 1}));
+  EXPECT_EQ(parsed.edges[2], (Edge{3, 0, 1}));
+  EXPECT_EQ(parsed.lines_skipped, 2u);  // the two comment lines
+}
+
+TEST_F(EdgeListIoTest, ParsesWeightsWhenAsked) {
+  WriteFile("0 1 7\n1 2 9\n2 0\n");
+  ParsedEdgeList parsed;
+  EdgeListParseOptions options;
+  options.weighted = true;
+  ASSERT_TRUE(LoadEdgeListText(path_, &parsed, options));
+  EXPECT_EQ(parsed.edges[0].weight, 7u);
+  EXPECT_EQ(parsed.edges[1].weight, 9u);
+  EXPECT_EQ(parsed.edges[2].weight, 1u);  // missing column defaults to 1
+}
+
+TEST_F(EdgeListIoTest, IgnoresWeightColumnByDefault) {
+  WriteFile("0 1 7\n");
+  ParsedEdgeList parsed;
+  ASSERT_TRUE(LoadEdgeListText(path_, &parsed));
+  EXPECT_EQ(parsed.edges[0].weight, 1u);
+}
+
+TEST_F(EdgeListIoTest, RemapsSparseIds) {
+  WriteFile("1000000 5\n5 70000\n% konect header\n");
+  ParsedEdgeList parsed;
+  EdgeListParseOptions options;
+  options.remap_ids = true;
+  ASSERT_TRUE(LoadEdgeListText(path_, &parsed, options));
+  EXPECT_EQ(parsed.num_vertices, 3u);
+  ASSERT_EQ(parsed.id_map.size(), 3u);
+  EXPECT_EQ(parsed.id_map[0], 1000000u);
+  EXPECT_EQ(parsed.id_map[1], 5u);
+  EXPECT_EQ(parsed.id_map[2], 70000u);
+  // First edge became (0 -> 1), second (1 -> 2).
+  EXPECT_EQ(parsed.edges[0], (Edge{0, 1, 1}));
+  EXPECT_EQ(parsed.edges[1], (Edge{1, 2, 1}));
+}
+
+TEST_F(EdgeListIoTest, SkipsSelfLoopsWhenAsked) {
+  WriteFile("0 0\n0 1\n1 1\n");
+  ParsedEdgeList parsed;
+  EdgeListParseOptions options;
+  options.skip_self_loops = true;
+  ASSERT_TRUE(LoadEdgeListText(path_, &parsed, options));
+  ASSERT_EQ(parsed.edges.size(), 1u);
+  EXPECT_EQ(parsed.edges[0], (Edge{0, 1, 1}));
+  EXPECT_EQ(parsed.lines_skipped, 2u);
+}
+
+TEST_F(EdgeListIoTest, MalformedLinesAreCountedNotFatal) {
+  WriteFile("0 1\nnot an edge\n2\n3 4\n");
+  ParsedEdgeList parsed;
+  ASSERT_TRUE(LoadEdgeListText(path_, &parsed));
+  EXPECT_EQ(parsed.edges.size(), 2u);
+  EXPECT_EQ(parsed.lines_skipped, 2u);
+}
+
+TEST_F(EdgeListIoTest, MissingFileFails) {
+  ParsedEdgeList parsed;
+  std::string error;
+  EXPECT_FALSE(LoadEdgeListText("/nonexistent/g.txt", &parsed, {}, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(EdgeListIoTest, TextRoundtrip) {
+  std::vector<Edge> edges = {{0, 1, 3}, {1, 2, 5}, {9, 0, 1}};
+  ASSERT_TRUE(SaveEdgeListText(path_, edges, /*weighted=*/true));
+  ParsedEdgeList parsed;
+  EdgeListParseOptions options;
+  options.weighted = true;
+  ASSERT_TRUE(LoadEdgeListText(path_, &parsed, options));
+  EXPECT_EQ(parsed.edges, edges);
+  EXPECT_EQ(parsed.num_vertices, 10u);
+}
+
+TEST_F(EdgeListIoTest, BinaryRoundtripLargeRandom) {
+  RmatParams rp;
+  rp.scale = 10;
+  rp.num_edges = 20000;
+  rp.max_weight = 100;
+  rp.seed = 7;
+  std::vector<Edge> edges = GenerateRmat(rp);
+  ASSERT_TRUE(SaveEdgeListBinary(path_, uint64_t{1} << rp.scale, edges));
+  ParsedEdgeList parsed;
+  ASSERT_TRUE(LoadEdgeListBinary(path_, &parsed));
+  EXPECT_EQ(parsed.num_vertices, uint64_t{1} << rp.scale);
+  EXPECT_EQ(parsed.edges, edges);
+}
+
+TEST_F(EdgeListIoTest, BinaryDetectsTruncation) {
+  std::vector<Edge> edges = {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}};
+  ASSERT_TRUE(SaveEdgeListBinary(path_, 4, edges));
+  // Chop off the trailer plus part of the last record.
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path_.c_str(), size - 10), 0);
+  ParsedEdgeList parsed;
+  std::string error;
+  EXPECT_FALSE(LoadEdgeListBinary(path_, &parsed, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST_F(EdgeListIoTest, BinaryDetectsPayloadCorruption) {
+  std::vector<Edge> edges = {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}};
+  ASSERT_TRUE(SaveEdgeListBinary(path_, 4, edges));
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  std::fseek(f, 40, SEEK_SET);  // inside the first record
+  int c = std::fgetc(f);
+  std::fseek(f, 40, SEEK_SET);
+  std::fputc(c ^ 0x01, f);
+  std::fclose(f);
+  ParsedEdgeList parsed;
+  std::string error;
+  EXPECT_FALSE(LoadEdgeListBinary(path_, &parsed, &error));
+  EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+}
+
+TEST_F(EdgeListIoTest, BinaryRejectsWrongMagic) {
+  WriteFile("this is not a binary edge list, but it is long enough......");
+  ParsedEdgeList parsed;
+  std::string error;
+  EXPECT_FALSE(LoadEdgeListBinary(path_, &parsed, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(InferNumVertices, EmptyAndNonEmpty) {
+  EXPECT_EQ(InferNumVertices({}), 0u);
+  EXPECT_EQ(InferNumVertices({{3, 9, 1}, {2, 4, 1}}), 10u);
+}
+
+}  // namespace
+}  // namespace risgraph

@@ -1,0 +1,233 @@
+// Property-based validation of the incremental engine: against random R-MAT
+// graphs and random update streams, the engine must always agree with a
+// from-scratch reference computation, and its dependency tree must stay
+// well-formed (paper Section 2's invariant: every value is witnessed by its
+// parent edge).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/algorithm_api.h"
+#include "core/incremental_engine.h"
+#include "core/reference.h"
+#include "storage/graph_store.h"
+#include "workload/rmat.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+// Checks the dependency-tree invariants for one engine state.
+template <typename Algo>
+void CheckDependencyTree(const DefaultGraphStore& store,
+                         const IncrementalEngine<Algo>& engine,
+                         VertexId root) {
+  uint64_t n = store.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    ParentEdge pe = engine.Parent(v);
+    if (!engine.IsReached(v)) {
+      EXPECT_EQ(pe.parent, kInvalidVertex) << "unreached v=" << v;
+      continue;
+    }
+    if (pe.parent == kInvalidVertex) {
+      // A tree root: its value must be its own init value.
+      EXPECT_EQ(engine.Value(v), Algo::InitValue(v, root)) << "root v=" << v;
+      continue;
+    }
+    // The parent edge must exist in the graph (either direction for
+    // undirected algorithms).
+    uint64_t count = store.EdgeCount(pe.parent, EdgeKey{v, pe.weight});
+    if constexpr (Algo::kUndirected) {
+      count += store.EdgeCount(v, EdgeKey{pe.parent, pe.weight});
+    }
+    EXPECT_GT(count, 0u) << "missing parent edge " << pe.parent << "->" << v;
+    // The parent's relaxation must witness the value exactly.
+    EXPECT_EQ(engine.Value(v), Algo::GenNext(pe.weight,
+                                             engine.Value(pe.parent)))
+        << "unwitnessed value at v=" << v;
+  }
+  // Acyclicity: following parents must terminate within n hops.
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId cur = v;
+    uint64_t hops = 0;
+    while (cur != kInvalidVertex && hops <= n) {
+      cur = engine.Parent(cur).parent;
+      hops++;
+    }
+    EXPECT_LE(hops, n) << "parent cycle through v=" << v;
+  }
+}
+
+struct PropertyParam {
+  std::string algo;
+  uint64_t seed;
+  ParallelMode mode;
+};
+
+class EnginePropertyTest
+    : public ::testing::TestWithParam<PropertyParam> {};
+
+template <typename Algo>
+void RunPropertyTest(uint64_t seed, ParallelMode mode) {
+  RmatParams rp;
+  rp.scale = 8;
+  rp.num_edges = 1500;
+  rp.max_weight = 8;
+  rp.seed = seed;
+  std::vector<Edge> edges = GenerateRmat(rp);
+
+  StreamOptions so;
+  so.preload_fraction = 0.7;
+  so.insert_fraction = 0.5;
+  so.seed = seed * 31 + 1;
+  StreamWorkload wl = BuildStream(uint64_t{1} << rp.scale, edges, so);
+
+  DefaultGraphStore store(wl.num_vertices);
+  for (const Edge& e : wl.preload) store.InsertEdge(e);
+
+  EngineOptions opt;
+  opt.mode = mode;
+  opt.sequential_edge_threshold = (seed % 2 == 0) ? 2048 : 0;
+  IncrementalEngine<Algo> engine(store, /*root=*/0, opt);
+
+  auto check = [&] {
+    auto ref = ReferenceCompute<Algo>(store, 0);
+    for (VertexId v = 0; v < wl.num_vertices; ++v) {
+      ASSERT_EQ(engine.Value(v), ref[v])
+          << Algo::Name() << " diverged at v=" << v;
+    }
+    CheckDependencyTree(store, engine, 0);
+  };
+  check();
+
+  size_t step = 0;
+  for (const Update& u : wl.updates) {
+    if (u.kind == UpdateKind::kInsertEdge) {
+      store.InsertEdge(u.edge);
+      engine.OnInsert(u.edge);
+    } else if (u.kind == UpdateKind::kDeleteEdge) {
+      DeleteResult r = store.DeleteEdge(u.edge);
+      engine.OnDelete(u.edge, r);
+    }
+    // Full reference check every 64 updates (it is O(V*E)); invariants are
+    // cheap enough to check more often.
+    if (++step % 64 == 0) check();
+    if (step >= 600) break;
+  }
+  check();
+}
+
+TEST_P(EnginePropertyTest, IncrementalMatchesRecompute) {
+  const PropertyParam& p = GetParam();
+  if (p.algo == "bfs") {
+    RunPropertyTest<Bfs>(p.seed, p.mode);
+  } else if (p.algo == "sssp") {
+    RunPropertyTest<Sssp>(p.seed, p.mode);
+  } else if (p.algo == "sswp") {
+    RunPropertyTest<Sswp>(p.seed, p.mode);
+  } else {
+    RunPropertyTest<Wcc>(p.seed, p.mode);
+  }
+}
+
+std::vector<PropertyParam> MakeParams() {
+  std::vector<PropertyParam> params;
+  for (const char* algo : {"bfs", "sssp", "sswp", "wcc"}) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      params.push_back({algo, seed, ParallelMode::kHybrid});
+    }
+    params.push_back({algo, 4, ParallelMode::kVertexParallel});
+    params.push_back({algo, 5, ParallelMode::kEdgeParallel});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnginePropertyTest, ::testing::ValuesIn(MakeParams()),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      const PropertyParam& p = info.param;
+      std::string mode =
+          p.mode == ParallelMode::kHybrid
+              ? "hybrid"
+              : (p.mode == ParallelMode::kVertexParallel ? "vertex" : "edge");
+      return p.algo + "_seed" + std::to_string(p.seed) + "_" + mode;
+    });
+
+// Safe updates must never change any result — the foundation of inter-update
+// parallelism (paper Section 4). Sweep a random stream, and for every update
+// classified safe, assert values before == after.
+class SafetyPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+template <typename Algo>
+void RunSafetyTest() {
+  RmatParams rp;
+  rp.scale = 7;
+  rp.num_edges = 900;
+  rp.max_weight = 4;
+  rp.seed = 99;
+  std::vector<Edge> edges = GenerateRmat(rp);
+  StreamWorkload wl =
+      BuildStream(uint64_t{1} << rp.scale, edges, {.seed = 17});
+
+  DefaultGraphStore store(wl.num_vertices);
+  for (const Edge& e : wl.preload) store.InsertEdge(e);
+  IncrementalEngine<Algo> engine(store, 0);
+
+  uint64_t safe_count = 0;
+  std::vector<uint64_t> before(wl.num_vertices);
+  for (const Update& u : wl.updates) {
+    bool safe = false;
+    if (u.kind == UpdateKind::kInsertEdge) {
+      safe = engine.IsInsertSafe(u.edge);
+    } else {
+      uint64_t count = store.EdgeCount(u.edge.src,
+                                       EdgeKey{u.edge.dst, u.edge.weight});
+      safe = engine.IsDeleteSafe(u.edge, count == 1);
+    }
+    if (safe) {
+      for (VertexId v = 0; v < wl.num_vertices; ++v) {
+        before[v] = engine.Value(v);
+      }
+    }
+    if (u.kind == UpdateKind::kInsertEdge) {
+      store.InsertEdge(u.edge);
+      engine.OnInsert(u.edge);
+    } else {
+      DeleteResult r = store.DeleteEdge(u.edge);
+      engine.OnDelete(u.edge, r);
+    }
+    if (safe) {
+      safe_count++;
+      for (VertexId v = 0; v < wl.num_vertices; ++v) {
+        ASSERT_EQ(engine.Value(v), before[v])
+            << Algo::Name() << ": safe update changed v=" << v;
+      }
+      EXPECT_TRUE(engine.LastModified().empty());
+    }
+  }
+  // The observation behind Table 4: most updates are safe.
+  EXPECT_GT(safe_count, wl.updates.size() / 2);
+}
+
+TEST_P(SafetyPropertyTest, SafeUpdatesChangeNothing) {
+  const std::string& algo = GetParam();
+  if (algo == "bfs") {
+    RunSafetyTest<Bfs>();
+  } else if (algo == "sssp") {
+    RunSafetyTest<Sssp>();
+  } else if (algo == "sswp") {
+    RunSafetyTest<Sswp>();
+  } else {
+    RunSafetyTest<Wcc>();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, SafetyPropertyTest,
+                         ::testing::Values("bfs", "sssp", "sswp", "wcc"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace risgraph

@@ -1,0 +1,182 @@
+// The incremental engine must be correct over EVERY store configuration of
+// Table 8 (IA/IO x Hash/BTree/ART) and for the extra monotonic algorithms
+// (Reachability, MaxLabel) — the Algorithm API contract says any conforming
+// trait works unchanged.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/algorithm_api.h"
+#include "core/incremental_engine.h"
+#include "core/reference.h"
+#include "index/art_index.h"
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+#include "storage/graph_store.h"
+#include "workload/rmat.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+template <typename Store, typename Algo>
+void RunStream(uint64_t seed) {
+  RmatParams rp;
+  rp.scale = 8;
+  rp.num_edges = 1200;
+  rp.max_weight = 6;
+  rp.seed = seed;
+  auto edges = GenerateRmat(rp);
+  StreamOptions so;
+  so.preload_fraction = 0.7;
+  so.seed = seed + 9;
+  StreamWorkload wl = BuildStream(uint64_t{1} << rp.scale, edges, so);
+
+  // Small index threshold so the indexed code paths actually run.
+  StoreOptions sopt;
+  sopt.index_threshold = 8;
+  Store store(wl.num_vertices, sopt);
+  for (const Edge& e : wl.preload) store.InsertEdge(e);
+  IncrementalEngine<Algo, Store> engine(store, 0);
+
+  size_t step = 0;
+  for (const Update& u : wl.updates) {
+    if (u.kind == UpdateKind::kInsertEdge) {
+      store.InsertEdge(u.edge);
+      engine.OnInsert(u.edge);
+    } else {
+      DeleteResult r = store.DeleteEdge(u.edge);
+      engine.OnDelete(u.edge, r);
+    }
+    if (++step % 128 == 0 || step == wl.updates.size()) {
+      auto ref = ReferenceCompute<Algo>(store, 0);
+      for (VertexId v = 0; v < wl.num_vertices; ++v) {
+        ASSERT_EQ(engine.Value(v), ref[v])
+            << Algo::Name() << " v=" << v << " step=" << step;
+      }
+    }
+    if (step >= 512) break;
+  }
+}
+
+struct StoreParam {
+  std::string store;
+  std::string algo;
+};
+
+class EngineStoreMatrixTest : public ::testing::TestWithParam<StoreParam> {};
+
+template <typename Store>
+void DispatchAlgo(const std::string& algo, uint64_t seed) {
+  if (algo == "bfs") {
+    RunStream<Store, Bfs>(seed);
+  } else if (algo == "sssp") {
+    RunStream<Store, Sssp>(seed);
+  } else if (algo == "wcc") {
+    RunStream<Store, Wcc>(seed);
+  } else if (algo == "reach") {
+    RunStream<Store, Reachability>(seed);
+  } else if (algo == "minlabel") {
+    RunStream<Store, MinLabel>(seed);
+  } else {
+    RunStream<Store, MaxLabel>(seed);
+  }
+}
+
+TEST_P(EngineStoreMatrixTest, IncrementalMatchesRecompute) {
+  const StoreParam& p = GetParam();
+  const uint64_t seed = 21;
+  if (p.store == "ia_hash") {
+    DispatchAlgo<GraphStore<HashIndex, false>>(p.algo, seed);
+  } else if (p.store == "ia_btree") {
+    DispatchAlgo<GraphStore<BTreeIndex, false>>(p.algo, seed);
+  } else if (p.store == "ia_art") {
+    DispatchAlgo<GraphStore<ArtIndex, false>>(p.algo, seed);
+  } else if (p.store == "io_hash") {
+    DispatchAlgo<GraphStore<HashIndex, true>>(p.algo, seed);
+  } else if (p.store == "io_btree") {
+    DispatchAlgo<GraphStore<BTreeIndex, true>>(p.algo, seed);
+  } else {
+    DispatchAlgo<GraphStore<ArtIndex, true>>(p.algo, seed);
+  }
+}
+
+std::vector<StoreParam> MatrixParams() {
+  std::vector<StoreParam> params;
+  for (const char* store : {"ia_hash", "ia_btree", "ia_art", "io_hash",
+                            "io_btree", "io_art"}) {
+    for (const char* algo :
+         {"bfs", "sssp", "wcc", "reach", "maxlabel", "minlabel"}) {
+      params.push_back({store, algo});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table8Matrix, EngineStoreMatrixTest, ::testing::ValuesIn(MatrixParams()),
+    [](const ::testing::TestParamInfo<StoreParam>& info) {
+      return info.param.store + "_" + info.param.algo;
+    });
+
+TEST(Reachability, BasicSemantics) {
+  DefaultGraphStore store(5);
+  IncrementalEngine<Reachability> engine(store, 0);
+  store.InsertEdge(Edge{0, 1, 1});
+  engine.OnInsert(Edge{0, 1, 1});
+  store.InsertEdge(Edge{1, 2, 1});
+  engine.OnInsert(Edge{1, 2, 1});
+  EXPECT_EQ(engine.Value(2), 1u);
+  EXPECT_EQ(engine.Value(3), 0u);
+  // Reachability is insensitive to extra parallel paths: inserting 0 -> 2 is
+  // safe (2 is already reachable).
+  EXPECT_TRUE(engine.IsInsertSafe(Edge{0, 2, 1}));
+  // Cutting the only path unreaches the suffix.
+  DeleteResult r = store.DeleteEdge(Edge{0, 1, 1});
+  engine.OnDelete(Edge{0, 1, 1}, r);
+  EXPECT_EQ(engine.Value(1), 0u);
+  EXPECT_EQ(engine.Value(2), 0u);
+}
+
+TEST(MinLabel, DirectedPropagationOnly) {
+  DefaultGraphStore store(6);
+  IncrementalEngine<MinLabel> engine(store, 0);
+  // 3 -> 4: the smaller label 3 flows forward along the direction only.
+  store.InsertEdge(Edge{3, 4, 1});
+  engine.OnInsert(Edge{3, 4, 1});
+  EXPECT_EQ(engine.Value(4), 3u);
+  EXPECT_EQ(engine.Value(3), 3u);
+  // 5 -> 3 does not lower 3 (5 > 3): a safe insertion.
+  EXPECT_TRUE(engine.IsInsertSafe(Edge{5, 3, 1}));
+  // 0 -> 3 lowers 3 and transitively 4.
+  store.InsertEdge(Edge{0, 3, 1});
+  engine.OnInsert(Edge{0, 3, 1});
+  EXPECT_EQ(engine.Value(3), 0u);
+  EXPECT_EQ(engine.Value(4), 0u);
+  // Deleting the tree edge restores the original labels.
+  DeleteResult r = store.DeleteEdge(Edge{0, 3, 1});
+  engine.OnDelete(Edge{0, 3, 1}, r);
+  EXPECT_EQ(engine.Value(3), 3u);
+  EXPECT_EQ(engine.Value(4), 3u);
+}
+
+TEST(MaxLabel, PropagatesLargestId) {
+  DefaultGraphStore store(6);
+  IncrementalEngine<MaxLabel> engine(store, 0);
+  store.InsertEdge(Edge{1, 2, 1});
+  engine.OnInsert(Edge{1, 2, 1});
+  store.InsertEdge(Edge{2, 5, 1});
+  engine.OnInsert(Edge{2, 5, 1});
+  for (VertexId v : {1, 2, 5}) EXPECT_EQ(engine.Value(v), 5u) << v;
+  EXPECT_EQ(engine.Value(3), 3u);
+  // Splitting the component re-labels the detached side downward.
+  DeleteResult r = store.DeleteEdge(Edge{2, 5, 1});
+  engine.OnDelete(Edge{2, 5, 1}, r);
+  EXPECT_EQ(engine.Value(1), 2u);
+  EXPECT_EQ(engine.Value(2), 2u);
+  EXPECT_EQ(engine.Value(5), 5u);
+}
+
+}  // namespace
+}  // namespace risgraph

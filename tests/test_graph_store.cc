@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/graph_store.h"
+
+namespace risgraph {
+namespace {
+
+TEST(GraphStore, InsertAndIterateBothDirections) {
+  DefaultGraphStore store(5);
+  store.InsertEdge(Edge{0, 1, 10});
+  store.InsertEdge(Edge{0, 2, 20});
+  store.InsertEdge(Edge{3, 1, 30});
+  EXPECT_EQ(store.NumEdges(), 3u);
+  EXPECT_EQ(store.OutDegree(0), 2u);
+  EXPECT_EQ(store.InDegree(1), 2u);
+
+  std::map<VertexId, Weight> out0;
+  store.ForEachOut(0, [&](VertexId dst, Weight w, uint64_t) { out0[dst] = w; });
+  EXPECT_EQ(out0, (std::map<VertexId, Weight>{{1, 10}, {2, 20}}));
+
+  std::map<VertexId, Weight> in1;
+  store.ForEachIn(1, [&](VertexId src, Weight w, uint64_t) { in1[src] = w; });
+  EXPECT_EQ(in1, (std::map<VertexId, Weight>{{0, 10}, {3, 30}}));
+}
+
+TEST(GraphStore, DeleteKeepsTransposeConsistent) {
+  DefaultGraphStore store(4);
+  store.InsertEdge(Edge{0, 1, 5});
+  store.InsertEdge(Edge{0, 1, 5});  // duplicate
+  EXPECT_EQ(store.DeleteEdge(Edge{0, 1, 5}), DeleteResult::kDecremented);
+  EXPECT_EQ(store.EdgeCount(0, EdgeKey{1, 5}), 1u);
+  uint64_t in_count = 0;
+  store.ForEachIn(1, [&](VertexId, Weight, uint64_t c) { in_count = c; });
+  EXPECT_EQ(in_count, 1u);
+  EXPECT_EQ(store.DeleteEdge(Edge{0, 1, 5}), DeleteResult::kRemoved);
+  EXPECT_EQ(store.InDegree(1), 0u);
+  EXPECT_EQ(store.DeleteEdge(Edge{0, 1, 5}), DeleteResult::kNotFound);
+  EXPECT_EQ(store.NumEdges(), 0u);
+}
+
+TEST(GraphStore, VertexAddRemoveRecycle) {
+  DefaultGraphStore store(2);
+  VertexId v = store.AddVertex();
+  EXPECT_EQ(v, 2u);
+  store.InsertEdge(Edge{v, 0, 1});
+  EXPECT_FALSE(store.RemoveVertex(v));  // not isolated
+  store.DeleteEdge(Edge{v, 0, 1});
+  EXPECT_TRUE(store.RemoveVertex(v));
+  EXPECT_EQ(store.AddVertex(), v);  // id recycled
+  // Removing a vertex with only in-edges is also rejected.
+  VertexId u = store.AddVertex();
+  store.InsertEdge(Edge{0, u, 1});
+  EXPECT_FALSE(store.RemoveVertex(u));
+}
+
+TEST(GraphStore, ConcurrentInsertsOnDisjointAndSharedVertices) {
+  DefaultGraphStore store(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      Rng rng(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        // Half the traffic hammers vertex 0 to stress one lock.
+        VertexId src = (i % 2 == 0) ? 0 : rng.NextBounded(64);
+        VertexId dst = rng.NextBounded(64);
+        store.InsertEdge(Edge{src, dst, static_cast<Weight>(t + 1)});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.NumEdges(), uint64_t{kThreads} * kPerThread);
+  // Out-edge totals must equal in-edge totals (transpose consistency).
+  uint64_t out_total = 0;
+  uint64_t in_total = 0;
+  for (VertexId v = 0; v < 64; ++v) {
+    store.ForEachOut(v, [&](VertexId, Weight, uint64_t c) { out_total += c; });
+    store.ForEachIn(v, [&](VertexId, Weight, uint64_t c) { in_total += c; });
+  }
+  EXPECT_EQ(out_total, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(in_total, uint64_t{kThreads} * kPerThread);
+}
+
+TEST(GraphStore, ConcurrentMixedInsertDelete) {
+  DefaultGraphStore store(16);
+  // Pre-populate a dense small graph.
+  for (VertexId s = 0; s < 16; ++s) {
+    for (VertexId d = 0; d < 16; ++d) {
+      if (s != d) {
+        store.InsertEdge(Edge{s, d, 1});
+        store.InsertEdge(Edge{s, d, 1});
+      }
+    }
+  }
+  uint64_t initial = store.NumEdges();
+  std::vector<std::thread> threads;
+  std::atomic<int64_t> delta{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < 5000; ++i) {
+        VertexId s = rng.NextBounded(16);
+        VertexId d = rng.NextBounded(16);
+        if (s == d) continue;
+        if (rng.NextBool(0.5)) {
+          store.InsertEdge(Edge{s, d, 1});
+          delta.fetch_add(1);
+        } else if (store.DeleteEdge(Edge{s, d, 1}) !=
+                   DeleteResult::kNotFound) {
+          delta.fetch_sub(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.NumEdges(),
+            initial + static_cast<uint64_t>(delta.load() + 0));
+}
+
+TEST(GraphStore, MemoryReporting) {
+  DefaultGraphStore store(100);
+  size_t before = store.MemoryBytes();
+  for (uint64_t i = 0; i < 1000; ++i) {
+    store.InsertEdge(Edge{i % 100, (i + 1) % 100, i});
+  }
+  EXPECT_GT(store.MemoryBytes(), before);
+}
+
+TEST(GraphStore, NoTransposeOption) {
+  StoreOptions opt;
+  opt.keep_transpose = false;
+  DefaultGraphStore store(4, opt);
+  store.InsertEdge(Edge{0, 1, 1});
+  EXPECT_EQ(store.OutDegree(0), 1u);
+  EXPECT_EQ(store.InDegree(1), 0u);
+  EXPECT_EQ(store.DeleteEdge(Edge{0, 1, 1}), DeleteResult::kRemoved);
+}
+
+TEST(GraphStore, IndexThresholdOption) {
+  StoreOptions opt;
+  opt.index_threshold = 4;
+  DefaultGraphStore store(8, opt);
+  for (uint64_t i = 0; i < 100; ++i) store.InsertEdge(Edge{0, i % 8, i});
+  // With threshold 4 the hub's adjacency must have built an index; verify by
+  // point lookups staying correct (the index path).
+  EXPECT_EQ(store.EdgeCount(0, EdgeKey{1, 1}), 1u);
+  EXPECT_EQ(store.EdgeCount(0, EdgeKey{1, 2}), 0u);
+}
+
+}  // namespace
+}  // namespace risgraph

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/algorithm_api.h"
+#include "core/incremental_engine.h"
+#include "core/reference.h"
+#include "parallel/thread_pool.h"
+#include "storage/graph_store.h"
+
+namespace risgraph {
+namespace {
+
+// Applies an edge insertion through store + engine, like the runtime does.
+template <typename Engine>
+void Insert(DefaultGraphStore& store, Engine& engine, VertexId s, VertexId d,
+            Weight w = 1) {
+  store.InsertEdge(Edge{s, d, w});
+  engine.OnInsert(Edge{s, d, w});
+}
+
+template <typename Engine>
+void Delete(DefaultGraphStore& store, Engine& engine, VertexId s, VertexId d,
+            Weight w = 1) {
+  DeleteResult r = store.DeleteEdge(Edge{s, d, w});
+  engine.OnDelete(Edge{s, d, w}, r);
+}
+
+TEST(IncrementalBfs, ChainThenShortcut) {
+  DefaultGraphStore store(5);
+  IncrementalEngine<Bfs> engine(store, /*root=*/0);
+  Insert(store, engine, 0, 1);
+  Insert(store, engine, 1, 2);
+  Insert(store, engine, 2, 3);
+  EXPECT_EQ(engine.Value(0), 0u);
+  EXPECT_EQ(engine.Value(1), 1u);
+  EXPECT_EQ(engine.Value(2), 2u);
+  EXPECT_EQ(engine.Value(3), 3u);
+  EXPECT_FALSE(engine.IsReached(4));
+
+  // A shortcut improves vertex 3 and re-parents it.
+  Insert(store, engine, 0, 3);
+  EXPECT_EQ(engine.Value(3), 1u);
+  EXPECT_EQ(engine.Parent(3).parent, 0u);
+  EXPECT_EQ(engine.LastModifiedVertices(), std::vector<VertexId>{3});
+}
+
+TEST(IncrementalBfs, InsertionPropagatesDownstream) {
+  DefaultGraphStore store(6);
+  IncrementalEngine<Bfs> engine(store, 0);
+  Insert(store, engine, 0, 1);
+  Insert(store, engine, 1, 2);
+  Insert(store, engine, 2, 3);
+  Insert(store, engine, 3, 4);
+  // Shortcut to 2 improves 2, 3 and 4 in one update.
+  Insert(store, engine, 0, 2);
+  EXPECT_EQ(engine.Value(2), 1u);
+  EXPECT_EQ(engine.Value(3), 2u);
+  EXPECT_EQ(engine.Value(4), 3u);
+  std::vector<VertexId> mod_ids = engine.LastModifiedVertices();
+  std::set<VertexId> modified(mod_ids.begin(),
+                              mod_ids.end());
+  EXPECT_EQ(modified, (std::set<VertexId>{2, 3, 4}));
+}
+
+TEST(IncrementalSssp, DeleteTreeEdgeReroutesThroughAlternative) {
+  DefaultGraphStore store(4);
+  IncrementalEngine<Sssp> engine(store, 0);
+  Insert(store, engine, 0, 1, 1);
+  Insert(store, engine, 0, 2, 1);
+  Insert(store, engine, 1, 3, 1);  // dist(3) = 2 via 1
+  Insert(store, engine, 2, 3, 5);  // alternative, dist 6
+  EXPECT_EQ(engine.Value(3), 2u);
+  EXPECT_EQ(engine.Parent(3).parent, 1u);
+
+  Delete(store, engine, 1, 3, 1);
+  EXPECT_EQ(engine.Value(3), 6u);
+  EXPECT_EQ(engine.Parent(3).parent, 2u);
+  EXPECT_EQ(engine.LastModifiedVertices(), std::vector<VertexId>{3});
+}
+
+TEST(IncrementalSssp, DeleteDisconnectsSubtree) {
+  DefaultGraphStore store(4);
+  IncrementalEngine<Sssp> engine(store, 0);
+  Insert(store, engine, 0, 1, 2);
+  Insert(store, engine, 1, 2, 3);
+  Insert(store, engine, 2, 3, 4);
+  EXPECT_EQ(engine.Value(3), 9u);
+  Delete(store, engine, 0, 1, 2);
+  for (VertexId v : {1, 2, 3}) {
+    EXPECT_FALSE(engine.IsReached(v)) << v;
+    EXPECT_EQ(engine.Parent(v).parent, kInvalidVertex) << v;
+  }
+  std::vector<VertexId> mod_ids = engine.LastModifiedVertices();
+  std::set<VertexId> modified(mod_ids.begin(),
+                              mod_ids.end());
+  EXPECT_EQ(modified, (std::set<VertexId>{1, 2, 3}));
+  // Re-inserting restores the distances.
+  Insert(store, engine, 0, 1, 2);
+  EXPECT_EQ(engine.Value(3), 9u);
+}
+
+TEST(IncrementalSssp, DuplicateEdgesKeepTreeAlive) {
+  DefaultGraphStore store(3);
+  IncrementalEngine<Sssp> engine(store, 0);
+  Insert(store, engine, 0, 1, 4);
+  Insert(store, engine, 0, 1, 4);  // duplicate of the tree edge
+  EXPECT_EQ(engine.Value(1), 4u);
+
+  // Deleting one duplicate must not invalidate anything.
+  EXPECT_TRUE(engine.IsDeleteSafe(Edge{0, 1, 4}, /*removes_last=*/false));
+  Delete(store, engine, 0, 1, 4);
+  EXPECT_EQ(engine.Value(1), 4u);
+  EXPECT_TRUE(engine.LastModified().empty());
+
+  // Deleting the last duplicate disconnects vertex 1.
+  EXPECT_FALSE(engine.IsDeleteSafe(Edge{0, 1, 4}, /*removes_last=*/true));
+  Delete(store, engine, 0, 1, 4);
+  EXPECT_FALSE(engine.IsReached(1));
+}
+
+TEST(IncrementalSssp, ParallelEdgesDifferentWeights) {
+  DefaultGraphStore store(2);
+  IncrementalEngine<Sssp> engine(store, 0);
+  Insert(store, engine, 0, 1, 7);
+  Insert(store, engine, 0, 1, 3);  // better parallel edge
+  EXPECT_EQ(engine.Value(1), 3u);
+  EXPECT_EQ(engine.Parent(1).weight, 3u);
+  // Deleting the *non-tree* parallel edge is safe and changes nothing.
+  EXPECT_TRUE(engine.IsDeleteSafe(Edge{0, 1, 7}, true));
+  Delete(store, engine, 0, 1, 7);
+  EXPECT_EQ(engine.Value(1), 3u);
+  // Deleting the tree edge falls back... to nothing (7 is gone).
+  Delete(store, engine, 0, 1, 3);
+  EXPECT_FALSE(engine.IsReached(1));
+}
+
+TEST(IncrementalSswp, WidestPathMaintenance) {
+  DefaultGraphStore store(3);
+  IncrementalEngine<Sswp> engine(store, 0);
+  Insert(store, engine, 0, 1, 5);
+  Insert(store, engine, 1, 2, 3);
+  EXPECT_EQ(engine.Value(1), 5u);
+  EXPECT_EQ(engine.Value(2), 3u);  // min(5, 3)
+  Insert(store, engine, 0, 2, 4);  // wider direct road
+  EXPECT_EQ(engine.Value(2), 4u);
+  Delete(store, engine, 0, 2, 4);
+  EXPECT_EQ(engine.Value(2), 3u);
+}
+
+TEST(IncrementalWcc, MergeAndSplitComponents) {
+  DefaultGraphStore store(6);
+  IncrementalEngine<Wcc> engine(store, 0);
+  Insert(store, engine, 0, 1);
+  Insert(store, engine, 2, 3);
+  Insert(store, engine, 3, 4);
+  EXPECT_EQ(engine.Value(1), 0u);
+  EXPECT_EQ(engine.Value(3), 2u);
+  EXPECT_EQ(engine.Value(4), 2u);
+  EXPECT_EQ(engine.Value(5), 5u);  // isolated
+
+  // Bridge the components (undirected label propagation).
+  Insert(store, engine, 4, 1);
+  for (VertexId v : {0, 1, 2, 3, 4}) EXPECT_EQ(engine.Value(v), 0u) << v;
+
+  // Cut the bridge: the {2,3,4} side gets its own min label back.
+  Delete(store, engine, 4, 1);
+  EXPECT_EQ(engine.Value(0), 0u);
+  EXPECT_EQ(engine.Value(1), 0u);
+  for (VertexId v : {2, 3, 4}) EXPECT_EQ(engine.Value(v), 2u) << v;
+}
+
+TEST(IncrementalWcc, ReverseDirectionEdgeAlsoConnects) {
+  DefaultGraphStore store(3);
+  IncrementalEngine<Wcc> engine(store, 0);
+  Insert(store, engine, 2, 0);  // edge points *into* the smaller label
+  EXPECT_EQ(engine.Value(2), 0u);
+  Delete(store, engine, 2, 0);
+  EXPECT_EQ(engine.Value(2), 2u);
+}
+
+TEST(Classification, InsertSafety) {
+  DefaultGraphStore store(4);
+  IncrementalEngine<Bfs> engine(store, 0);
+  Insert(store, engine, 0, 1);
+  Insert(store, engine, 1, 2);
+  // 1 -> 2 exists; another edge 0 -> 2 would improve 2: unsafe.
+  EXPECT_FALSE(engine.IsInsertSafe(Edge{0, 2, 1}));
+  // 2 -> 1 cannot improve 1 (would give distance 3 > 1): safe.
+  EXPECT_TRUE(engine.IsInsertSafe(Edge{2, 1, 1}));
+  // Edge from an unreached vertex is always safe.
+  EXPECT_TRUE(engine.IsInsertSafe(Edge{3, 1, 1}));
+  // Edge *to* an unreached vertex from a reached one: unsafe.
+  EXPECT_FALSE(engine.IsInsertSafe(Edge{1, 3, 1}));
+}
+
+TEST(Classification, DeleteSafety) {
+  DefaultGraphStore store(4);
+  IncrementalEngine<Bfs> engine(store, 0);
+  Insert(store, engine, 0, 1);
+  Insert(store, engine, 0, 2);
+  Insert(store, engine, 1, 3);
+  Insert(store, engine, 2, 3);  // non-tree (3 already reached via 1)
+  EXPECT_EQ(engine.Parent(3).parent, 1u);
+  EXPECT_TRUE(engine.IsDeleteSafe(Edge{2, 3, 1}, true));    // non-tree
+  EXPECT_FALSE(engine.IsDeleteSafe(Edge{1, 3, 1}, true));   // tree edge
+  EXPECT_TRUE(engine.IsDeleteSafe(Edge{1, 3, 1}, false));   // duplicate left
+}
+
+TEST(Classification, SafeInsertChangesNothing) {
+  DefaultGraphStore store(4);
+  IncrementalEngine<Bfs> engine(store, 0);
+  Insert(store, engine, 0, 1);
+  Insert(store, engine, 1, 2);
+  ASSERT_TRUE(engine.IsInsertSafe(Edge{2, 1, 1}));
+  std::vector<uint64_t> before;
+  for (VertexId v = 0; v < 4; ++v) before.push_back(engine.Value(v));
+  Insert(store, engine, 2, 1);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(engine.Value(v), before[v]);
+  EXPECT_TRUE(engine.LastModified().empty());
+}
+
+TEST(Engine, ResetMatchesReference) {
+  DefaultGraphStore store(8);
+  IncrementalEngine<Sssp> engine(store, 0);
+  // Build a little diamond mesh without engine maintenance, then Reset.
+  store.InsertEdge(Edge{0, 1, 2});
+  store.InsertEdge(Edge{0, 2, 1});
+  store.InsertEdge(Edge{1, 3, 1});
+  store.InsertEdge(Edge{2, 3, 5});
+  store.InsertEdge(Edge{3, 4, 1});
+  store.InsertEdge(Edge{2, 5, 2});
+  engine.Reset(0);
+  auto ref = ReferenceCompute<Sssp>(store, 0);
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(engine.Value(v), ref[v]) << v;
+}
+
+TEST(Engine, VertexGrowth) {
+  DefaultGraphStore store(2);
+  IncrementalEngine<Bfs> engine(store, 0);
+  Insert(store, engine, 0, 1);
+  VertexId v = store.AddVertex();
+  engine.SyncVertexCount();
+  EXPECT_EQ(engine.NumVertices(), 3u);
+  EXPECT_FALSE(engine.IsReached(v));
+  Insert(store, engine, 1, v);
+  EXPECT_EQ(engine.Value(v), 2u);
+}
+
+TEST(Engine, RootChange) {
+  DefaultGraphStore store(3);
+  IncrementalEngine<Bfs> engine(store, 0);
+  Insert(store, engine, 0, 1);
+  Insert(store, engine, 1, 2);
+  engine.Reset(2);
+  EXPECT_EQ(engine.Value(2), 0u);
+  EXPECT_FALSE(engine.IsReached(0));
+}
+
+TEST(Engine, SelfLoopsAreInert) {
+  DefaultGraphStore store(2);
+  IncrementalEngine<Sssp> engine(store, 0);
+  Insert(store, engine, 0, 0, 5);
+  Insert(store, engine, 0, 1, 3);
+  Insert(store, engine, 1, 1, 0);
+  EXPECT_EQ(engine.Value(0), 0u);
+  EXPECT_EQ(engine.Value(1), 3u);
+  Delete(store, engine, 0, 0, 5);
+  Delete(store, engine, 1, 1, 0);
+  EXPECT_EQ(engine.Value(1), 3u);
+}
+
+// Forced vertex-parallel and edge-parallel must produce identical results.
+TEST(Engine, ParallelModesAgree) {
+  auto run = [](ParallelMode mode) {
+    DefaultGraphStore store(64);
+    EngineOptions opt;
+    opt.mode = mode;
+    opt.sequential_edge_threshold = 0;  // force the parallel kernels
+    IncrementalEngine<Bfs> engine(store, 0, opt);
+    // A hub-heavy graph.
+    for (VertexId v = 1; v < 64; ++v) Insert(store, engine, 0, v);
+    for (VertexId v = 1; v < 32; ++v) Insert(store, engine, v, v + 32);
+    Delete(store, engine, 0, 1);
+    std::vector<uint64_t> vals;
+    for (VertexId v = 0; v < 64; ++v) vals.push_back(engine.Value(v));
+    return vals;
+  };
+  auto vp = run(ParallelMode::kVertexParallel);
+  auto ep = run(ParallelMode::kEdgeParallel);
+  auto hy = run(ParallelMode::kHybrid);
+  EXPECT_EQ(vp, ep);
+  EXPECT_EQ(vp, hy);
+}
+
+}  // namespace
+}  // namespace risgraph

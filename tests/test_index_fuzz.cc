@@ -1,0 +1,134 @@
+// Differential fuzz of the three edge-index implementations (Table 8's
+// Hash / BTree / ART) against a std::unordered_map reference: random
+// interleavings of Insert / Erase / Find / in-place mutation / Clear must
+// agree exactly, including full-content ForEach enumeration.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "index/art_index.h"
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+
+namespace risgraph {
+namespace {
+
+template <typename IndexT>
+void FuzzAgainstReference(uint64_t seed, uint64_t key_space,
+                          uint64_t weight_space, int ops) {
+  IndexT index;
+  std::unordered_map<EdgeKey, uint64_t> ref;
+  Rng rng(seed);
+
+  auto random_key = [&] {
+    return EdgeKey{rng.NextBounded(key_space),
+                   rng.NextBounded(weight_space)};
+  };
+
+  for (int i = 0; i < ops; ++i) {
+    EdgeKey key = random_key();
+    switch (rng.NextBounded(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // insert (fresh keys only, as the adjacency list does)
+        if (ref.find(key) == ref.end()) {
+          uint64_t value = rng.NextBounded(1 << 20);
+          index.Insert(key, value);
+          ref[key] = value;
+        }
+        break;
+      }
+      case 4:
+      case 5: {  // erase
+        bool present = ref.erase(key) > 0;
+        if (present) index.Erase(key);
+        break;
+      }
+      case 6:
+      case 7: {  // in-place mutation through Find (duplicate-count bumps)
+        auto it = ref.find(key);
+        uint64_t* slot = index.Find(key);
+        ASSERT_EQ(slot != nullptr, it != ref.end());
+        if (slot != nullptr) {
+          (*slot)++;
+          it->second++;
+        }
+        break;
+      }
+      case 8: {  // point lookup
+        auto it = ref.find(key);
+        uint64_t* slot = index.Find(key);
+        ASSERT_EQ(slot != nullptr, it != ref.end());
+        if (slot != nullptr) ASSERT_EQ(*slot, it->second);
+        break;
+      }
+      case 9: {  // rare full clear (the rebuild path on compaction)
+        if (rng.NextBounded(100) == 0) {
+          index.Clear();
+          ref.clear();
+        }
+        break;
+      }
+    }
+    if (i % 997 == 0 || i + 1 == ops) {
+      // Full-content check via enumeration.
+      std::unordered_map<EdgeKey, uint64_t> seen;
+      index.ForEach([&](EdgeKey k, uint64_t v) { seen[k] = v; });
+      ASSERT_EQ(seen.size(), ref.size()) << "op " << i;
+      for (const auto& [k, v] : ref) {
+        auto it = seen.find(k);
+        ASSERT_NE(it, seen.end());
+        ASSERT_EQ(it->second, v);
+      }
+    }
+  }
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+struct FuzzParam {
+  std::string index;
+  uint64_t key_space;
+  uint64_t weight_space;
+};
+
+class IndexFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(IndexFuzzTest, MatchesUnorderedMapReference) {
+  const FuzzParam& p = GetParam();
+  const int kOps = 20000;
+  for (uint64_t seed : {1u, 2u}) {
+    if (p.index == "hash") {
+      FuzzAgainstReference<HashIndex>(seed, p.key_space, p.weight_space,
+                                      kOps);
+    } else if (p.index == "btree") {
+      FuzzAgainstReference<BTreeIndex>(seed, p.key_space, p.weight_space,
+                                       kOps);
+    } else {
+      FuzzAgainstReference<ArtIndex>(seed, p.key_space, p.weight_space, kOps);
+    }
+  }
+}
+
+// Key-space shapes: dense small (collision-heavy), sparse huge (deep radix
+// paths), single-destination many-weights (the duplicate-edge pattern).
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IndexFuzzTest,
+    ::testing::Values(FuzzParam{"hash", 64, 4}, FuzzParam{"hash", 1 << 30, 64},
+                      FuzzParam{"btree", 64, 4},
+                      FuzzParam{"btree", 1 << 30, 64},
+                      FuzzParam{"art", 64, 4}, FuzzParam{"art", 1 << 30, 64},
+                      FuzzParam{"hash", 1, 1 << 20},
+                      FuzzParam{"btree", 1, 1 << 20},
+                      FuzzParam{"art", 1, 1 << 20}),
+    [](const auto& info) {
+      return info.param.index + "_k" + std::to_string(info.param.key_space) +
+             "_w" + std::to_string(info.param.weight_space);
+    });
+
+}  // namespace
+}  // namespace risgraph

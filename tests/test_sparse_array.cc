@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/sparse_array.h"
+
+namespace risgraph {
+namespace {
+
+TEST(SparseFrontier, AppendAndDrain) {
+  SparseFrontier frontier(3);
+  frontier.Append(0, 5, 10);
+  frontier.Append(1, 7, 20);
+  frontier.Append(2, 9, 30);
+  EXPECT_FALSE(frontier.Empty());
+  std::vector<VertexId> out;
+  uint64_t edges = frontier.Drain(out);
+  EXPECT_EQ(edges, 60u);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<VertexId>{5, 7, 9}));
+  EXPECT_TRUE(frontier.Empty());
+  // Drain clears accumulated per-thread state.
+  edges = frontier.Drain(out);
+  EXPECT_EQ(edges, 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(GenerationMarks, ClaimOncePerGeneration) {
+  GenerationMarks marks(10);
+  EXPECT_TRUE(marks.Claim(3));
+  EXPECT_FALSE(marks.Claim(3));
+  EXPECT_TRUE(marks.IsClaimed(3));
+  EXPECT_FALSE(marks.IsClaimed(4));
+  marks.NextGeneration();
+  EXPECT_FALSE(marks.IsClaimed(3));  // stale claim forgotten
+  EXPECT_TRUE(marks.Claim(3));
+}
+
+TEST(GenerationMarks, GrowPreservesClaims) {
+  GenerationMarks marks(4);
+  marks.Claim(2);
+  marks.Grow(100);
+  EXPECT_TRUE(marks.IsClaimed(2));
+  EXPECT_TRUE(marks.Claim(50));
+}
+
+TEST(GenerationMarks, ConcurrentClaimExactlyOnce) {
+  GenerationMarks marks(1000);
+  std::vector<std::vector<VertexId>> claimed(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (VertexId v = 0; v < 1000; ++v) {
+        if (marks.Claim(v)) claimed[t].push_back(v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<VertexId> all;
+  size_t total = 0;
+  for (auto& c : claimed) {
+    total += c.size();
+    all.insert(c.begin(), c.end());
+  }
+  EXPECT_EQ(total, 1000u);  // no double claims
+  EXPECT_EQ(all.size(), 1000u);
+}
+
+TEST(Bitmap, SetGetClearAndFillFrom) {
+  Bitmap bm(200);
+  EXPECT_FALSE(bm.Get(63));
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(199);
+  EXPECT_TRUE(bm.Get(63));
+  EXPECT_TRUE(bm.Get(64));
+  EXPECT_TRUE(bm.Get(199));
+  EXPECT_FALSE(bm.Get(0));
+  bm.Clear();
+  EXPECT_FALSE(bm.Get(63));
+  bm.FillFrom({1, 2, 3});
+  EXPECT_TRUE(bm.Get(2));
+}
+
+}  // namespace
+}  // namespace risgraph

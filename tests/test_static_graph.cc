@@ -1,0 +1,144 @@
+#include "static_graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/algorithm_api.h"
+#include "core/reference.h"
+#include "static_graph/static_algorithms.h"
+#include "storage/graph_store.h"
+#include "workload/rmat.h"
+
+namespace risgraph {
+namespace {
+
+void FillStore(DefaultGraphStore& store, uint32_t scale, uint64_t edges,
+               uint64_t seed) {
+  RmatParams rp;
+  rp.scale = scale;
+  rp.num_edges = edges;
+  rp.max_weight = 16;
+  rp.seed = seed;
+  for (const Edge& e : GenerateRmat(rp)) store.InsertEdge(e);
+}
+
+TEST(Csr, MatchesStoreDegreesAndEdges) {
+  DefaultGraphStore store(uint64_t{1} << 8);
+  FillStore(store, 8, 3000, 1);
+  CsrGraph g = BuildCsr(store);
+  ASSERT_EQ(g.num_vertices, store.NumVertices());
+  uint64_t total_in = 0;
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    ASSERT_EQ(g.OutDegree(v), store.OutDegree(v)) << v;
+    ASSERT_EQ(g.InDegree(v), store.InDegree(v)) << v;
+    total_in += g.InDegree(v);
+    // Every CSR out-edge exists in the store.
+    g.ForEachOut(v, [&](VertexId dst, Weight w) {
+      EXPECT_GT(store.EdgeCount(v, EdgeKey{dst, w}), 0u);
+    });
+  }
+  EXPECT_EQ(total_in, g.num_edges);
+}
+
+TEST(Csr, CollapsesDuplicates) {
+  DefaultGraphStore store(4);
+  store.InsertEdge(Edge{0, 1, 5});
+  store.InsertEdge(Edge{0, 1, 5});  // duplicate key
+  store.InsertEdge(Edge{0, 1, 7});  // distinct weight => distinct key
+  CsrGraph g = BuildCsr(store);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.num_edges, 2u);
+}
+
+TEST(Csr, WithoutTranspose) {
+  DefaultGraphStore store(uint64_t{1} << 6);
+  FillStore(store, 6, 300, 2);
+  CsrGraph g = BuildCsr(store, /*with_transpose=*/false);
+  EXPECT_FALSE(g.HasTranspose());
+  EXPECT_EQ(g.InDegree(3), 0u);
+}
+
+class StaticAlgoTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StaticAlgoTest, MatchesReferenceOracle) {
+  DefaultGraphStore store(uint64_t{1} << 9);
+  FillStore(store, 9, 6000, 7);
+  CsrGraph g = BuildCsr(store);
+  const std::string& algo = GetParam();
+  auto check = [&](auto algo_tag) {
+    using Algo = decltype(algo_tag);
+    auto got = StaticCompute<Algo>(g, 0);
+    auto ref = ReferenceCompute<Algo>(store, 0);
+    for (VertexId v = 0; v < g.num_vertices; ++v) {
+      ASSERT_EQ(got[v], ref[v]) << Algo::Name() << " v=" << v;
+    }
+  };
+  if (algo == "bfs") {
+    check(Bfs{});
+  } else if (algo == "sssp") {
+    check(Sssp{});
+  } else if (algo == "sswp") {
+    check(Sswp{});
+  } else if (algo == "wcc") {
+    check(Wcc{});
+  } else if (algo == "reach") {
+    check(Reachability{});
+  } else {
+    check(MaxLabel{});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, StaticAlgoTest,
+                         ::testing::Values("bfs", "sssp", "sswp", "wcc",
+                                           "reach", "maxlabel"),
+                         [](const auto& info) { return info.param; });
+
+TEST(DirectionOptimizingBfs, MatchesGenericBfs) {
+  DefaultGraphStore store(uint64_t{1} << 10);
+  FillStore(store, 10, 30000, 13);  // dense enough to trigger bottom-up
+  CsrGraph g = BuildCsr(store);
+  auto fast = DirectionOptimizingBfs(g, 0);
+  auto ref = StaticCompute<Bfs>(g, 0);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    ASSERT_EQ(fast[v], ref[v]) << v;
+  }
+}
+
+TEST(DirectionOptimizingBfs, HandlesEmptyAndSingleton) {
+  DefaultGraphStore store(1);
+  CsrGraph g = BuildCsr(store);
+  auto d = DirectionOptimizingBfs(g, 0);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], 0u);
+}
+
+TEST(StaticConnectedComponents, MatchesWcc) {
+  DefaultGraphStore store(uint64_t{1} << 9);
+  FillStore(store, 9, 2500, 21);  // sparse => many components
+  CsrGraph g = BuildCsr(store);
+  auto cc = StaticConnectedComponents(g);
+  auto ref = ReferenceCompute<Wcc>(store, 0);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    ASSERT_EQ(cc[v], ref[v]) << v;
+  }
+}
+
+TEST(ComputeStats, CountsComponentsAndReachability) {
+  DefaultGraphStore store(6);
+  store.InsertEdge(Edge{0, 1, 1});
+  store.InsertEdge(Edge{1, 2, 1});
+  store.InsertEdge(Edge{3, 4, 1});
+  // Components: {0,1,2}, {3,4}, {5} = 3. Reachable from 0: {0,1,2} = 3.
+  CsrGraph g = BuildCsr(store);
+  GraphStats s = ComputeStats(g, 0);
+  EXPECT_EQ(s.num_vertices, 6u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_EQ(s.num_components, 3u);
+  EXPECT_EQ(s.reachable_from_root, 3u);
+  EXPECT_EQ(s.max_out_degree, 1u);
+}
+
+}  // namespace
+}  // namespace risgraph

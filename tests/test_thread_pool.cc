@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace risgraph {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(10000, 64, [&](size_t, uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  uint64_t sum = 0;
+  pool.ParallelFor(100, 10, [&](size_t tid, uint64_t b, uint64_t e) {
+    EXPECT_EQ(tid, 0u);
+    for (uint64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, 1, [&](size_t, uint64_t, uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ManySmallLoopsBackToBack) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(97, 8, [&](size_t, uint64_t b, uint64_t e) {
+      total.fetch_add(e - b);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 97);
+}
+
+TEST(ThreadPool, RunOnAllVisitsEveryWorker) {
+  ThreadPool pool(6);
+  std::vector<std::atomic<int>> seen(6);
+  pool.RunOnAll([&](size_t tid) { seen[tid].fetch_add(1); });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEachHelper) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  ParallelForEach(1000, 16, [&](size_t, uint64_t i) { sum.fetch_add(i); },
+                  &pool);
+  EXPECT_EQ(sum.load(), 499500u);
+}
+
+TEST(ThreadPool, GlobalPoolReset) {
+  ThreadPool::ResetGlobal(3);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3u);
+  ThreadPool::ResetGlobal(0);  // back to default for other tests
+  EXPECT_GE(ThreadPool::Global().num_threads(), 1u);
+}
+
+TEST(Atomics, FetchMinLowersOnlyWhenSmaller) {
+  std::atomic<uint64_t> v{100};
+  EXPECT_TRUE(AtomicFetchMin(v, uint64_t{50}));
+  EXPECT_EQ(v.load(), 50u);
+  EXPECT_FALSE(AtomicFetchMin(v, uint64_t{70}));
+  EXPECT_EQ(v.load(), 50u);
+}
+
+TEST(Atomics, FetchMaxRaisesOnlyWhenLarger) {
+  std::atomic<uint64_t> v{10};
+  EXPECT_TRUE(AtomicFetchMax(v, uint64_t{20}));
+  EXPECT_FALSE(AtomicFetchMax(v, uint64_t{5}));
+  EXPECT_EQ(v.load(), 20u);
+}
+
+TEST(Atomics, ConcurrentFetchMinConverges) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> v{UINT64_MAX};
+  pool.ParallelFor(10000, 16, [&](size_t, uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) AtomicFetchMin(v, i);
+  });
+  EXPECT_EQ(v.load(), 0u);
+}
+
+}  // namespace
+}  // namespace risgraph

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/datasets.h"
+#include "workload/rmat.h"
+#include "workload/road.h"
+#include "workload/update_stream.h"
+
+namespace risgraph {
+namespace {
+
+TEST(Rmat, DeterministicAndWellFormed) {
+  RmatParams p;
+  p.scale = 10;
+  p.num_edges = 5000;
+  p.seed = 11;
+  auto a = GenerateRmat(p);
+  auto b = GenerateRmat(p);
+  EXPECT_EQ(a.size(), 5000u);
+  EXPECT_EQ(a, b);
+  for (const Edge& e : a) {
+    EXPECT_LT(e.src, 1024u);
+    EXPECT_LT(e.dst, 1024u);
+    EXPECT_NE(e.src, e.dst);  // no self-loops
+    EXPECT_GE(e.weight, 1u);
+    EXPECT_LE(e.weight, p.max_weight);
+  }
+}
+
+TEST(Rmat, PowerLawSkew) {
+  RmatParams p;
+  p.scale = 12;
+  p.num_edges = 16 * 4096;
+  auto edges = GenerateRmat(p);
+  std::vector<uint64_t> outdeg(4096, 0);
+  for (const Edge& e : edges) outdeg[e.src]++;
+  uint64_t max_deg = 0;
+  uint64_t nonzero = 0;
+  for (uint64_t d : outdeg) {
+    max_deg = std::max(max_deg, d);
+    if (d > 0) nonzero++;
+  }
+  // Skew: the hottest vertex is far above the mean, and a healthy share of
+  // vertices have no edges at all.
+  EXPECT_GT(max_deg, 10 * (edges.size() / nonzero));
+  EXPECT_LT(nonzero, 4096u);
+}
+
+TEST(Road, GridStructure) {
+  RoadParams p;
+  p.side = 16;
+  p.diagonal_prob = 0.0;
+  auto edges = GenerateRoad(p);
+  // A pure grid: 2 * side*(side-1) undirected roads, emitted both ways.
+  EXPECT_EQ(edges.size(), 2u * 2 * 16 * 15);
+  std::vector<uint64_t> deg(256, 0);
+  for (const Edge& e : edges) {
+    deg[e.src]++;
+    EXPECT_NE(e.src, e.dst);
+  }
+  for (uint64_t d : deg) {
+    EXPECT_GE(d, 2u);  // corners
+    EXPECT_LE(d, 4u);  // interior: bounded degree, no hubs
+  }
+}
+
+TEST(UpdateStream, PaperDefaultSplit) {
+  RmatParams p;
+  p.scale = 10;
+  p.num_edges = 10000;
+  auto edges = GenerateRmat(p);
+  StreamOptions so;  // defaults: 90% preload, 50% insertions
+  StreamWorkload wl = BuildStream(1024, edges, so);
+  EXPECT_EQ(wl.preload.size(), 9000u);
+  EXPECT_FALSE(wl.updates.empty());
+  uint64_t ins = 0;
+  uint64_t del = 0;
+  for (const Update& u : wl.updates) {
+    if (u.kind == UpdateKind::kInsertEdge) {
+      ins++;
+    } else {
+      del++;
+    }
+  }
+  // Alternating at 50%: insertion share within a few percent.
+  double share = static_cast<double>(ins) / (ins + del);
+  EXPECT_NEAR(share, 0.5, 0.05);
+  // Inserted edges are exactly the non-preloaded tail.
+  std::set<std::tuple<VertexId, VertexId, Weight>> tail;
+  for (size_t i = 9000; i < edges.size(); ++i) {
+    tail.insert({edges[i].src, edges[i].dst, edges[i].weight});
+  }
+  for (const Update& u : wl.updates) {
+    if (u.kind == UpdateKind::kInsertEdge) {
+      EXPECT_TRUE(tail.contains({u.edge.src, u.edge.dst, u.edge.weight}));
+    }
+  }
+}
+
+TEST(UpdateStream, InsertFractionRespected) {
+  RmatParams p;
+  p.scale = 10;
+  p.num_edges = 8000;
+  auto edges = GenerateRmat(p);
+  for (double frac : {0.0, 0.25, 0.75, 1.0}) {
+    StreamOptions so;
+    so.preload_fraction = 0.5;
+    so.insert_fraction = frac;
+    so.max_updates = 2000;
+    StreamWorkload wl = BuildStream(1024, edges, so);
+    uint64_t ins = 0;
+    for (const Update& u : wl.updates) {
+      if (u.kind == UpdateKind::kInsertEdge) ins++;
+    }
+    double share = static_cast<double>(ins) / wl.updates.size();
+    EXPECT_NEAR(share, frac, 0.05) << "frac=" << frac;
+  }
+}
+
+TEST(UpdateStream, DeletionsComeFromPreload) {
+  RmatParams p;
+  p.scale = 9;
+  p.num_edges = 4000;
+  auto edges = GenerateRmat(p);
+  StreamWorkload wl = BuildStream(512, edges, {});
+  std::set<std::tuple<VertexId, VertexId, Weight>> loaded;
+  for (const Edge& e : wl.preload) {
+    loaded.insert({e.src, e.dst, e.weight});
+  }
+  for (const Update& u : wl.updates) {
+    if (u.kind == UpdateKind::kDeleteEdge) {
+      EXPECT_TRUE(loaded.contains({u.edge.src, u.edge.dst, u.edge.weight}));
+    }
+  }
+}
+
+TEST(UpdateStream, PackTransactions) {
+  std::vector<Update> updates(103, Update::InsertEdge(0, 1, 1));
+  auto txns = PackTransactions(updates, 8);
+  EXPECT_EQ(txns.size(), 12u);  // 96 packed, 7-long tail dropped
+  for (const auto& t : txns) EXPECT_EQ(t.size(), 8u);
+}
+
+TEST(Datasets, RegistryCoversTable3) {
+  EXPECT_EQ(AllDatasetSpecs().size(), 11u);  // 10 power-law + road
+  const DatasetSpec& tt = FindDatasetSpec("twitter_sim");
+  EXPECT_EQ(tt.kind, GraphKind::kPowerLaw);
+  Dataset d = LoadDataset("hepph_sim");
+  EXPECT_GT(d.edges.size(), 0u);
+  EXPECT_EQ(d.num_vertices, uint64_t{1} << d.spec.scale);
+  const DatasetSpec& road = FindDatasetSpec("usa_road");
+  EXPECT_EQ(road.kind, GraphKind::kRoad);
+}
+
+}  // namespace
+}  // namespace risgraph

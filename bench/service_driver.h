@@ -7,12 +7,12 @@
 #include <vector>
 
 #include "common/timer.h"
-#include "runtime/service.h"
+#include "ingest/epoch_pipeline.h"
 #include "workload/update_stream.h"
 
 namespace risgraph::bench {
 
-/// Result of driving a service with emulated closed-loop sessions.
+/// Result of driving the ingest pipeline with emulated closed-loop sessions.
 struct DriveResult {
   double ops_per_sec = 0;
   double mean_us = 0;
@@ -27,6 +27,9 @@ struct DriveResult {
 /// session repeatedly sends one update (or one transaction) and waits for
 /// the response. Runs until `seconds` elapse or the stream slice is
 /// exhausted; advances `cursor` so successive calls continue the stream.
+///
+/// Drives the EpochPipeline from src/ingest/ directly — the same code path
+/// the in-process service façade and the RPC server sit on.
 template <typename Store>
 DriveResult DriveService(RisGraph<Store>& system,
                          const std::vector<Update>& updates, size_t* cursor,
@@ -34,11 +37,11 @@ DriveResult DriveService(RisGraph<Store>& system,
                          size_t txn_size = 1,
                          ServiceOptions options = ServiceOptions(),
                          std::vector<EpochStat>* epoch_stats_out = nullptr) {
-  RisGraphService<Store> service(system, options);
+  EpochPipeline<Store> pipeline(system, options);
   std::vector<Session*> sessions;
   sessions.reserve(num_sessions);
   for (size_t i = 0; i < num_sessions; ++i) {
-    sessions.push_back(service.OpenSession());
+    sessions.push_back(pipeline.OpenSession());
   }
 
   // Pre-shard the remaining stream across sessions.
@@ -46,7 +49,7 @@ DriveResult DriveService(RisGraph<Store>& system,
   size_t available = updates.size() - begin;
   available = available / txn_size * txn_size;
   std::atomic<bool> deadline{false};
-  service.Start();
+  pipeline.Start();
 
   WallTimer timer;
   std::vector<std::thread> clients;
@@ -77,22 +80,22 @@ DriveResult DriveService(RisGraph<Store>& system,
   });
   for (auto& t : clients) t.join();
   alarm.join();
-  service.Stop();
+  pipeline.Stop();
   double elapsed = timer.ElapsedSeconds();
 
   *cursor = begin + std::min(next_chunk.load(), available);
 
   DriveResult r;
-  r.total = service.completed_ops();
-  r.safe = service.safe_ops();
-  r.unsafe = service.unsafe_ops();
+  r.total = pipeline.completed_ops();
+  r.safe = pipeline.safe_ops();
+  r.unsafe = pipeline.unsafe_ops();
   r.ops_per_sec = static_cast<double>(r.total) / elapsed;
-  r.mean_us = service.latencies().MeanMicros();
-  r.p999_ms = service.latencies().P999Millis();
-  r.qualified_fraction = service.latencies().FractionBelowNanos(
+  r.mean_us = pipeline.latencies().MeanMicros();
+  r.p999_ms = pipeline.latencies().P999Millis();
+  r.qualified_fraction = pipeline.latencies().FractionBelowNanos(
       options.scheduler.latency_target_ns *
       static_cast<int64_t>(txn_size));
-  if (epoch_stats_out != nullptr) *epoch_stats_out = service.epoch_stats();
+  if (epoch_stats_out != nullptr) *epoch_stats_out = pipeline.epoch_stats();
   return r;
 }
 
@@ -106,17 +109,17 @@ DriveResult DrivePipelined(RisGraph<Store>& system,
                            const std::vector<Update>& updates, size_t* cursor,
                            size_t num_sessions, size_t window, double seconds,
                            ServiceOptions options = ServiceOptions()) {
-  RisGraphService<Store> service(system, options);
+  EpochPipeline<Store> pipeline(system, options);
   std::vector<Session*> sessions;
   sessions.reserve(num_sessions);
   for (size_t i = 0; i < num_sessions; ++i) {
-    sessions.push_back(service.OpenSession());
+    sessions.push_back(pipeline.OpenSession());
   }
 
   size_t begin = *cursor;
   size_t available = updates.size() - begin;
   std::atomic<bool> deadline{false};
-  service.Start();
+  pipeline.Start();
 
   WallTimer timer;
   std::atomic<size_t> next_chunk{0};
@@ -131,7 +134,8 @@ DriveResult DrivePipelined(RisGraph<Store>& system,
         if (off + kChunk > available) break;
         const Update* base = updates.data() + begin + off;
         for (size_t i = 0; i < kChunk; ++i) {
-          // Flow control: bound the outstanding queue depth.
+          // Flow control: bound the outstanding queue depth (the shard ring
+          // adds its own backpressure underneath).
           while (s->async_submitted() - s->async_completed() >= window &&
                  !deadline.load(std::memory_order_relaxed)) {
             std::this_thread::sleep_for(std::chrono::microseconds(5));
@@ -151,19 +155,19 @@ DriveResult DrivePipelined(RisGraph<Store>& system,
   });
   for (auto& t : clients) t.join();
   alarm.join();
-  service.Stop();
+  pipeline.Stop();
   double elapsed = timer.ElapsedSeconds();
 
   *cursor = begin + std::min(next_chunk.load(), available);
 
   DriveResult r;
-  r.total = service.completed_ops();
-  r.safe = service.safe_ops();
-  r.unsafe = service.unsafe_ops();
+  r.total = pipeline.completed_ops();
+  r.safe = pipeline.safe_ops();
+  r.unsafe = pipeline.unsafe_ops();
   r.ops_per_sec = static_cast<double>(r.total) / elapsed;
-  r.mean_us = service.latencies().MeanMicros();
-  r.p999_ms = service.latencies().P999Millis();
-  r.qualified_fraction = service.latencies().FractionBelowNanos(
+  r.mean_us = pipeline.latencies().MeanMicros();
+  r.p999_ms = pipeline.latencies().P999Millis();
+  r.qualified_fraction = pipeline.latencies().FractionBelowNanos(
       options.scheduler.latency_target_ns);
   return r;
 }

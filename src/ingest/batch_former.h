@@ -1,0 +1,273 @@
+#ifndef RISGRAPH_INGEST_BATCH_FORMER_H_
+#define RISGRAPH_INGEST_BATCH_FORMER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "common/types.h"
+#include "ingest/ingest_queue.h"
+#include "ingest/session.h"
+#include "runtime/risgraph.h"
+
+namespace risgraph {
+
+/// Forms one epoch's batches from the sharded ingest queue: drains shards,
+/// claims per-session FIFO prefixes, and splits the epoch into a parallel
+/// safe batch plus a sequential unsafe tail (paper Section 4's
+/// classification, Figure 9's epoch schema).
+///
+/// Single-consumer: only the coordinator thread (epoch pipeline) calls into
+/// this class. Sessions never see it — they only push ring items.
+///
+/// FIFO across epochs: when a session's pipelined stream hits an unsafe
+/// update, the rest of its stream is *next-epoch* (Figure 9's N class — an
+/// unsafe update can change the classification of everything behind it).
+/// Ring items popped for such a session are parked in a per-session deferred
+/// queue and re-examined, still in order, once the epoch turns over.
+template <typename Store>
+class BatchFormer {
+ public:
+  /// One claimed blocking request, or one unsafe pipelined update.
+  struct Claimed {
+    Session* session = nullptr;
+    int64_t claim_ns = 0;
+    int64_t latency_ns = 0;   // filled at response time
+    uint32_t n_updates = 1;   // captured at claim time: after the response,
+    bool is_txn = false;      // the session belongs to the client again
+    bool is_async = false;    // pipelined update (carried by value below)
+    Update async_update{};
+  };
+
+  /// One session's safe prefix claimed from its pipelined stream this epoch;
+  /// applied strictly in submission order (sequentially) so the parallel
+  /// safe phase preserves per-session FIFO semantics.
+  struct AsyncGroup {
+    Session* session = nullptr;
+    std::vector<Update> updates;
+    int64_t claim_ns = 0;
+    int64_t latency_ns = 0;
+  };
+
+  BatchFormer(RisGraph<Store>& system, ShardedIngestQueue& queue)
+      : system_(system), queue_(queue) {}
+
+  /// Resets per-epoch state. Deferred (next-epoch) items survive — they are
+  /// claimed first by the next PackOnce, preserving per-session order.
+  void BeginEpoch() {
+    safe_batch_.clear();
+    async_safe_.clear();
+    async_group_of_.clear();
+    frozen_.clear();
+    dup_deltas_.clear();
+  }
+
+  /// One packing pass: claims deferred items first, then drains the ingest
+  /// shards (bounded to one ring's worth per shard so the caller can consult
+  /// the scheduler between passes). Classified WAL payloads are appended to
+  /// `wal_batch` in claim order for the epoch group commit. Returns the
+  /// number of items *claimed* this pass (0 = no claimable work arrived).
+  /// Items parked for the next epoch do not count: a pass that only parks
+  /// must not keep the packing loop spinning — ending the epoch sooner
+  /// executes the unsafe update that froze the session, and ring
+  /// backpressure re-engages while the coordinator is off executing.
+  uint64_t PackOnce(std::vector<Update>& wal_batch) {
+    uint64_t found = 0;
+
+    // --- Deferred lane: sessions frozen in an earlier epoch, in FIFO order.
+    for (auto it = deferred_.begin(); it != deferred_.end();) {
+      auto& dq = it->second;
+      while (!dq.empty() && frozen_.count(it->first) == 0) {
+        IngestItem item = dq.front();
+        dq.pop_front();
+        found += ProcessItem(item, wal_batch);
+      }
+      it = dq.empty() ? deferred_.erase(it) : ++it;
+    }
+
+    // --- Ring lane: drain what the shards currently hold.
+    size_t budget = 0;
+    for (size_t i = 0; i < queue_.num_shards(); ++i) {
+      budget += queue_.shard(i).capacity();
+    }
+    IngestItem item;
+    while (budget-- > 0 && queue_.TryPopAny(&item)) {
+      Session* s = item.session;
+      if (item.kind == IngestKind::kAsync &&
+          (frozen_.count(s) != 0 || deferred_.count(s) != 0)) {
+        // Behind an unsafe update (or behind already-parked items): park it
+        // so per-session order survives into the next epoch. Not counted as
+        // claimed work — parking implies the session froze this epoch, so
+        // the unsafe queue is non-empty and the caller holds work.
+        deferred_[s].push_back(item);
+        continue;
+      }
+      found += ProcessItem(item, wal_batch);
+    }
+    return found;
+  }
+
+  std::vector<Claimed>& safe_batch() { return safe_batch_; }
+  std::vector<AsyncGroup>& async_safe() { return async_safe_; }
+  std::deque<Claimed>& unsafe_queue() { return unsafe_queue_; }
+
+  uint64_t safe_size() const {
+    uint64_t n = safe_batch_.size();
+    for (const AsyncGroup& g : async_safe_) n += g.updates.size();
+    return n;
+  }
+
+  bool HasClaimedWork() const {
+    return !safe_batch_.empty() || !async_safe_.empty() ||
+           !unsafe_queue_.empty();
+  }
+
+  /// Items parked for the next epoch (the stop path must not exit while any
+  /// remain).
+  bool HasDeferred() const { return !deferred_.empty(); }
+
+ private:
+  // Zero-copy view of a session's current blocking request.
+  static std::pair<const Update*, size_t> UpdatesView(const Session& s) {
+    if (s.is_txn_) return {s.txn_.data(), s.txn_.size()};
+    return {&s.update_, size_t{1}};
+  }
+
+  uint64_t ProcessItem(const IngestItem& item, std::vector<Update>& wal_batch) {
+    Session* s = item.session;
+    if (item.kind == IngestKind::kRequest) {
+      // Claim: the session stays ours until the pipeline responds.
+      s->state_.store(Session::kClaimed, std::memory_order_relaxed);
+      Claimed c{s, WallTimer::NowNanos(), 0,
+                static_cast<uint32_t>(s->is_rw_ ? 1 : UpdatesView(*s).second),
+                s->is_txn_};
+      // Read-write transactions are unsafe by definition (their reads must
+      // observe an isolated state); their writes reach the WAL as they
+      // execute, not at claim time.
+      bool safe = false;
+      if (!s->is_rw_) {
+        {
+          ScopedTimer tc(system_.cc_timer());
+          safe = ClassifyClaimed(*s);
+        }
+        auto [ups, n] = UpdatesView(*s);
+        wal_batch.insert(wal_batch.end(), ups, ups + n);
+      }
+      if (safe) {
+        safe_batch_.push_back(c);
+      } else {
+        unsafe_queue_.push_back(c);
+      }
+      return 1;
+    }
+
+    // Pipelined update.
+    const Update& u = item.update;
+    bool safe;
+    {
+      ScopedTimer tc(system_.cc_timer());
+      safe = ClassifyUpdate(u);
+    }
+    wal_batch.push_back(u);
+    if (safe) {
+      auto [it, fresh] = async_group_of_.try_emplace(s, async_safe_.size());
+      if (fresh) {
+        async_safe_.push_back(AsyncGroup{s, {}, WallTimer::NowNanos(), 0});
+      }
+      async_safe_[it->second].updates.push_back(u);
+    } else {
+      unsafe_queue_.push_back(
+          Claimed{s, WallTimer::NowNanos(), 0, 1, false, true, u});
+      frozen_.insert(s);  // the rest of this session's stream is next-epoch
+    }
+    return 1;
+  }
+
+  // Cheap mixed key over (src, dst, weight) for the in-epoch delta map.
+  static uint64_t DeltaKey(const Edge& e) {
+    uint64_t k = e.src * 0x9e3779b97f4a7c15ULL;
+    k ^= e.dst + 0x9e3779b97f4a7c15ULL + (k << 6) + (k >> 2);
+    k ^= e.weight + 0x517cc1b727220a95ULL + (k << 6) + (k >> 2);
+    return k;
+  }
+
+  /// Classifies one pipelined update; a safe verdict folds the update's own
+  /// duplicate-count delta into the epoch state (it will execute this
+  /// epoch). Vertex ops route to the sequential lane as in the sync path.
+  bool ClassifyUpdate(const Update& u) {
+    if (u.kind == UpdateKind::kInsertVertex ||
+        u.kind == UpdateKind::kDeleteVertex) {
+      return false;
+    }
+    int64_t delta = 0;
+    if (u.kind == UpdateKind::kDeleteEdge) {
+      auto it = dup_deltas_.find(DeltaKey(u.edge));
+      if (it != dup_deltas_.end()) delta = it->second;
+    }
+    if (!system_.IsUpdateSafe(u, delta)) return false;
+    if (u.kind == UpdateKind::kInsertEdge) dup_deltas_[DeltaKey(u.edge)]++;
+    if (u.kind == UpdateKind::kDeleteEdge) dup_deltas_[DeltaKey(u.edge)]--;
+    return true;
+  }
+
+  /// Classifies a claimed blocking request (single update or transaction)
+  /// against the current results plus in-epoch duplicate-count deltas, so a
+  /// second deletion of the same edge key within one epoch sees the first
+  /// one's effect (Section 4's classification is against the state the
+  /// update will execute in).
+  bool ClassifyClaimed(const Session& s) {
+    auto classify_one = [&](const Update& u) {
+      int64_t delta = 0;
+      if (u.kind == UpdateKind::kDeleteEdge) {
+        auto it = dup_deltas_.find(DeltaKey(u.edge));
+        if (it != dup_deltas_.end()) delta = it->second;
+      }
+      // Vertex operations are result-safe (category 1) but grow per-vertex
+      // engine state, so they route through the sequential lane; only edge
+      // updates ride the parallel one.
+      if (u.kind == UpdateKind::kInsertVertex ||
+          u.kind == UpdateKind::kDeleteVertex) {
+        return false;
+      }
+      return system_.IsUpdateSafe(u, delta);
+    };
+    auto [ups, n] = UpdatesView(s);
+    bool all_safe = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (!classify_one(ups[i])) {
+        all_safe = false;
+        break;
+      }
+    }
+    if (all_safe) {
+      for (size_t i = 0; i < n; ++i) {
+        const Update& u = ups[i];
+        if (u.kind == UpdateKind::kInsertEdge) dup_deltas_[DeltaKey(u.edge)]++;
+        if (u.kind == UpdateKind::kDeleteEdge) dup_deltas_[DeltaKey(u.edge)]--;
+      }
+    }
+    return all_safe;
+  }
+
+  RisGraph<Store>& system_;
+  ShardedIngestQueue& queue_;
+
+  std::vector<Claimed> safe_batch_;
+  std::vector<AsyncGroup> async_safe_;
+  std::unordered_map<Session*, size_t> async_group_of_;
+  std::deque<Claimed> unsafe_queue_;  // persists across epochs until drained
+  // Sessions whose pipelined stream hit an unsafe update this epoch.
+  std::unordered_set<Session*> frozen_;
+  // Next-epoch items, per session, in submission order.
+  std::unordered_map<Session*, std::deque<IngestItem>> deferred_;
+  // In-epoch duplicate-count deltas.
+  std::unordered_map<uint64_t, int64_t> dup_deltas_;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_INGEST_BATCH_FORMER_H_

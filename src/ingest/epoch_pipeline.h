@@ -1,0 +1,359 @@
+#ifndef RISGRAPH_INGEST_EPOCH_PIPELINE_H_
+#define RISGRAPH_INGEST_EPOCH_PIPELINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/latency.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "ingest/batch_former.h"
+#include "ingest/ingest_queue.h"
+#include "ingest/scheduler.h"
+#include "ingest/session.h"
+#include "parallel/thread_pool.h"
+#include "runtime/risgraph.h"
+
+namespace risgraph {
+
+/// Per-epoch statistics (drives Figure 12's trace).
+struct EpochStat {
+  int64_t end_ns = 0;
+  uint64_t safe_ops = 0;
+  uint64_t unsafe_ops = 0;
+  uint64_t threshold = 0;
+  uint64_t timeouts = 0;
+};
+
+/// Options for the ingest pipeline. (Known as ServiceOptions to the service
+/// façade — the names predate the ingest subsystem and are all over the
+/// benches.)
+struct ServiceOptions {
+  Scheduler::Options scheduler;
+  /// Cap on safe updates packed per epoch (bounds response delay when no
+  /// unsafe update ever arrives).
+  uint64_t max_safe_batch = 65536;
+  /// Versions of history retained behind the current version; the pipeline
+  /// releases older snapshots on the sessions' behalf each epoch (emulated
+  /// clients acknowledge every response immediately).
+  uint64_t history_window = 128;
+  bool record_epoch_stats = false;
+  /// Ingest-plane sharding: number of MPSC ring shards (0 = default of 4;
+  /// shards are fixed at construction, sessions are pinned round-robin) and
+  /// per-shard ring capacity (rounded up to a power of two). A full shard
+  /// blocks its producers — backpressure.
+  size_t ingest_shards = 0;
+  size_t ingest_shard_capacity = 4096;
+};
+
+/// The epoch pipeline: RisGraph's multi-session concurrency-control core
+/// (paper Sections 4 and 5, Figure 9), extracted from the old monolithic
+/// service.
+///
+/// The coordinator thread repeatedly: (1) lets the batch former claim and
+/// classify requests from the sharded ingest queue until the scheduler says
+/// drain; (2) appends the epoch's WAL records in one group-commit batch;
+/// (3) executes the safe batch in parallel on the thread pool (inter-update
+/// parallelism — safe updates cannot change any result, so store mutations
+/// on distinct vertices commute); (4) drains unsafe updates one by one, each
+/// with intra-update parallel incremental computing; (5) flushes the WAL,
+/// releases old history, and lets the scheduler adapt its backlog threshold
+/// to the tail-latency target.
+///
+/// Both the in-process service façade (runtime/service.h) and the RPC server
+/// (net/rpc_server.cc) drive this same pipeline through Session handles.
+template <typename Store = DefaultGraphStore>
+class EpochPipeline {
+ public:
+  EpochPipeline(RisGraph<Store>& system, ServiceOptions options = {},
+                ThreadPool* pool = nullptr)
+      : system_(system),
+        options_(options),
+        scheduler_(options.scheduler),
+        pool_(pool != nullptr ? pool : &ThreadPool::Global()),
+        queue_(options.ingest_shards != 0 ? options.ingest_shards : 4,
+               options.ingest_shard_capacity),
+        former_(system, queue_) {}
+
+  ~EpochPipeline() { Stop(); }
+
+  EpochPipeline(const EpochPipeline&) = delete;
+  EpochPipeline& operator=(const EpochPipeline&) = delete;
+
+  /// Creates a session pinned to an ingest shard. Not thread-safe against a
+  /// running coordinator; open all sessions before Start().
+  Session* OpenSession() {
+    sessions_.push_back(std::make_unique<Session>());
+    Session* s = sessions_.back().get();
+    s->shard_ = queue_.shard_for(sessions_.size() - 1);
+    return s;
+  }
+
+  void Start() {
+    if (running_.exchange(true)) return;
+    stop_.store(false);
+    coordinator_ = std::thread([this] { CoordinatorMain(); });
+  }
+
+  /// Stops after draining every in-flight request (join client threads
+  /// first; a stopped pipeline never answers new submissions).
+  void Stop() {
+    if (!running_.load()) return;
+    stop_.store(true);
+    coordinator_.join();
+    running_.store(false);
+  }
+
+  uint64_t completed_ops() const {
+    return completed_ops_.load(std::memory_order_relaxed);
+  }
+  uint64_t safe_ops() const { return safe_ops_.load(std::memory_order_relaxed); }
+  uint64_t unsafe_ops() const {
+    return unsafe_ops_.load(std::memory_order_relaxed);
+  }
+  const LatencyRecorder& latencies() const { return latencies_; }
+  const std::vector<EpochStat>& epoch_stats() const { return epoch_stats_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+  const ShardedIngestQueue& queue() const { return queue_; }
+
+  ComponentTimer& sched_timer() { return sched_timer_; }
+  ComponentTimer& network_timer() { return network_timer_; }
+
+ private:
+  using Claimed = typename BatchFormer<Store>::Claimed;
+  using AsyncGroup = typename BatchFormer<Store>::AsyncGroup;
+
+  void CoordinatorMain() {
+    std::vector<Update> wal_batch;
+    while (true) {
+      bool should_stop = stop_.load(std::memory_order_acquire);
+      former_.BeginEpoch();
+      wal_batch.clear();
+      uint64_t claimed_this_epoch = 0;
+
+      // --- Packing phase: claim + classify until the scheduler says drain.
+      bool drain = false;
+      int idle_scans = 0;
+      while (!drain) {
+        uint64_t found;
+        {
+          ScopedTimer t(network_timer_);
+          found = former_.PackOnce(wal_batch);
+        }
+        claimed_this_epoch += found;
+        {
+          ScopedTimer t(sched_timer_);
+          auto& unsafe_queue = former_.unsafe_queue();
+          int64_t earliest_wait =
+              unsafe_queue.empty()
+                  ? 0
+                  : WallTimer::NowNanos() - unsafe_queue.front().claim_ns;
+          drain = scheduler_.ShouldDrainUnsafe(unsafe_queue.size(),
+                                               earliest_wait) ||
+                  former_.safe_size() >= options_.max_safe_batch;
+        }
+        // Re-read the stop flag: Stop() may arrive while we idle-scan, and
+        // the epoch-start snapshot would never see it.
+        should_stop = stop_.load(std::memory_order_acquire);
+        if (found == 0) {
+          // Nothing new: if we hold work, execute it; otherwise nap briefly.
+          if (former_.HasClaimedWork() || should_stop) break;
+          if (++idle_scans > 64) {
+            std::this_thread::sleep_for(std::chrono::microseconds(20));
+          }
+        } else {
+          idle_scans = 0;
+        }
+        if (should_stop) break;
+      }
+
+      // --- Group commit (buffered): one WAL append for the whole epoch, in
+      //     claim order, before anything executes. The physical flush (and
+      //     optional fsync) stays at epoch end, as before.
+      system_.WalAppendBatch(wal_batch);
+
+      // --- Safe phase: all safe updates in parallel (inter-update
+      //     parallelism); none of them can change any result. Pipelined
+      //     groups run as units so one session's updates keep FIFO order.
+      auto& safe_batch = former_.safe_batch();
+      auto& async_safe = former_.async_safe();
+      uint64_t epoch_safe = former_.safe_size();
+      if (!safe_batch.empty() || !async_safe.empty()) {
+        VersionId ver = system_.GetCurrentVersion();
+        size_t n_sync = safe_batch.size();
+        size_t n_tasks = n_sync + async_safe.size();
+        auto run_task = [this, &safe_batch, &async_safe, n_sync,
+                         ver](uint64_t i) {
+          if (i < n_sync) {
+            Session& s = *safe_batch[i].session;
+            if (s.is_txn_) {
+              for (const Update& u : s.txn_) ApplySafe(u);
+            } else {
+              ApplySafe(s.update_);
+            }
+            safe_batch[i].latency_ns = RespondOnly(s, ver);
+          } else {
+            AsyncGroup& g = async_safe[i - n_sync];
+            for (const Update& u : g.updates) ApplySafe(u);
+            g.latency_ns = WallTimer::NowNanos() - g.claim_ns;
+            AsyncComplete(*g.session, ver, g.updates.size());
+          }
+        };
+        // Tiny batches run inline: a fork-join across the pool costs more
+        // than a handful of O(1) store updates (same reasoning as the
+        // engine's sequential_edge_threshold).
+        if (n_tasks <= 16) {
+          for (uint64_t i = 0; i < n_tasks; ++i) run_task(i);
+        } else {
+          pool_->ParallelFor(n_tasks, 2,
+                             [&run_task](size_t, uint64_t b, uint64_t e) {
+                               for (uint64_t i = b; i < e; ++i) run_task(i);
+                             });
+        }
+        // Stats are recorded sequentially (LatencyRecorder is not atomic).
+        for (const Claimed& c : safe_batch) {
+          RecordStats(c, /*safe=*/true);
+        }
+        for (const AsyncGroup& g : async_safe) {
+          RecordAsyncStats(g.latency_ns, g.updates.size(), /*safe=*/true);
+        }
+      }
+
+      // --- Unsafe phase: one by one, each with intra-update parallelism.
+      auto& unsafe_queue = former_.unsafe_queue();
+      uint64_t epoch_unsafe = unsafe_queue.size();
+      while (!unsafe_queue.empty()) {
+        Claimed c = unsafe_queue.front();
+        unsafe_queue.pop_front();
+        if (c.is_async) {
+          VersionId ver = ApplyUnsafeOne(c.async_update);
+          c.latency_ns = WallTimer::NowNanos() - c.claim_ns;
+          AsyncComplete(*c.session, ver, 1);
+          RecordStats(c, /*safe=*/false);
+          continue;
+        }
+        Session& s = *c.session;
+        VersionId ver = s.is_rw_ ? system_.ExecuteReadWrite(s.rw_body_)
+                        : s.is_txn_ ? system_.ApplyTxnUnsafe(s.txn_)
+                                    : ApplyUnsafeOne(s.update_);
+        c.latency_ns = RespondOnly(s, ver);
+        RecordStats(c, /*safe=*/false);
+      }
+
+      // --- Epoch end: group commit flush, history GC, scheduler adaptation.
+      system_.WalFlush();
+      VersionId cur = system_.GetCurrentVersion();
+      if (cur > options_.history_window) {
+        system_.ReleaseHistory(cur - options_.history_window);
+      }
+      {
+        ScopedTimer t(sched_timer_);
+        scheduler_.OnEpochEnd(epoch_qualified_, epoch_missed_);
+      }
+      if (options_.record_epoch_stats && (epoch_safe + epoch_unsafe) > 0) {
+        epoch_stats_.push_back(EpochStat{WallTimer::NowNanos(), epoch_safe,
+                                         epoch_unsafe,
+                                         scheduler_.unsafe_threshold(),
+                                         epoch_missed_});
+      }
+      epoch_qualified_ = 0;
+      epoch_missed_ = 0;
+
+      if (should_stop && claimed_this_epoch == 0 && !former_.HasDeferred()) {
+        return;
+      }
+    }
+  }
+
+  void ApplySafe(const Update& u) { system_.ApplySafeToStore(u); }
+
+  VersionId ApplyUnsafeOne(const Update& u) {
+    switch (u.kind) {
+      case UpdateKind::kInsertVertex: {
+        VersionId ver = system_.InsVertex(nullptr);
+        return ver;
+      }
+      case UpdateKind::kDeleteVertex:
+        return system_.DelVertex(u.edge.src);
+      default:
+        return system_.ApplyUnsafe(u);
+    }
+  }
+
+  // Unblocks the client; thread-safe. Returns the latency it observed.
+  int64_t RespondOnly(Session& s, VersionId version) {
+    int64_t submit = s.submit_ns_;
+    s.result_ = version;
+    s.state_.store(Session::kDone, std::memory_order_release);
+    return WallTimer::NowNanos() - submit;
+  }
+
+  // Completion for pipelined updates: publish the version before bumping
+  // the counter DrainAsync waits on.
+  void AsyncComplete(Session& s, VersionId version, uint64_t n) {
+    s.async_last_version_.store(version, std::memory_order_release);
+    s.async_completed_.fetch_add(n, std::memory_order_release);
+  }
+
+  void RecordAsyncStats(int64_t latency_ns, uint64_t n, bool safe) {
+    completed_ops_.fetch_add(n, std::memory_order_relaxed);
+    (safe ? safe_ops_ : unsafe_ops_).fetch_add(n, std::memory_order_relaxed);
+    for (uint64_t i = 0; i < n; ++i) {
+      latencies_.RecordNanos(latency_ns);
+      if (latency_ns <= scheduler_.latency_target_ns()) {
+        epoch_qualified_++;
+      } else {
+        epoch_missed_++;
+      }
+    }
+  }
+
+  // Coordinator-only bookkeeping. Uses claim-time captures, never the
+  // session (the client owns it again once responded).
+  void RecordStats(const Claimed& c, bool safe) {
+    latencies_.RecordNanos(c.latency_ns);
+    completed_ops_.fetch_add(c.n_updates, std::memory_order_relaxed);
+    (safe ? safe_ops_ : unsafe_ops_)
+        .fetch_add(c.n_updates, std::memory_order_relaxed);
+    if (c.is_txn) txn_ops_.fetch_add(1, std::memory_order_relaxed);
+    // Transactions get a proportionally larger budget (Section 6.2: "if the
+    // latency exceeds the transaction size multiplied by 20 ms, ... timeout").
+    if (c.latency_ns <= scheduler_.latency_target_ns() *
+                            static_cast<int64_t>(c.n_updates)) {
+      epoch_qualified_++;
+    } else {
+      epoch_missed_++;
+    }
+  }
+
+  RisGraph<Store>& system_;
+  ServiceOptions options_;
+  Scheduler scheduler_;
+  ThreadPool* pool_;
+  ShardedIngestQueue queue_;
+  BatchFormer<Store> former_;
+
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::thread coordinator_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::atomic<uint64_t> completed_ops_{0};
+  std::atomic<uint64_t> safe_ops_{0};
+  std::atomic<uint64_t> unsafe_ops_{0};
+  std::atomic<uint64_t> txn_ops_{0};
+  uint64_t epoch_qualified_ = 0;
+  uint64_t epoch_missed_ = 0;
+  LatencyRecorder latencies_;
+  std::vector<EpochStat> epoch_stats_;
+  ComponentTimer sched_timer_;
+  ComponentTimer network_timer_;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_INGEST_EPOCH_PIPELINE_H_

@@ -36,9 +36,15 @@ bool WriteAll(int fd, const void* buf, size_t len) {
 
 }  // namespace
 
+RpcServer::RpcServer(RisGraph<>& system, EpochPipeline<>& pipeline,
+                     std::string socket_path)
+    : system_(system),
+      pipeline_(pipeline),
+      socket_path_(std::move(socket_path)) {}
+
 RpcServer::RpcServer(RisGraph<>& system, RisGraphService<>& service,
                      std::string socket_path)
-    : system_(system), service_(service), socket_path_(std::move(socket_path)) {}
+    : RpcServer(system, service.pipeline(), std::move(socket_path)) {}
 
 RpcServer::~RpcServer() { Stop(); }
 
@@ -68,7 +74,7 @@ bool RpcServer::Start(int max_clients) {
   // against a running coordinator), so pre-allocate the pool.
   session_pool_.reserve(max_clients);
   for (int i = 0; i < max_clients; ++i) {
-    session_pool_.push_back(service_.OpenSession());
+    session_pool_.push_back(pipeline_.OpenSession());
   }
 
   stopping_.store(false);
@@ -150,12 +156,15 @@ void RpcServer::HandleConnection(int fd, Session* session) {
       rpc::Writer w(response);
       w.U8(static_cast<uint8_t>(rpc::Status::kBadRequest));
     }
+    // Count before responding: a client that has its response in hand must
+    // already be visible in requests_served() (tests read the counter right
+    // after the last response arrives).
+    requests_.fetch_add(1, std::memory_order_relaxed);
     uint32_t rlen = static_cast<uint32_t>(response.size());
     if (!WriteAll(fd, &rlen, 4) ||
         !WriteAll(fd, response.data(), response.size()) || !parsed) {
       break;
     }
-    requests_.fetch_add(1, std::memory_order_relaxed);
   }
   {
     std::lock_guard<std::mutex> g(conn_mu_);

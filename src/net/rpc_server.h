@@ -7,20 +7,23 @@
 #include <thread>
 #include <vector>
 
+#include "ingest/epoch_pipeline.h"
 #include "net/rpc_protocol.h"
 #include "runtime/risgraph.h"
 #include "runtime/service.h"
 
 namespace risgraph {
 
-/// RPC front end over a RisGraphService: the top tier of the paper's Figure
-/// 1 architecture, serving remote clients instead of in-process ones.
+/// RPC front end over the ingest pipeline: the top tier of the paper's
+/// Figure 1 architecture, serving remote clients instead of in-process ones.
+/// Remote and in-process callers share one code path — both submit through
+/// Session handles into the sharded ingest queue of an EpochPipeline.
 ///
-/// Each accepted connection gets its own service Session (preserving the
-/// paper's session semantics: per-session FIFO order and sequential
-/// consistency) and a dedicated handler thread that decodes one request at a
-/// time — remote clients are closed-loop, exactly like the evaluation's
-/// emulated users.
+/// Each accepted connection gets its own Session (preserving the paper's
+/// session semantics: per-session FIFO order and sequential consistency)
+/// and a dedicated handler thread that decodes one request at a time —
+/// remote clients are closed-loop, exactly like the evaluation's emulated
+/// users.
 ///
 /// Consistency of reads:
 ///  * kGetValue / kGetCurrentVersion read lock-free server state (values are
@@ -33,6 +36,11 @@ namespace risgraph {
 /// destruction) closes the listener and drains the per-client threads.
 class RpcServer {
  public:
+  /// Serve directly over an ingest pipeline.
+  RpcServer(RisGraph<>& system, EpochPipeline<>& pipeline,
+            std::string socket_path);
+  /// Convenience: serve over the in-process service façade (drives the same
+  /// pipeline underneath).
   RpcServer(RisGraph<>& system, RisGraphService<>& service,
             std::string socket_path);
   ~RpcServer();
@@ -63,7 +71,7 @@ class RpcServer {
                 std::vector<uint8_t>& response);
 
   RisGraph<>& system_;
-  RisGraphService<>& service_;
+  EpochPipeline<>& pipeline_;
   std::string socket_path_;
 
   int listen_fd_ = -1;

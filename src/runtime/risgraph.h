@@ -440,11 +440,19 @@ class RisGraph {
     return version_;
   }
 
-  /// WAL hooks for the service's group commit.
+  /// WAL hooks for the epoch pipeline's group commit.
   void WalAppend(const Update& u) {
     if (wal_.IsOpen()) {
       ScopedTimer t(wal_timer_);
       wal_.Append(u);
+    }
+  }
+  /// Appends a whole epoch's worth of records in one buffered batch (one
+  /// encode pass; the physical write and optional fsync happen at WalFlush).
+  void WalAppendBatch(const std::vector<Update>& updates) {
+    if (wal_.IsOpen() && !updates.empty()) {
+      ScopedTimer t(wal_timer_);
+      wal_.AppendBatch(updates.data(), updates.size());
     }
   }
   void WalFlush() {

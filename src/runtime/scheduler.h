@@ -1,82 +1,9 @@
 #ifndef RISGRAPH_RUNTIME_SCHEDULER_H_
 #define RISGRAPH_RUNTIME_SCHEDULER_H_
 
-#include <algorithm>
-#include <cstdint>
-
-namespace risgraph {
-
-/// RisGraph's tail-latency scheduler (paper Section 5, "Scheduler").
-///
-/// The epoch loop packs as many safe updates as possible; the scheduler
-/// decides when to abort packing and drain unsafe updates, using the paper's
-/// two heuristics:
-///  1. the earliest queued unsafe update has waited ~0.8x the latency target;
-///  2. the unsafe backlog reached an adaptive threshold (initialized to the
-///     number of physical threads, re-tuned every 3 epochs: +1% when the
-///     share of qualified updates meets the goal, -10% otherwise).
-struct SchedulerOptions {
-  int64_t latency_target_ns = 20'000'000;    // paper: 20 ms
-  double target_qualified_fraction = 0.999;  // paper: P999
-  double wait_fraction = 0.8;                // "0.8 times the ... limit"
-  uint64_t initial_threshold = 48;           // number of hardware threads
-  int adjust_every_epochs = 3;
-};
-
-class Scheduler {
- public:
-  using Options = SchedulerOptions;
-
-  explicit Scheduler(Options options = Options())
-      : options_(options),
-        threshold_(std::max<uint64_t>(1, options.initial_threshold)) {}
-
-  uint64_t unsafe_threshold() const { return threshold_; }
-  int64_t latency_target_ns() const { return options_.latency_target_ns; }
-
-  /// Should the epoch stop packing safe updates and drain the unsafe queue?
-  bool ShouldDrainUnsafe(uint64_t unsafe_backlog,
-                         int64_t earliest_unsafe_wait_ns) const {
-    if (unsafe_backlog == 0) return false;
-    if (unsafe_backlog >= threshold_) return true;
-    return static_cast<double>(earliest_unsafe_wait_ns) >=
-           options_.wait_fraction *
-               static_cast<double>(options_.latency_target_ns);
-  }
-
-  /// Per-epoch bookkeeping: feed the number of updates that met / missed the
-  /// latency target since the last adjustment.
-  void OnEpochEnd(uint64_t qualified, uint64_t missed) {
-    qualified_ += qualified;
-    missed_ += missed;
-    if (++epochs_since_adjust_ < options_.adjust_every_epochs) return;
-    uint64_t total = qualified_ + missed_;
-    if (total > 0) {
-      double fraction =
-          static_cast<double>(qualified_) / static_cast<double>(total);
-      if (fraction >= options_.target_qualified_fraction) {
-        // Qualified: grow slowly (+1%, at least +1).
-        threshold_ += std::max<uint64_t>(1, threshold_ / 100);
-      } else {
-        // Missing the goal: back off quickly (-10%).
-        threshold_ =
-            std::max<uint64_t>(1, threshold_ - std::max<uint64_t>(
-                                                   1, threshold_ / 10));
-      }
-    }
-    qualified_ = 0;
-    missed_ = 0;
-    epochs_since_adjust_ = 0;
-  }
-
- private:
-  Options options_;
-  uint64_t threshold_;
-  uint64_t qualified_ = 0;
-  uint64_t missed_ = 0;
-  int epochs_since_adjust_ = 0;
-};
-
-}  // namespace risgraph
+// The scheduler moved into the ingest subsystem (it is consulted by the
+// epoch pipeline's packing loop); this forwarding header keeps existing
+// includes working.
+#include "ingest/scheduler.h"
 
 #endif  // RISGRAPH_RUNTIME_SCHEDULER_H_

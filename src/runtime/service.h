@@ -1,611 +1,63 @@
 #ifndef RISGRAPH_RUNTIME_SERVICE_H_
 #define RISGRAPH_RUNTIME_SERVICE_H_
 
-#include <atomic>
-#include <chrono>
-#include <cstdint>
-#include <deque>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <tuple>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
-
 #include "common/latency.h"
 #include "common/timer.h"
-#include "common/types.h"
+#include "ingest/epoch_pipeline.h"
+#include "ingest/session.h"
 #include "parallel/thread_pool.h"
 #include "runtime/risgraph.h"
-#include "runtime/scheduler.h"
 
 namespace risgraph {
 
-/// One client session: a FIFO channel carrying one outstanding request (the
-/// evaluation's emulated users "repeatedly send a single update and wait for
-/// the response", Section 6.2 — a closed loop, so per-session FIFO order and
-/// sequential consistency hold trivially).
-class Session {
- public:
-  /// Blocking: submits one update and waits for its result version.
-  VersionId Submit(const Update& update) {
-    update_ = update;
-    is_txn_ = false;
-    is_rw_ = false;
-    return SubmitAndWait();
-  }
-
-  /// Blocking: submits an atomic batch (paper: txn_updates).
-  VersionId SubmitTxn(std::vector<Update> txn) {
-    txn_ = std::move(txn);
-    is_txn_ = true;
-    is_rw_ = false;
-    return SubmitAndWait();
-  }
-
-  /// Blocking: submits a read-write transaction (Section 4). The body runs
-  /// atomically in the sequential lane, blocking other sessions — "just
-  /// long-term unsafe updates in the epoch loops".
-  VersionId SubmitReadWrite(std::function<void(RwTxn&)> body) {
-    rw_body_ = std::move(body);
-    is_txn_ = false;
-    is_rw_ = true;
-    return SubmitAndWait();
-  }
-
-  /// Non-blocking pipelined submission (Figure 9's session streams): the
-  /// update is queued; the coordinator claims session prefixes in FIFO
-  /// order, and everything queued behind an unsafe update becomes
-  /// *next-epoch* — re-classified only after the unsafe one executed, since
-  /// it may change their classification. Same-session updates are applied
-  /// in submission order even inside the parallel safe phase.
-  void SubmitAsync(const Update& update) {
-    {
-      std::lock_guard<std::mutex> g(async_mu_);
-      async_queue_.push_back(update);
-    }
-    async_submitted_.fetch_add(1, std::memory_order_release);
-  }
-
-  /// Blocks until every SubmitAsync update has been executed; returns the
-  /// result version of the last one (the service must be running).
-  VersionId DrainAsync() {
-    int spins = 0;
-    while (async_completed_.load(std::memory_order_acquire) <
-           async_submitted_.load(std::memory_order_acquire)) {
-      if (++spins < 4096) {
-        std::this_thread::yield();
-      } else {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-      }
-    }
-    return async_last_version_.load(std::memory_order_acquire);
-  }
-
-  uint64_t async_submitted() const {
-    return async_submitted_.load(std::memory_order_relaxed);
-  }
-  uint64_t async_completed() const {
-    return async_completed_.load(std::memory_order_relaxed);
-  }
-
-  /// Last request's client-observed latency (submit to response).
-  int64_t last_latency_ns() const { return last_latency_ns_; }
-
- private:
-  template <typename>
-  friend class RisGraphService;
-
-  enum State : uint32_t { kIdle = 0, kPending = 1, kClaimed = 2, kDone = 3 };
-
-  VersionId SubmitAndWait() {
-    submit_ns_ = WallTimer::NowNanos();
-    state_.store(kPending, std::memory_order_release);
-    // Spin briefly (sub-microsecond responses are common), yield a little,
-    // then sleep. A long yield phase melts down with hundreds of client
-    // threads on one box (the paper's clients live on a second machine), so
-    // the ladder drops to timed sleeps quickly.
-    int spins = 0;
-    while (state_.load(std::memory_order_acquire) != kDone) {
-      if (++spins < 256) {
-#if defined(__x86_64__)
-        __builtin_ia32_pause();
-#endif
-      } else if (spins < 512) {
-        std::this_thread::yield();
-      } else {
-        std::this_thread::sleep_for(std::chrono::microseconds(20));
-      }
-    }
-    last_latency_ns_ = WallTimer::NowNanos() - submit_ns_;
-    state_.store(kIdle, std::memory_order_release);
-    return result_;
-  }
-
-  std::atomic<uint32_t> state_{kIdle};
-  Update update_;
-  std::vector<Update> txn_;
-  std::function<void(RwTxn&)> rw_body_;
-  bool is_txn_ = false;
-  bool is_rw_ = false;
-  VersionId result_ = 0;
-  int64_t submit_ns_ = 0;
-  int64_t last_latency_ns_ = 0;
-
-  // Pipelined lane (SubmitAsync / DrainAsync).
-  std::mutex async_mu_;
-  std::deque<Update> async_queue_;
-  std::atomic<uint64_t> async_submitted_{0};
-  std::atomic<uint64_t> async_completed_{0};
-  std::atomic<VersionId> async_last_version_{0};
-};
-
-/// Per-epoch statistics (drives Figure 12's trace).
-struct EpochStat {
-  int64_t end_ns = 0;
-  uint64_t safe_ops = 0;
-  uint64_t unsafe_ops = 0;
-  uint64_t threshold = 0;
-  uint64_t timeouts = 0;
-};
-
-struct ServiceOptions {
-  Scheduler::Options scheduler;
-  /// Cap on safe updates packed per epoch (bounds response delay when no
-  /// unsafe update ever arrives).
-  uint64_t max_safe_batch = 65536;
-  /// Versions of history retained behind the current version; the service
-  /// releases older snapshots on the sessions' behalf each epoch (emulated
-  /// clients acknowledge every response immediately).
-  uint64_t history_window = 128;
-  bool record_epoch_stats = false;
-};
-
-/// The multi-session front end: scheduler + concurrency-control module +
-/// epoch loop (paper Sections 4 and 5, Figure 9).
+/// The multi-session front end, now a thin façade of Session handles over
+/// the ingest subsystem (src/ingest/): sessions push into sharded MPSC ring
+/// buffers (ingest/ingest_queue.h), the batch former claims per-session FIFO
+/// prefixes and splits epochs into a parallel safe batch plus a sequential
+/// unsafe tail (ingest/batch_former.h), and the epoch pipeline runs the
+/// WAL-group-commit → safe-phase → unsafe-lane → history/version loop
+/// (ingest/epoch_pipeline.h, paper Sections 4 and 5, Figure 9).
 ///
-/// A coordinator thread repeatedly: (1) collects pending requests from all
-/// sessions, classifying each as safe or unsafe against the current results
-/// (plus in-epoch duplicate-count deltas); (2) executes the safe batch in
-/// parallel on the thread pool (inter-update parallelism — safe updates
-/// cannot change any result, so store mutations on distinct vertices
-/// commute); (3) drains unsafe updates one by one, each with intra-update
-/// parallel incremental computing; (4) group-commits the WAL and lets the
-/// scheduler adapt its backlog threshold to the tail-latency target.
+/// The RPC server (net/rpc_server.cc) and the bench drivers
+/// (bench/service_driver.h) drive the same EpochPipeline — in-process and
+/// remote callers share one code path.
 template <typename Store = DefaultGraphStore>
 class RisGraphService {
  public:
   RisGraphService(RisGraph<Store>& system, ServiceOptions options = {},
                   ThreadPool* pool = nullptr)
-      : system_(system),
-        options_(options),
-        scheduler_(options.scheduler),
-        pool_(pool != nullptr ? pool : &ThreadPool::Global()) {}
+      : pipeline_(system, options, pool) {}
 
   ~RisGraphService() { Stop(); }
 
   /// Creates a session. Not thread-safe against a running coordinator; open
   /// all sessions before Start().
-  Session* OpenSession() {
-    sessions_.push_back(std::make_unique<Session>());
-    return sessions_.back().get();
-  }
+  Session* OpenSession() { return pipeline_.OpenSession(); }
 
-  void Start() {
-    if (running_.exchange(true)) return;
-    stop_.store(false);
-    coordinator_ = std::thread([this] { CoordinatorMain(); });
-  }
+  void Start() { pipeline_.Start(); }
 
   /// Stops after draining every in-flight request (join client threads
   /// first; a stopped service never answers new submissions).
-  void Stop() {
-    if (!running_.load()) return;
-    stop_.store(true);
-    coordinator_.join();
-    running_.store(false);
-  }
+  void Stop() { pipeline_.Stop(); }
 
-  uint64_t completed_ops() const {
-    return completed_ops_.load(std::memory_order_relaxed);
-  }
-  uint64_t safe_ops() const { return safe_ops_.load(std::memory_order_relaxed); }
-  uint64_t unsafe_ops() const {
-    return unsafe_ops_.load(std::memory_order_relaxed);
-  }
-  const LatencyRecorder& latencies() const { return latencies_; }
-  const std::vector<EpochStat>& epoch_stats() const { return epoch_stats_; }
-  const Scheduler& scheduler() const { return scheduler_; }
+  /// The underlying ingest pipeline (shared with the RPC tier).
+  EpochPipeline<Store>& pipeline() { return pipeline_; }
+  const EpochPipeline<Store>& pipeline() const { return pipeline_; }
 
-  ComponentTimer& sched_timer() { return sched_timer_; }
-  ComponentTimer& network_timer() { return network_timer_; }
+  uint64_t completed_ops() const { return pipeline_.completed_ops(); }
+  uint64_t safe_ops() const { return pipeline_.safe_ops(); }
+  uint64_t unsafe_ops() const { return pipeline_.unsafe_ops(); }
+  const LatencyRecorder& latencies() const { return pipeline_.latencies(); }
+  const std::vector<EpochStat>& epoch_stats() const {
+    return pipeline_.epoch_stats();
+  }
+  const Scheduler& scheduler() const { return pipeline_.scheduler(); }
+
+  ComponentTimer& sched_timer() { return pipeline_.sched_timer(); }
+  ComponentTimer& network_timer() { return pipeline_.network_timer(); }
 
  private:
-  struct Claimed {
-    Session* session = nullptr;
-    int64_t claim_ns = 0;
-    int64_t latency_ns = 0;   // filled at response time
-    uint32_t n_updates = 1;   // captured at claim time: after the response,
-    bool is_txn = false;      // the session belongs to the client again
-    bool is_async = false;    // pipelined update (carried by value below)
-    Update async_update{};
-  };
-
-  // One session's safe prefix claimed from its pipelined queue this epoch;
-  // applied strictly in submission order (sequentially) so the parallel safe
-  // phase preserves per-session FIFO semantics.
-  struct AsyncGroup {
-    Session* session = nullptr;
-    std::vector<Update> updates;
-    int64_t claim_ns = 0;
-    int64_t latency_ns = 0;
-  };
-
-  // Zero-copy view of a session's current request.
-  static std::pair<const Update*, size_t> UpdatesView(const Session& s) {
-    if (s.is_txn_) return {s.txn_.data(), s.txn_.size()};
-    return {&s.update_, size_t{1}};
-  }
-
-  void CoordinatorMain() {
-    std::vector<Claimed> safe_batch;
-    std::deque<Claimed> unsafe_queue;
-    std::vector<AsyncGroup> async_safe;
-    std::unordered_map<Session*, size_t> async_group_of;
-    // Sessions whose pipelined queue hit an unsafe update this epoch: their
-    // remaining queue is *next-epoch* (Figure 9's N class) — an unsafe
-    // update can change the classification of everything behind it.
-    std::unordered_set<Session*> frozen;
-    // In-epoch duplicate-count deltas, so a second deletion of the same edge
-    // key within one epoch sees the first one's effect (Section 4's
-    // classification is against the state the update will execute in).
-    std::unordered_map<uint64_t, int64_t> dup_deltas;
-
-    while (true) {
-      bool should_stop = stop_.load(std::memory_order_acquire);
-      safe_batch.clear();
-      async_safe.clear();
-      async_group_of.clear();
-      frozen.clear();
-      dup_deltas.clear();
-      uint64_t claimed_this_epoch = 0;
-
-      // --- Packing phase: claim + classify until the scheduler says drain.
-      bool drain = false;
-      int idle_scans = 0;
-      while (!drain) {
-        uint64_t found = 0;
-        {
-          ScopedTimer t(network_timer_);
-          for (auto& s : sessions_) {
-            if (s->state_.load(std::memory_order_acquire) !=
-                Session::kPending) {
-              continue;
-            }
-            // Claim: the session stays ours until Respond hands it back.
-            s->state_.store(Session::kClaimed, std::memory_order_relaxed);
-            found++;
-            Claimed c{s.get(), WallTimer::NowNanos(), 0,
-                      static_cast<uint32_t>(
-                          s->is_rw_ ? 1 : UpdatesView(*s).second),
-                      s->is_txn_};
-            // Read-write transactions are unsafe by definition (their reads
-            // must observe an isolated state); their writes reach the WAL as
-            // they execute, not at claim time.
-            bool safe = false;
-            if (!s->is_rw_) {
-              {
-                ScopedTimer tc(system_.cc_timer());
-                safe = ClassifyClaimed(*s, dup_deltas);
-              }
-              auto [ups, n] = UpdatesView(*s);
-              for (size_t i = 0; i < n; ++i) system_.WalAppend(ups[i]);
-            }
-            if (safe) {
-              safe_batch.push_back(c);
-            } else {
-              unsafe_queue.push_back(c);
-            }
-          }
-        }
-        // --- Pipelined lane: claim each unfrozen session's FIFO prefix up
-        //     to and including its first unsafe update.
-        {
-          ScopedTimer t(network_timer_);
-          for (auto& s : sessions_) {
-            if (frozen.count(s.get()) != 0) continue;
-            std::lock_guard<std::mutex> g(s->async_mu_);
-            while (!s->async_queue_.empty()) {
-              const Update& u = s->async_queue_.front();
-              bool safe;
-              {
-                ScopedTimer tc(system_.cc_timer());
-                safe = ClassifyUpdate(u, dup_deltas);
-              }
-              system_.WalAppend(u);
-              found++;
-              if (safe) {
-                auto [it, fresh] =
-                    async_group_of.try_emplace(s.get(), async_safe.size());
-                if (fresh) {
-                  async_safe.push_back(
-                      AsyncGroup{s.get(), {}, WallTimer::NowNanos(), 0});
-                }
-                async_safe[it->second].updates.push_back(u);
-              } else {
-                Claimed c{s.get(), WallTimer::NowNanos(), 0, 1,
-                          false,   true,                  u};
-                unsafe_queue.push_back(c);
-                frozen.insert(s.get());
-              }
-              s->async_queue_.pop_front();
-              if (!safe) break;  // the rest are next-epoch updates
-            }
-          }
-        }
-        claimed_this_epoch += found;
-        {
-          ScopedTimer t(sched_timer_);
-          int64_t earliest_wait =
-              unsafe_queue.empty()
-                  ? 0
-                  : WallTimer::NowNanos() - unsafe_queue.front().claim_ns;
-          drain = scheduler_.ShouldDrainUnsafe(unsafe_queue.size(),
-                                               earliest_wait) ||
-                  safe_batch.size() >= options_.max_safe_batch;
-        }
-        // Re-read the stop flag: Stop() may arrive while we idle-scan, and
-        // the epoch-start snapshot would never see it.
-        should_stop = stop_.load(std::memory_order_acquire);
-        if (found == 0) {
-          // Nothing new: if we hold work, execute it; otherwise nap briefly.
-          if (!safe_batch.empty() || !async_safe.empty() ||
-              !unsafe_queue.empty() || should_stop) {
-            break;
-          }
-          if (++idle_scans > 64) {
-            std::this_thread::sleep_for(std::chrono::microseconds(20));
-          }
-        } else {
-          idle_scans = 0;
-        }
-        if (should_stop) break;
-      }
-
-      // --- Safe phase: all safe updates in parallel (inter-update
-      //     parallelism); none of them can change any result. Pipelined
-      //     groups run as units so one session's updates keep FIFO order.
-      uint64_t epoch_safe = safe_batch.size();
-      for (const AsyncGroup& g : async_safe) epoch_safe += g.updates.size();
-      if (!safe_batch.empty() || !async_safe.empty()) {
-        VersionId ver = system_.GetCurrentVersion();
-        size_t n_sync = safe_batch.size();
-        size_t n_tasks = n_sync + async_safe.size();
-        auto run_task = [this, &safe_batch, &async_safe, n_sync,
-                         ver](uint64_t i) {
-          if (i < n_sync) {
-            Session& s = *safe_batch[i].session;
-            auto [ups, n] = UpdatesView(s);
-            for (size_t k = 0; k < n; ++k) ApplySafe(ups[k]);
-            safe_batch[i].latency_ns = RespondOnly(s, ver);
-          } else {
-            AsyncGroup& g = async_safe[i - n_sync];
-            for (const Update& u : g.updates) ApplySafe(u);
-            g.latency_ns = WallTimer::NowNanos() - g.claim_ns;
-            AsyncComplete(*g.session, ver, g.updates.size());
-          }
-        };
-        // Tiny batches run inline: a fork-join across the pool costs more
-        // than a handful of O(1) store updates (same reasoning as the
-        // engine's sequential_edge_threshold).
-        if (n_tasks <= 16) {
-          for (uint64_t i = 0; i < n_tasks; ++i) run_task(i);
-        } else {
-          pool_->ParallelFor(n_tasks, 2,
-                             [&run_task](size_t, uint64_t b, uint64_t e) {
-                               for (uint64_t i = b; i < e; ++i) run_task(i);
-                             });
-        }
-        // Stats are recorded sequentially (LatencyRecorder is not atomic).
-        for (const Claimed& c : safe_batch) {
-          RecordStats(c, /*safe=*/true);
-        }
-        for (const AsyncGroup& g : async_safe) {
-          RecordAsyncStats(g.latency_ns, g.updates.size(), /*safe=*/true);
-        }
-      }
-
-      // --- Unsafe phase: one by one, each with intra-update parallelism.
-      uint64_t epoch_unsafe = unsafe_queue.size();
-      while (!unsafe_queue.empty()) {
-        Claimed c = unsafe_queue.front();
-        unsafe_queue.pop_front();
-        if (c.is_async) {
-          VersionId ver = ApplyUnsafeOne(c.async_update);
-          c.latency_ns = WallTimer::NowNanos() - c.claim_ns;
-          AsyncComplete(*c.session, ver, 1);
-          RecordStats(c, /*safe=*/false);
-          continue;
-        }
-        Session& s = *c.session;
-        VersionId ver = s.is_rw_ ? system_.ExecuteReadWrite(s.rw_body_)
-                        : s.is_txn_ ? system_.ApplyTxnUnsafe(s.txn_)
-                                    : ApplyUnsafeOne(s.update_);
-        c.latency_ns = RespondOnly(s, ver);
-        RecordStats(c, /*safe=*/false);
-      }
-
-      // --- Epoch end: group commit, history GC, scheduler adaptation.
-      system_.WalFlush();
-      VersionId cur = system_.GetCurrentVersion();
-      if (cur > options_.history_window) {
-        system_.ReleaseHistory(cur - options_.history_window);
-      }
-      {
-        ScopedTimer t(sched_timer_);
-        scheduler_.OnEpochEnd(epoch_qualified_, epoch_missed_);
-      }
-      if (options_.record_epoch_stats &&
-          (epoch_safe + epoch_unsafe) > 0) {
-        epoch_stats_.push_back(EpochStat{WallTimer::NowNanos(), epoch_safe,
-                                         epoch_unsafe,
-                                         scheduler_.unsafe_threshold(),
-                                         epoch_missed_});
-      }
-      epoch_qualified_ = 0;
-      epoch_missed_ = 0;
-
-      if (should_stop && claimed_this_epoch == 0) return;
-    }
-  }
-
-  // Cheap mixed key over (src, dst, weight) for the in-epoch delta map.
-  static uint64_t DeltaKey(const Edge& e) {
-    uint64_t k = e.src * 0x9e3779b97f4a7c15ULL;
-    k ^= e.dst + 0x9e3779b97f4a7c15ULL + (k << 6) + (k >> 2);
-    k ^= e.weight + 0x517cc1b727220a95ULL + (k << 6) + (k >> 2);
-    return k;
-  }
-
-  /// Classifies one pipelined update; a safe verdict folds the update's own
-  /// duplicate-count delta into the epoch state (it will execute this
-  /// epoch). Vertex ops route to the sequential lane as in the sync path.
-  bool ClassifyUpdate(const Update& u,
-                      std::unordered_map<uint64_t, int64_t>& dup_deltas) {
-    if (u.kind == UpdateKind::kInsertVertex ||
-        u.kind == UpdateKind::kDeleteVertex) {
-      return false;
-    }
-    int64_t delta = 0;
-    if (u.kind == UpdateKind::kDeleteEdge) {
-      auto it = dup_deltas.find(DeltaKey(u.edge));
-      if (it != dup_deltas.end()) delta = it->second;
-    }
-    if (!system_.IsUpdateSafe(u, delta)) return false;
-    if (u.kind == UpdateKind::kInsertEdge) dup_deltas[DeltaKey(u.edge)]++;
-    if (u.kind == UpdateKind::kDeleteEdge) dup_deltas[DeltaKey(u.edge)]--;
-    return true;
-  }
-
-  bool ClassifyClaimed(const Session& s,
-                       std::unordered_map<uint64_t, int64_t>& dup_deltas) {
-    auto key_of = [](const Edge& e) { return DeltaKey(e); };
-    auto classify_one = [&](const Update& u) {
-      int64_t delta = 0;
-      if (u.kind == UpdateKind::kDeleteEdge) {
-        auto it = dup_deltas.find(key_of(u.edge));
-        if (it != dup_deltas.end()) delta = it->second;
-      }
-      // Vertex operations are result-safe (category 1) but grow per-vertex
-      // engine state, so the service routes them through the sequential
-      // lane; only edge updates ride the parallel one.
-      if (u.kind == UpdateKind::kInsertVertex ||
-          u.kind == UpdateKind::kDeleteVertex) {
-        return false;
-      }
-      return system_.IsUpdateSafe(u, delta);
-    };
-    auto [ups, n] = UpdatesView(s);
-    bool all_safe = true;
-    for (size_t i = 0; i < n; ++i) {
-      if (!classify_one(ups[i])) {
-        all_safe = false;
-        break;
-      }
-    }
-    if (all_safe) {
-      for (size_t i = 0; i < n; ++i) {
-        const Update& u = ups[i];
-        if (u.kind == UpdateKind::kInsertEdge) dup_deltas[key_of(u.edge)]++;
-        if (u.kind == UpdateKind::kDeleteEdge) dup_deltas[key_of(u.edge)]--;
-      }
-    }
-    return all_safe;
-  }
-
-  void ApplySafe(const Update& u) { system_.ApplySafeToStore(u); }
-
-  VersionId ApplyUnsafeOne(const Update& u) {
-    switch (u.kind) {
-      case UpdateKind::kInsertVertex: {
-        VersionId ver = system_.InsVertex(nullptr);
-        return ver;
-      }
-      case UpdateKind::kDeleteVertex:
-        return system_.DelVertex(u.edge.src);
-      default:
-        return system_.ApplyUnsafe(u);
-    }
-  }
-
-  // Unblocks the client; thread-safe. Returns the latency it observed.
-  int64_t RespondOnly(Session& s, VersionId version) {
-    int64_t submit = s.submit_ns_;
-    s.result_ = version;
-    s.state_.store(Session::kDone, std::memory_order_release);
-    return WallTimer::NowNanos() - submit;
-  }
-
-  // Completion for pipelined updates: publish the version before bumping
-  // the counter DrainAsync waits on.
-  void AsyncComplete(Session& s, VersionId version, uint64_t n) {
-    s.async_last_version_.store(version, std::memory_order_release);
-    s.async_completed_.fetch_add(n, std::memory_order_release);
-  }
-
-  void RecordAsyncStats(int64_t latency_ns, uint64_t n, bool safe) {
-    completed_ops_.fetch_add(n, std::memory_order_relaxed);
-    (safe ? safe_ops_ : unsafe_ops_).fetch_add(n, std::memory_order_relaxed);
-    for (uint64_t i = 0; i < n; ++i) {
-      latencies_.RecordNanos(latency_ns);
-      if (latency_ns <= scheduler_.latency_target_ns()) {
-        epoch_qualified_++;
-      } else {
-        epoch_missed_++;
-      }
-    }
-  }
-
-  // Coordinator-only bookkeeping. Uses claim-time captures, never the
-  // session (the client owns it again once responded).
-  void RecordStats(const Claimed& c, bool safe) {
-    latencies_.RecordNanos(c.latency_ns);
-    completed_ops_.fetch_add(c.n_updates, std::memory_order_relaxed);
-    (safe ? safe_ops_ : unsafe_ops_)
-        .fetch_add(c.n_updates, std::memory_order_relaxed);
-    if (c.is_txn) txn_ops_.fetch_add(1, std::memory_order_relaxed);
-    // Transactions get a proportionally larger budget (Section 6.2: "if the
-    // latency exceeds the transaction size multiplied by 20 ms, ... timeout").
-    if (c.latency_ns <= scheduler_.latency_target_ns() *
-                            static_cast<int64_t>(c.n_updates)) {
-      epoch_qualified_++;
-    } else {
-      epoch_missed_++;
-    }
-  }
-
-  RisGraph<Store>& system_;
-  ServiceOptions options_;
-  Scheduler scheduler_;
-  ThreadPool* pool_;
-
-  std::vector<std::unique_ptr<Session>> sessions_;
-  std::thread coordinator_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stop_{false};
-
-  std::atomic<uint64_t> completed_ops_{0};
-  std::atomic<uint64_t> safe_ops_{0};
-  std::atomic<uint64_t> unsafe_ops_{0};
-  std::atomic<uint64_t> txn_ops_{0};
-  uint64_t epoch_qualified_ = 0;
-  uint64_t epoch_missed_ = 0;
-  LatencyRecorder latencies_;
-  std::vector<EpochStat> epoch_stats_;
-  ComponentTimer sched_timer_;
-  ComponentTimer network_timer_;
+  EpochPipeline<Store> pipeline_;
 };
 
 }  // namespace risgraph

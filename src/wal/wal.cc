@@ -109,6 +109,18 @@ uint64_t WriteAheadLog::Append(const Update& update) {
   return r.lsn;
 }
 
+uint64_t WriteAheadLog::AppendBatch(const Update* updates, size_t n) {
+  uint64_t first = next_lsn_;
+  if (n == 0) return first;
+  size_t off = buffer_.size();
+  buffer_.resize(off + n * kRecordBytes);
+  for (size_t i = 0; i < n; ++i) {
+    WalRecord r{next_lsn_++, updates[i]};
+    EncodeRecord(buffer_.data() + off + i * kRecordBytes, r);
+  }
+  return first;
+}
+
 bool WriteAheadLog::Flush() {
   if (file_ == nullptr || buffer_.empty()) return true;
   size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);

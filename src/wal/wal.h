@@ -50,6 +50,12 @@ class WriteAheadLog {
   /// Buffers one record; returns its LSN.
   uint64_t Append(const Update& update);
 
+  /// Group commit: buffers `n` records with a single buffer grow and one
+  /// encode pass (the epoch pipeline appends a whole epoch at once instead
+  /// of per-update). Returns the first LSN of the batch, or NextLsn() when
+  /// n == 0.
+  uint64_t AppendBatch(const Update* updates, size_t n);
+
   /// Writes the buffer to the OS (and fsyncs when configured). Group commit
   /// boundary.
   bool Flush();

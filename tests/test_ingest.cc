@@ -1,0 +1,302 @@
+// The ingest subsystem: ring-buffer mechanics (wraparound, backpressure,
+// multi-producer FIFO) and an end-to-end stress of the sharded ingest plane —
+// N producer sessions mixing safe/unsafe pipelined streams with blocking
+// single updates, transactions, and read-write transactions. Invariants:
+//   * per-shard rings deliver every producer's items in push order
+//   * per-session FIFO effects: each session's private subgraph ends up
+//     exactly as a serial replay of that session's stream
+//   * versions a blocking session observes never go backwards
+//   * completion accounting adds up; final results match a recompute
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/algorithm_api.h"
+#include "core/reference.h"
+#include "ingest/ingest_queue.h"
+#include "runtime/risgraph.h"
+#include "runtime/service.h"
+
+namespace risgraph {
+namespace {
+
+IngestItem Tagged(uint64_t producer, uint64_t seq) {
+  IngestItem item;
+  item.kind = IngestKind::kAsync;
+  item.session = nullptr;
+  item.update = Update::InsertEdge(producer, seq, 0);
+  return item;
+}
+
+TEST(IngestRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(IngestShard(5).capacity(), 8u);
+  EXPECT_EQ(IngestShard(8).capacity(), 8u);
+  EXPECT_EQ(IngestShard(1).capacity(), 2u);
+}
+
+TEST(IngestRing, WraparoundPreservesFifo) {
+  IngestShard ring(8);
+  IngestItem out;
+  EXPECT_FALSE(ring.TryPop(&out));  // starts empty
+
+  // Push/pop with varying occupancy so the cursors lap the ring many times.
+  uint64_t pushed = 0;
+  uint64_t popped = 0;
+  Rng rng(7);
+  while (popped < 5000) {
+    uint64_t burst = 1 + rng.NextBounded(8);
+    for (uint64_t i = 0; i < burst; ++i) {
+      if (!ring.TryPush(Tagged(0, pushed))) break;
+      pushed++;
+    }
+    uint64_t drain = 1 + rng.NextBounded(8);
+    for (uint64_t i = 0; i < drain && ring.TryPop(&out); ++i) {
+      ASSERT_EQ(out.update.edge.dst, popped);  // strict FIFO
+      popped++;
+    }
+  }
+  while (ring.TryPop(&out)) {
+    ASSERT_EQ(out.update.edge.dst, popped);
+    popped++;
+  }
+  EXPECT_EQ(pushed, popped);
+}
+
+TEST(IngestRing, TryPushFailsOnlyWhenFull) {
+  IngestShard ring(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPush(Tagged(0, i)));
+  }
+  EXPECT_FALSE(ring.TryPush(Tagged(0, 99)));  // full
+  IngestItem out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out.update.edge.dst, 0u);
+  EXPECT_TRUE(ring.TryPush(Tagged(0, 4)));  // slot freed
+  EXPECT_FALSE(ring.TryPush(Tagged(0, 99)));
+}
+
+TEST(IngestRing, BackpressureBlocksUntilConsumerDrains) {
+  IngestShard ring(4);
+  for (uint64_t i = 0; i < 4; ++i) ring.Push(Tagged(0, i));
+  ASSERT_FALSE(ring.TryPush(Tagged(0, 4)));
+
+  std::atomic<bool> push_returned{false};
+  std::thread producer([&] {
+    ring.Push(Tagged(0, 4));  // must block until the consumer frees a slot
+    push_returned.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(push_returned.load(std::memory_order_acquire));
+
+  IngestItem out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  producer.join();
+  EXPECT_TRUE(push_returned.load());
+  // Ring now holds items 1..4, in order.
+  for (uint64_t seq = 1; seq <= 4; ++seq) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out.update.edge.dst, seq);
+  }
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+TEST(IngestRing, ManyProducersKeepPerProducerOrder) {
+  constexpr uint64_t kProducers = 4;
+  constexpr uint64_t kPerProducer = 20000;
+  IngestShard ring(64);
+
+  std::vector<std::thread> producers;
+  for (uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) ring.Push(Tagged(p, i));
+    });
+  }
+  std::vector<uint64_t> next_seq(kProducers, 0);
+  uint64_t total = 0;
+  IngestItem out;
+  while (total < kProducers * kPerProducer) {
+    if (!ring.TryPop(&out)) {
+      std::this_thread::yield();
+      continue;
+    }
+    uint64_t p = out.update.edge.src;
+    ASSERT_LT(p, kProducers);
+    ASSERT_EQ(out.update.edge.dst, next_seq[p]) << "producer " << p;
+    next_seq[p]++;
+    total++;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+// End-to-end stress through the service façade (which is the ingest pipeline
+// underneath): 4 pipelined sessions with FIFO-hazard streams + 4 blocking
+// sessions mixing single updates, transactions, and read-write transactions.
+// Each session owns a private vertex block, so the final store must equal a
+// serial replay of every session's recorded stream.
+TEST(IngestStress, MixedProducersFifoAndMonotonicVersions) {
+  constexpr uint64_t kBlock = 32;
+  constexpr int kAsyncSessions = 4;
+  constexpr int kSyncSessions = 4;
+  constexpr int kSessions = kAsyncSessions + kSyncSessions;
+  constexpr uint64_t kVertices = 1 + kSessions * kBlock;
+  constexpr int kOpsPerSession = 1200;
+
+  RisGraph<> sys(kVertices);
+  size_t bfs = sys.AddAlgorithm<Bfs>(0);
+  // Root reaches every block, so in-block updates split between safe and
+  // unsafe classifications.
+  std::vector<Edge> preload;
+  for (int c = 0; c < kSessions; ++c) {
+    preload.push_back(Edge{0, 1 + static_cast<uint64_t>(c) * kBlock, 1});
+  }
+  sys.LoadGraph(preload);
+  sys.InitializeResults();
+
+  ServiceOptions opt;
+  // Small sharded rings so the stress laps them many times and exercises
+  // producer backpressure.
+  opt.ingest_shards = 2;
+  opt.ingest_shard_capacity = 256;
+  RisGraphService<> service(sys, opt);
+  std::vector<Session*> sessions;
+  for (int i = 0; i < kSessions; ++i) sessions.push_back(service.OpenSession());
+
+  // Per-session recorded streams, replayed serially afterwards as the oracle.
+  std::vector<std::vector<Update>> recorded(kSessions);
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<bool> version_regression{false};
+
+  auto block_vertex = [&](int c, uint64_t off) {
+    return 1 + static_cast<uint64_t>(c) * kBlock + off % kBlock;
+  };
+
+  service.Start();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kAsyncSessions; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(11 + c);
+      Session* s = sessions[c];
+      auto& rec = recorded[c];
+      for (int i = 0; i < kOpsPerSession; ++i) {
+        VertexId a = block_vertex(c, rng.NextBounded(kBlock));
+        VertexId b = block_vertex(c, rng.NextBounded(kBlock));
+        Weight w = 1 + rng.NextBounded(3);
+        Update ins = Update::InsertEdge(a, b, w);
+        rec.push_back(ins);
+        s->SubmitAsync(ins);
+        if (rng.NextBool(0.7)) {
+          // Immediate undo of the same key: the FIFO hazard — out-of-order
+          // execution leaves a different duplicate count than serial replay.
+          Update del = Update::DeleteEdge(a, b, w);
+          rec.push_back(del);
+          s->SubmitAsync(del);
+        }
+      }
+      submitted.fetch_add(rec.size());
+      s->DrainAsync();
+    });
+  }
+  for (int k = 0; k < kSyncSessions; ++k) {
+    int c = kAsyncSessions + k;
+    clients.emplace_back([&, c] {
+      Rng rng(37 + c);
+      Session* s = sessions[c];
+      auto& rec = recorded[c];
+      VersionId last = 0;
+      for (int i = 0; i < kOpsPerSession; ++i) {
+        VersionId ver;
+        uint64_t dice = rng.NextBounded(100);
+        if (dice < 5) {
+          // Deterministic read-write transaction in the session's own block.
+          VertexId a = block_vertex(c, rng.NextBounded(kBlock));
+          VertexId b = block_vertex(c, rng.NextBounded(kBlock));
+          Update u = Update::InsertEdge(a, b, 1);
+          rec.push_back(u);
+          submitted.fetch_add(1);
+          ver = s->SubmitReadWrite([&, u](RwTxn& txn) {
+            (void)txn.GetValue(0, u.edge.src);
+            txn.InsEdge(u.edge.src, u.edge.dst, u.edge.weight);
+          });
+        } else if (dice < 30) {
+          size_t txn_size = 1 + rng.NextBounded(4);
+          std::vector<Update> txn;
+          for (size_t t = 0; t < txn_size; ++t) {
+            VertexId a = block_vertex(c, rng.NextBounded(kBlock));
+            VertexId b = block_vertex(c, rng.NextBounded(kBlock));
+            Weight w = 1 + rng.NextBounded(3);
+            txn.push_back(rng.NextBool(0.6) ? Update::InsertEdge(a, b, w)
+                                            : Update::DeleteEdge(a, b, w));
+          }
+          for (const Update& u : txn) rec.push_back(u);
+          submitted.fetch_add(txn.size());
+          ver = s->SubmitTxn(std::move(txn));
+        } else {
+          VertexId a = block_vertex(c, rng.NextBounded(kBlock));
+          VertexId b = block_vertex(c, rng.NextBounded(kBlock));
+          Weight w = 1 + rng.NextBounded(3);
+          Update u = rng.NextBool(0.6) ? Update::InsertEdge(a, b, w)
+                                       : Update::DeleteEdge(a, b, w);
+          rec.push_back(u);
+          submitted.fetch_add(1);
+          ver = s->Submit(u);
+        }
+        if (ver != kInvalidVersion) {
+          if (ver < last) version_regression.store(true);
+          last = ver;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.Stop();
+
+  EXPECT_FALSE(version_regression.load());
+  EXPECT_EQ(service.completed_ops(), submitted.load());
+  EXPECT_GT(service.safe_ops(), 0u);
+  EXPECT_GT(service.unsafe_ops(), 0u);
+  for (int c = 0; c < kAsyncSessions; ++c) {
+    EXPECT_EQ(sessions[c]->async_completed(), recorded[c].size()) << c;
+  }
+
+  // Oracle: serial replay of every session's stream. Blocks are disjoint,
+  // so replay order across sessions cannot matter — but order *within* a
+  // session must have been preserved by the ingest plane.
+  RisGraph<> oracle(kVertices);
+  oracle.AddAlgorithm<Bfs>(0);
+  oracle.LoadGraph(preload);
+  oracle.InitializeResults();
+  for (int c = 0; c < kSessions; ++c) {
+    for (const Update& u : recorded[c]) {
+      u.kind == UpdateKind::kInsertEdge
+          ? oracle.InsEdge(u.edge.src, u.edge.dst, u.edge.weight)
+          : oracle.DelEdge(u.edge.src, u.edge.dst, u.edge.weight);
+    }
+  }
+  for (int c = 0; c < kSessions; ++c) {
+    for (uint64_t i = 0; i < kBlock; ++i) {
+      VertexId a = block_vertex(c, i);
+      for (uint64_t j = 0; j < kBlock; ++j) {
+        VertexId b = block_vertex(c, j);
+        for (Weight w = 1; w <= 3; ++w) {
+          ASSERT_EQ(sys.store().EdgeCount(a, EdgeKey{b, w}),
+                    oracle.store().EdgeCount(a, EdgeKey{b, w}))
+              << "session " << c << " edge " << a << "->" << b << " w" << w;
+        }
+      }
+    }
+  }
+
+  // And the maintained results match a from-scratch recompute.
+  auto ref = ReferenceCompute<Bfs>(sys.store(), 0);
+  for (VertexId v = 0; v < kVertices; ++v) {
+    ASSERT_EQ(sys.GetValue(bfs, v), ref[v]) << v;
+  }
+}
+
+}  // namespace
+}  // namespace risgraph

@@ -48,6 +48,36 @@ TEST_F(WalTest, AppendFlushReplayRoundtrip) {
   }
 }
 
+TEST_F(WalTest, AppendBatchMatchesPerRecordAppends) {
+  // Group commit must be byte-identical to per-update appends: same LSN
+  // sequence, same records on replay, interleaving freely with Append.
+  std::vector<Update> batch = {Update::InsertEdge(1, 2, 3),
+                               Update::DeleteEdge(4, 5, 6),
+                               Update::InsertEdge(7, 8, 9)};
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path_));
+    EXPECT_EQ(wal.Append(Update::InsertVertex(0)), 0u);
+    EXPECT_EQ(wal.AppendBatch(batch.data(), batch.size()), 1u);
+    EXPECT_EQ(wal.AppendBatch(batch.data(), 0), 4u);  // empty batch: no-op
+    EXPECT_EQ(wal.Append(Update::DeleteVertex(9)), 4u);
+    EXPECT_EQ(wal.NextLsn(), 5u);
+    ASSERT_TRUE(wal.Flush());
+  }
+  std::vector<WalRecord> replayed;
+  uint64_t n = WriteAheadLog::Replay(
+      path_, [&](const WalRecord& r) { replayed.push_back(r); });
+  ASSERT_EQ(n, 5u);
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].lsn, i);
+  }
+  EXPECT_EQ(replayed[0].update, Update::InsertVertex(0));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(replayed[1 + i].update, batch[i]);
+  }
+  EXPECT_EQ(replayed[4].update, Update::DeleteVertex(9));
+}
+
 TEST_F(WalTest, CloseFlushesBufferedRecords) {
   {
     WriteAheadLog wal;

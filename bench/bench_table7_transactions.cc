@@ -21,6 +21,7 @@ namespace {
 struct TxnResult {
   double ops = 0;         // updates per second, not txns per second
   double safe_share = 0;  // fraction of transactions classified safe
+  uint64_t txns = 0;      // blocking transactions completed
 };
 
 template <typename Algo>
@@ -41,6 +42,7 @@ TxnResult Throughput(const Dataset& d, size_t txn_size,
   out.safe_share =
       r.total > 0 ? static_cast<double>(r.safe) / static_cast<double>(r.total)
                   : 0.0;
+  out.txns = r.txns;
   return out;
 }
 
@@ -72,11 +74,13 @@ int main() {
                       Throughput<Sswp>(d, txn, env),
                       Throughput<Wcc>(d, txn, env)};
     std::printf("%8zu", txn);
+    uint64_t txns = 0;
     for (int i = 0; i < 4; ++i) {
       std::printf(" %8.2fx (%3.0f%%)", t[i].ops / base[i].ops,
                   100 * t[i].safe_share);
+      txns += t[i].txns;
     }
-    std::printf("\n");
+    std::printf("  [%llu txns]\n", static_cast<unsigned long long>(txns));
   }
   std::printf(
       "\nShape check (paper): the safe share declines with txn size (a txn "

@@ -21,6 +21,9 @@ struct DriveResult {
   uint64_t safe = 0;
   uint64_t unsafe = 0;
   uint64_t total = 0;
+  /// Blocking transactions completed (EpochPipeline::txn_ops): one count per
+  /// SubmitTxn, while `total` counts the updates inside them.
+  uint64_t txns = 0;
 };
 
 /// Emulates the paper's TPC-C-style synchronous users (Section 6.2): each
@@ -89,6 +92,7 @@ DriveResult DriveService(RisGraph<Store>& system,
   r.total = pipeline.completed_ops();
   r.safe = pipeline.safe_ops();
   r.unsafe = pipeline.unsafe_ops();
+  r.txns = pipeline.txn_ops();
   r.ops_per_sec = static_cast<double>(r.total) / elapsed;
   r.mean_us = pipeline.latencies().MeanMicros();
   r.p999_ms = pipeline.latencies().P999Millis();
@@ -164,6 +168,7 @@ DriveResult DrivePipelined(RisGraph<Store>& system,
   r.total = pipeline.completed_ops();
   r.safe = pipeline.safe_ops();
   r.unsafe = pipeline.unsafe_ops();
+  r.txns = pipeline.txn_ops();
   r.ops_per_sec = static_cast<double>(r.total) / elapsed;
   r.mean_us = pipeline.latencies().MeanMicros();
   r.p999_ms = pipeline.latencies().P999Millis();

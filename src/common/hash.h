@@ -1,13 +1,18 @@
 #ifndef RISGRAPH_COMMON_HASH_H_
 #define RISGRAPH_COMMON_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
 
 namespace risgraph {
 
 /// MurmurHash3's 64-bit finalizer (fmix64). The paper's hash index is built on
 /// Google Dense Hashmap + MurmurHash3; we use the same avalanche function for
-/// our open-addressing table.
+/// our open-addressing tables.
 inline uint64_t Murmur3Fmix64(uint64_t k) {
   k ^= k >> 33;
   k *= 0xff51afd7ed558ccdULL;
@@ -21,6 +26,141 @@ inline uint64_t Murmur3Fmix64(uint64_t k) {
 inline uint64_t HashEdgeKey(uint64_t dst, uint64_t weight) {
   return Murmur3Fmix64(dst ^ Murmur3Fmix64(weight + 0x9e3779b97f4a7c15ULL));
 }
+
+/// Hash the full (src, dst, weight) edge tuple. The epoch packer's
+/// duplicate-count delta table keys on the *tuple itself* and only uses this
+/// to pick a probe start — two distinct edges that hash alike are separated
+/// by open-addressing probing, never merged (a 64-bit mixed key with no
+/// collision handling can silently share a delta between distinct edges and
+/// misclassify a deletion).
+inline uint64_t HashEdgeTuple(const Edge& e) {
+  return Murmur3Fmix64(e.src ^ HashEdgeKey(e.dst, e.weight));
+}
+
+struct EdgeTupleHash {
+  uint64_t operator()(const Edge& e) const { return HashEdgeTuple(e); }
+};
+
+/// Hash a pointer identity (sessions in the ingest plane).
+struct PointerHash {
+  uint64_t operator()(const void* p) const {
+    return Murmur3Fmix64(reinterpret_cast<uintptr_t>(p));
+  }
+};
+
+/// Open-addressing hash map: linear probing, power-of-two capacity,
+/// generation-stamped slots. Built for per-epoch scratch state:
+///   * Clear() is O(1) — it bumps the generation, leaving capacity in place,
+///     so steady-state reuse allocates nothing;
+///   * no erase (epoch state is insert/lookup only, then cleared);
+///   * keys are stored in full and compared with operator== on every probe,
+///     so hash collisions are handled, not silently merged.
+/// Not thread-safe; the epoch coordinator is the only writer.
+template <typename Key, typename Value, typename Hash>
+class FlatMap {
+ public:
+  explicit FlatMap(size_t expected = 0) { Rehash(SlotsFor(expected)); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Drops every entry in O(1); capacity (and heap) is retained.
+  void Clear() {
+    ++gen_;
+    size_ = 0;
+  }
+
+  /// Grows so `n` entries fit without rehashing.
+  void Reserve(size_t n) {
+    size_t want = SlotsFor(n);
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  /// Pointer to the value for `key`, or nullptr when absent. Stable until
+  /// the next insertion.
+  Value* Find(const Key& key) {
+    size_t i = Hash{}(key)&mask_;
+    while (slots_[i].gen == gen_) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const Value* Find(const Key& key) const {
+    return const_cast<FlatMap*>(this)->Find(key);
+  }
+
+  /// Value for `key`, default-constructed on first access.
+  Value& operator[](const Key& key) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) Rehash(slots_.size() * 2);
+    size_t i = Hash{}(key)&mask_;
+    while (slots_[i].gen == gen_) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    slots_[i].gen = gen_;
+    slots_[i].key = key;
+    slots_[i].value = Value{};
+    ++size_;
+    return slots_[i].value;
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    Value value{};
+    uint64_t gen = 0;  // live iff == table generation (which starts at 1)
+  };
+
+  static size_t SlotsFor(size_t entries) {
+    size_t cap = 16;
+    while (entries * 4 > cap * 3) cap <<= 1;  // max load factor 3/4
+    return cap;
+  }
+
+  void Rehash(size_t new_slots) {
+    std::vector<Slot> old = std::move(slots_);
+    uint64_t old_gen = gen_;
+    slots_.assign(new_slots, Slot{});
+    mask_ = new_slots - 1;
+    gen_ = 1;
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.gen == old_gen) (*this)[s.key] = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  uint64_t gen_ = 1;
+};
+
+/// Open-addressing hash set with the same properties as FlatMap (O(1)
+/// generation Clear, full-key comparison, no erase).
+template <typename Key, typename Hash>
+class FlatSet {
+ public:
+  explicit FlatSet(size_t expected = 0) : map_(expected) {}
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void Clear() { map_.Clear(); }
+  void Reserve(size_t n) { map_.Reserve(n); }
+
+  bool Contains(const Key& key) const { return map_.Find(key) != nullptr; }
+
+  /// Returns true when the key was newly inserted.
+  bool Insert(const Key& key) {
+    size_t before = map_.size();
+    map_[key];
+    return map_.size() != before;
+  }
+
+ private:
+  struct Empty {};
+  FlatMap<Key, Empty, Hash> map_;
+};
 
 }  // namespace risgraph
 

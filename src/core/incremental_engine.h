@@ -135,6 +135,12 @@ class IncrementalEngine {
 
   //===------------------------------------------------------------------===//
   // Safe/unsafe classification (paper Section 4) — read-only.
+  //
+  // Thread-safety: both helpers only read the results arrays and the store;
+  // they may be called concurrently from any number of threads (the ingest
+  // packer fans a staged epoch's classification across the pool) and
+  // concurrently with safe graph-store updates on other edges, but never
+  // while a mutation entry point below is running.
   //===------------------------------------------------------------------===//
 
   /// An insertion is safe iff it cannot produce a better value for its

@@ -2,36 +2,70 @@
 #define RISGRAPH_INGEST_BATCH_FORMER_H_
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/timer.h"
 #include "common/types.h"
 #include "ingest/ingest_queue.h"
 #include "ingest/session.h"
+#include "parallel/thread_pool.h"
 #include "runtime/risgraph.h"
 
 namespace risgraph {
 
-/// Forms one epoch's batches from the sharded ingest queue: drains shards,
-/// claims per-session FIFO prefixes, and splits the epoch into a parallel
-/// safe batch plus a sequential unsafe tail (paper Section 4's
-/// classification, Figure 9's epoch schema).
+/// Forms one epoch's batches from the sharded ingest queue as a two-stage
+/// pipeline (paper Section 4's classification, Figure 9's epoch schema):
 ///
-/// Single-consumer: only the coordinator thread (epoch pipeline) calls into
-/// this class. Sessions never see it — they only push ring items.
+///   1. *Bulk drain*: deferred items plus the shard rings are staged into one
+///      flat buffer (IngestShard::TryPopBulk — one fence pair per run of
+///      slots, not per item).
+///   2. *Pool-fanned classification*: the staged edge updates are classified
+///      speculatively in parallel across the thread pool, each worker
+///      calling the read-only RisGraph::IsUpdateSafe against current results
+///      with a zero duplicate-count delta.
+///   3. *Sequential reconciliation*: a short pass in claim order applies
+///      duplicate-count deltas and re-classifies exactly those updates whose
+///      speculative verdict a preceding in-epoch delta could invalidate — a
+///      deletion whose (src, dst, weight) key carries a nonzero pending
+///      delta. Everything else keeps its parallel verdict, so the result is
+///      bit-identical to classifying one item at a time.
+///
+/// The reconciliation rule is exact, not heuristic: classification depends
+/// on (a) current results, which are frozen for the whole packing phase (no
+/// mutation runs until the epoch executes), and (b) the in-epoch
+/// duplicate-count delta of the update's own edge key, which is zero unless
+/// an earlier update in the same epoch touched that exact key. Insertions
+/// ignore the delta entirely; deletions consult it only to decide whether
+/// they remove the key's last duplicate.
+///
+/// Single-consumer: only the coordinator thread (epoch pipeline) drives this
+/// class; stage 2 is the one place it fans work out, and the workers only
+/// ever read. Sessions never see it — they only push ring items.
 ///
 /// FIFO across epochs: when a session's pipelined stream hits an unsafe
 /// update, the rest of its stream is *next-epoch* (Figure 9's N class — an
 /// unsafe update can change the classification of everything behind it).
-/// Ring items popped for such a session are parked in a per-session deferred
-/// queue and re-examined, still in order, once the epoch turns over.
+/// Staged items of such a session are parked, still in order, and re-staged
+/// ahead of the rings once the epoch turns over.
+///
+/// All per-epoch scratch (staging buffer, verdicts, batches, delta tables,
+/// deferred queues) is pre-sized at construction and reused; after warm-up a
+/// packing pass performs zero heap allocations (asserted by test_ingest_pack).
 template <typename Store>
 class BatchFormer {
  public:
+  struct Options {
+    /// Fan stage-2 classification across the pool once a pass stages at
+    /// least this many items; smaller passes (or a 1-thread pool) classify
+    /// inline — a pool fork-join costs tens of microseconds, which only
+    /// amortizes over a few hundred classifications. SIZE_MAX degenerates
+    /// to the sequential packer (bench baseline).
+    size_t parallel_threshold = 256;
+  };
+
   /// One claimed blocking request, or one unsafe pipelined update.
   struct Claimed {
     Session* session = nullptr;
@@ -53,77 +87,141 @@ class BatchFormer {
     int64_t latency_ns = 0;
   };
 
-  BatchFormer(RisGraph<Store>& system, ShardedIngestQueue& queue)
-      : system_(system), queue_(queue) {}
+  /// Allocation-free FIFO of claimed unsafe work: a vector plus a head
+  /// cursor; storage (and its capacity) is recycled whenever the queue
+  /// drains. Persists across epochs until the pipeline executes it.
+  class ClaimedFifo {
+   public:
+    bool empty() const { return head_ == items_.size(); }
+    size_t size() const { return items_.size() - head_; }
+    Claimed& front() { return items_[head_]; }
+    const Claimed& front() const { return items_[head_]; }
+    void push_back(const Claimed& c) { items_.push_back(c); }
+    void pop_front() {
+      if (++head_ == items_.size()) {
+        items_.clear();
+        head_ = 0;
+      }
+    }
 
-  /// Resets per-epoch state. Deferred (next-epoch) items survive — they are
-  /// claimed first by the next PackOnce, preserving per-session order.
-  void BeginEpoch() {
-    safe_batch_.clear();
-    async_safe_.clear();
-    async_group_of_.clear();
-    frozen_.clear();
-    dup_deltas_.clear();
+   private:
+    std::vector<Claimed> items_;
+    size_t head_ = 0;
+  };
+
+  BatchFormer(RisGraph<Store>& system, ShardedIngestQueue& queue,
+              ThreadPool* pool = nullptr, Options options = {})
+      : system_(system),
+        queue_(queue),
+        pool_(pool != nullptr ? pool : &ThreadPool::Global()),
+        options_(options) {
+    size_t ring_total = 0;
+    for (size_t i = 0; i < queue_.num_shards(); ++i) {
+      ring_total += queue_.shard(i).capacity();
+    }
+    // A pass stages at most one ring's worth per shard plus whatever was
+    // parked; park volume is itself bounded by earlier ring drains, so 2x is
+    // a comfortable steady-state ceiling (growth beyond it is amortized).
+    staging_.reserve(2 * ring_total);
+    verdicts_.reserve(2 * ring_total);
+    deferred_.reserve(ring_total);
+    deferred_keep_.reserve(ring_total);
+    safe_batch_.reserve(ring_total);
+    dup_deltas_.Reserve(2 * ring_total);
+    async_group_of_.Reserve(256);
+    frozen_.Reserve(256);
   }
 
-  /// One packing pass: claims deferred items first, then drains the ingest
-  /// shards (bounded to one ring's worth per shard so the caller can consult
-  /// the scheduler between passes). Classified WAL payloads are appended to
-  /// `wal_batch` in claim order for the epoch group commit. Returns the
-  /// number of items *claimed* this pass (0 = no claimable work arrived).
-  /// Items parked for the next epoch do not count: a pass that only parks
-  /// must not keep the packing loop spinning — ending the epoch sooner
-  /// executes the unsafe update that froze the session, and ring
-  /// backpressure re-engages while the coordinator is off executing.
+  /// Resets per-epoch state. Deferred (next-epoch) items survive — they are
+  /// staged first by the next PackOnce, preserving per-session order.
+  void BeginEpoch() {
+    safe_batch_.clear();
+    async_used_ = 0;
+    async_group_of_.Clear();
+    frozen_.Clear();
+    dup_deltas_.Clear();
+  }
+
+  /// One packing pass: stages deferred items first, then bulk-drains the
+  /// ingest shards (bounded to one ring's worth per shard so the caller can
+  /// consult the scheduler between passes), classifies the stage in
+  /// parallel, and reconciles sequentially in claim order. Classified WAL
+  /// payloads are appended to `wal_batch` in claim order for the epoch group
+  /// commit. Returns the number of items *claimed* this pass (0 = no
+  /// claimable work arrived). Items parked for the next epoch do not count:
+  /// a pass that only parks must not keep the packing loop spinning — ending
+  /// the epoch sooner executes the unsafe update that froze the session, and
+  /// ring backpressure re-engages while the coordinator is off executing.
   uint64_t PackOnce(std::vector<Update>& wal_batch) {
-    uint64_t found = 0;
+    staging_.clear();
 
-    // --- Deferred lane: sessions frozen in an earlier epoch, in FIFO order.
-    for (auto it = deferred_.begin(); it != deferred_.end();) {
-      auto& dq = it->second;
-      while (!dq.empty() && frozen_.count(it->first) == 0) {
-        IngestItem item = dq.front();
-        dq.pop_front();
-        found += ProcessItem(item, wal_batch);
+    // --- Stage 1a: deferred lane. Sessions frozen in an *earlier* epoch are
+    // claimable again (BeginEpoch cleared frozen_); sessions frozen earlier
+    // in *this* epoch keep their parked items. Park order is claim order, so
+    // a straight partition preserves per-session FIFO.
+    if (!deferred_.empty()) {
+      deferred_keep_.clear();
+      for (const IngestItem& item : deferred_) {
+        (frozen_.Contains(item.session) ? deferred_keep_ : staging_)
+            .push_back(item);
       }
-      it = dq.empty() ? deferred_.erase(it) : ++it;
+      deferred_.swap(deferred_keep_);
     }
 
-    // --- Ring lane: drain what the shards currently hold.
-    size_t budget = 0;
-    for (size_t i = 0; i < queue_.num_shards(); ++i) {
-      budget += queue_.shard(i).capacity();
+    // --- Stage 1b: ring lane, bulk-drained.
+    queue_.DrainInto(staging_);
+    if (staging_.empty()) return 0;
+
+    // --- Stage 2: pool-fanned speculative classification (delta-blind).
+    // Safe because current results are immutable for the whole packing
+    // phase and IsUpdateSafe is read-only (see the concurrent-classification
+    // contract in runtime/risgraph.h). Sequential mode skips this stage and
+    // lets reconciliation classify inline — the bench baseline, and the
+    // oracle for the equivalence test.
+    bool speculative = staging_.size() >= options_.parallel_threshold &&
+                       pool_->num_threads() > 1;
+    if (speculative) {
+      // cc_timer covers classification only (reconciliation's WAL copies
+      // and bookkeeping stay outside — Figure 11b reads this breakdown);
+      // the scope is the debug guard for the concurrent reads.
+      ScopedTimer tc(system_.cc_timer());
+      typename RisGraph<Store>::ClassificationScope scope(system_);
+      verdicts_.assign(staging_.size(), 0);
+      // Captures only `this`: fits std::function's inline storage, so the
+      // fan-out itself does not allocate.
+      pool_->ParallelFor(staging_.size(), 16,
+                         [this](size_t, uint64_t b, uint64_t e) {
+                           for (uint64_t i = b; i < e; ++i) {
+                             verdicts_[i] =
+                                 SpeculativeVerdict(staging_[i]) ? 1 : 0;
+                           }
+                         });
     }
-    IngestItem item;
-    while (budget-- > 0 && queue_.TryPopAny(&item)) {
-      Session* s = item.session;
-      if (item.kind == IngestKind::kAsync &&
-          (frozen_.count(s) != 0 || deferred_.count(s) != 0)) {
-        // Behind an unsafe update (or behind already-parked items): park it
-        // so per-session order survives into the next epoch. Not counted as
-        // claimed work — parking implies the session froze this epoch, so
-        // the unsafe queue is non-empty and the caller holds work.
-        deferred_[s].push_back(item);
-        continue;
-      }
-      found += ProcessItem(item, wal_batch);
-    }
-    return found;
+    // One timestamp per pass: claim_ns feeds latency stats and the
+    // scheduler's earliest-wait heuristic, both of which operate at epoch
+    // granularity — a per-item clock read is pure hot-path overhead.
+    int64_t now = WallTimer::NowNanos();
+
+    // --- Stage 3: sequential reconciliation in claim order.
+    return Reconcile(now, wal_batch, speculative);
   }
 
   std::vector<Claimed>& safe_batch() { return safe_batch_; }
-  std::vector<AsyncGroup>& async_safe() { return async_safe_; }
-  std::deque<Claimed>& unsafe_queue() { return unsafe_queue_; }
+  std::span<AsyncGroup> async_safe() {
+    return {async_pool_.data(), async_used_};
+  }
+  ClaimedFifo& unsafe_queue() { return unsafe_queue_; }
 
   uint64_t safe_size() const {
     uint64_t n = safe_batch_.size();
-    for (const AsyncGroup& g : async_safe_) n += g.updates.size();
+    for (size_t i = 0; i < async_used_; ++i) {
+      n += async_pool_[i].updates.size();
+    }
     return n;
   }
 
   bool HasClaimedWork() const {
-    return !safe_batch_.empty() || !async_safe_.empty() ||
-           !unsafe_queue_.empty();
+    return !safe_batch_.empty() || async_used_ != 0 || !unsafe_queue_.empty();
   }
 
   /// Items parked for the next epoch (the stop path must not exit while any
@@ -137,135 +235,175 @@ class BatchFormer {
     return {&s.update_, size_t{1}};
   }
 
-  uint64_t ProcessItem(const IngestItem& item, std::vector<Update>& wal_batch) {
-    Session* s = item.session;
-    if (item.kind == IngestKind::kRequest) {
-      // Claim: the session stays ours until the pipeline responds.
-      s->state_.store(Session::kClaimed, std::memory_order_relaxed);
-      Claimed c{s, WallTimer::NowNanos(), 0,
-                static_cast<uint32_t>(s->is_rw_ ? 1 : UpdatesView(*s).second),
-                s->is_txn_};
-      // Read-write transactions are unsafe by definition (their reads must
-      // observe an isolated state); their writes reach the WAL as they
-      // execute, not at claim time.
-      bool safe = false;
-      if (!s->is_rw_) {
-        {
-          ScopedTimer tc(system_.cc_timer());
-          safe = ClassifyClaimed(*s);
-        }
-        auto [ups, n] = UpdatesView(*s);
-        wal_batch.insert(wal_batch.end(), ups, ups + n);
-      }
-      if (safe) {
-        safe_batch_.push_back(c);
-      } else {
-        unsafe_queue_.push_back(c);
-      }
-      return 1;
-    }
-
-    // Pipelined update.
-    const Update& u = item.update;
-    bool safe;
-    {
-      ScopedTimer tc(system_.cc_timer());
-      safe = ClassifyUpdate(u);
-    }
-    wal_batch.push_back(u);
-    if (safe) {
-      auto [it, fresh] = async_group_of_.try_emplace(s, async_safe_.size());
-      if (fresh) {
-        async_safe_.push_back(AsyncGroup{s, {}, WallTimer::NowNanos(), 0});
-      }
-      async_safe_[it->second].updates.push_back(u);
-    } else {
-      unsafe_queue_.push_back(
-          Claimed{s, WallTimer::NowNanos(), 0, 1, false, true, u});
-      frozen_.insert(s);  // the rest of this session's stream is next-epoch
-    }
-    return 1;
+  static bool IsVertexOp(const Update& u) {
+    return u.kind == UpdateKind::kInsertVertex ||
+           u.kind == UpdateKind::kDeleteVertex;
   }
 
-  // Cheap mixed key over (src, dst, weight) for the in-epoch delta map.
-  static uint64_t DeltaKey(const Edge& e) {
-    uint64_t k = e.src * 0x9e3779b97f4a7c15ULL;
-    k ^= e.dst + 0x9e3779b97f4a7c15ULL + (k << 6) + (k >> 2);
-    k ^= e.weight + 0x517cc1b727220a95ULL + (k << 6) + (k >> 2);
-    return k;
-  }
-
-  /// Classifies one pipelined update; a safe verdict folds the update's own
-  /// duplicate-count delta into the epoch state (it will execute this
-  /// epoch). Vertex ops route to the sequential lane as in the sync path.
-  bool ClassifyUpdate(const Update& u) {
-    if (u.kind == UpdateKind::kInsertVertex ||
-        u.kind == UpdateKind::kDeleteVertex) {
-      return false;
+  /// Delta-blind verdict for one staged item (stage 2, any pool thread).
+  /// Vertex operations are result-safe (category 1) but grow per-vertex
+  /// engine state, so they route through the sequential lane; read-write
+  /// transactions are unsafe by definition (their reads must observe an
+  /// isolated state).
+  bool SpeculativeVerdict(const IngestItem& item) const {
+    if (item.kind == IngestKind::kAsync) {
+      return !IsVertexOp(item.update) && system_.IsUpdateSafe(item.update, 0);
     }
-    int64_t delta = 0;
-    if (u.kind == UpdateKind::kDeleteEdge) {
-      auto it = dup_deltas_.find(DeltaKey(u.edge));
-      if (it != dup_deltas_.end()) delta = it->second;
+    const Session& s = *item.session;
+    if (s.is_rw_) return false;
+    auto [ups, n] = UpdatesView(s);
+    for (size_t i = 0; i < n; ++i) {
+      if (IsVertexOp(ups[i]) || !system_.IsUpdateSafe(ups[i], 0)) return false;
     }
-    if (!system_.IsUpdateSafe(u, delta)) return false;
-    if (u.kind == UpdateKind::kInsertEdge) dup_deltas_[DeltaKey(u.edge)]++;
-    if (u.kind == UpdateKind::kDeleteEdge) dup_deltas_[DeltaKey(u.edge)]--;
     return true;
   }
 
-  /// Classifies a claimed blocking request (single update or transaction)
-  /// against the current results plus in-epoch duplicate-count deltas, so a
-  /// second deletion of the same edge key within one epoch sees the first
-  /// one's effect (Section 4's classification is against the state the
-  /// update will execute in).
-  bool ClassifyClaimed(const Session& s) {
-    auto classify_one = [&](const Update& u) {
+  /// Delta-aware verdict over a run of updates, classified one at a time
+  /// against the current dup-delta table — the sequential packer, and the
+  /// fallback reconciliation re-runs when a pending delta could have flipped
+  /// a speculative verdict. Intra-run deltas are *not* folded (a
+  /// transaction's updates all classify against the table as of its claim;
+  /// folding happens only after an all-safe verdict).
+  bool SequentialVerdict(const Update* ups, size_t n) {
+    ScopedTimer tc(system_.cc_timer());
+    for (size_t i = 0; i < n; ++i) {
+      const Update& u = ups[i];
+      if (IsVertexOp(u)) return false;
       int64_t delta = 0;
       if (u.kind == UpdateKind::kDeleteEdge) {
-        auto it = dup_deltas_.find(DeltaKey(u.edge));
-        if (it != dup_deltas_.end()) delta = it->second;
+        if (const int64_t* d = dup_deltas_.Find(u.edge)) delta = *d;
       }
-      // Vertex operations are result-safe (category 1) but grow per-vertex
-      // engine state, so they route through the sequential lane; only edge
-      // updates ride the parallel one.
-      if (u.kind == UpdateKind::kInsertVertex ||
-          u.kind == UpdateKind::kDeleteVertex) {
-        return false;
+      if (!system_.IsUpdateSafe(u, delta)) return false;
+    }
+    return true;
+  }
+
+  /// Final verdict for staged item `i` covering updates [ups, ups+n): the
+  /// speculative verdict stands unless one of the updates is a deletion
+  /// whose key carries a nonzero pending delta — the only input stage 2
+  /// could not see — in which case the run is re-classified delta-aware.
+  bool FinalVerdict(size_t i, const Update* ups, size_t n, bool speculative) {
+    if (!speculative) return SequentialVerdict(ups, n);
+    for (size_t k = 0; k < n; ++k) {
+      if (ups[k].kind == UpdateKind::kDeleteEdge) {
+        const int64_t* d = dup_deltas_.Find(ups[k].edge);
+        if (d != nullptr && *d != 0) return SequentialVerdict(ups, n);
       }
-      return system_.IsUpdateSafe(u, delta);
-    };
-    auto [ups, n] = UpdatesView(s);
-    bool all_safe = true;
+    }
+    return verdicts_[i] != 0;
+  }
+
+  /// A safe verdict folds the run's duplicate-count deltas into the epoch
+  /// state (the run will execute this epoch, so later same-key deletions
+  /// must see its effect — Section 4's classification is against the state
+  /// the update will execute in).
+  void FoldDeltas(const Update* ups, size_t n) {
     for (size_t i = 0; i < n; ++i) {
-      if (!classify_one(ups[i])) {
-        all_safe = false;
-        break;
+      if (ups[i].kind == UpdateKind::kInsertEdge) dup_deltas_[ups[i].edge]++;
+      if (ups[i].kind == UpdateKind::kDeleteEdge) dup_deltas_[ups[i].edge]--;
+    }
+  }
+
+  uint64_t Reconcile(int64_t now, std::vector<Update>& wal_batch,
+                     bool speculative) {
+    uint64_t found = 0;
+    for (size_t i = 0; i < staging_.size(); ++i) {
+      const IngestItem& item = staging_[i];
+      Session* s = item.session;
+
+      if (item.kind == IngestKind::kAsync && frozen_.Contains(s)) {
+        // Behind an unsafe update: park it so per-session order survives
+        // into the next epoch. Not counted as claimed work — a frozen
+        // session implies the unsafe queue is non-empty, so the caller
+        // already holds work. (Invariant: a session has parked items only
+        // while frozen this epoch, so this is the complete parking test.)
+        deferred_.push_back(item);
+        continue;
+      }
+      ++found;
+
+      if (item.kind == IngestKind::kRequest) {
+        // Claim: the session stays ours until the pipeline responds.
+        s->state_.store(Session::kClaimed, std::memory_order_relaxed);
+        Claimed c{s, now, 0,
+                  static_cast<uint32_t>(s->is_rw_ ? 1 : UpdatesView(*s).second),
+                  s->is_txn_};
+        // Read-write transactions bypass classification (unsafe by
+        // definition); their writes reach the WAL as they execute, not at
+        // claim time.
+        bool safe = false;
+        if (!s->is_rw_) {
+          auto [ups, n] = UpdatesView(*s);
+          safe = FinalVerdict(i, ups, n, speculative);
+          if (safe) FoldDeltas(ups, n);
+          wal_batch.insert(wal_batch.end(), ups, ups + n);
+        }
+        if (safe) {
+          safe_batch_.push_back(c);
+        } else {
+          unsafe_queue_.push_back(c);
+        }
+        continue;
+      }
+
+      // Pipelined update.
+      const Update& u = item.update;
+      bool safe = FinalVerdict(i, &u, 1, speculative);
+      if (safe) FoldDeltas(&u, 1);
+      wal_batch.push_back(u);
+      if (safe) {
+        size_t& slot = async_group_of_[s];
+        if (slot == 0) {  // first update from this session this epoch
+          AsyncGroup& g = NewAsyncGroup();
+          g.session = s;
+          g.claim_ns = now;
+          g.latency_ns = 0;
+          slot = async_used_;  // 1-based so the default 0 means "fresh"
+        }
+        async_pool_[slot - 1].updates.push_back(u);
+      } else {
+        unsafe_queue_.push_back(Claimed{s, now, 0, 1, false, true, u});
+        frozen_.Insert(s);  // the rest of this session's stream is next-epoch
       }
     }
-    if (all_safe) {
-      for (size_t i = 0; i < n; ++i) {
-        const Update& u = ups[i];
-        if (u.kind == UpdateKind::kInsertEdge) dup_deltas_[DeltaKey(u.edge)]++;
-        if (u.kind == UpdateKind::kDeleteEdge) dup_deltas_[DeltaKey(u.edge)]--;
-      }
-    }
-    return all_safe;
+    return found;
+  }
+
+  AsyncGroup& NewAsyncGroup() {
+    if (async_used_ == async_pool_.size()) async_pool_.emplace_back();
+    AsyncGroup& g = async_pool_[async_used_++];
+    g.updates.clear();  // keeps the previous epoch's capacity
+    return g;
   }
 
   RisGraph<Store>& system_;
   ShardedIngestQueue& queue_;
+  ThreadPool* pool_;
+  Options options_;
+
+  // Per-pass staging: every item drained this pass, in claim order, plus the
+  // stage-2 verdict bits (1 = all updates safe at zero delta).
+  std::vector<IngestItem> staging_;
+  std::vector<uint8_t> verdicts_;
 
   std::vector<Claimed> safe_batch_;
-  std::vector<AsyncGroup> async_safe_;
-  std::unordered_map<Session*, size_t> async_group_of_;
-  std::deque<Claimed> unsafe_queue_;  // persists across epochs until drained
+  // Pipelined safe groups, pooled: BeginEpoch resets the count, the group
+  // objects (and their update vectors' capacity) are reused.
+  std::vector<AsyncGroup> async_pool_;
+  size_t async_used_ = 0;
+  // Session -> 1-based index into async_pool_ (0 = no group yet this epoch).
+  FlatMap<Session*, size_t, PointerHash> async_group_of_;
+  ClaimedFifo unsafe_queue_;  // persists across epochs until drained
   // Sessions whose pipelined stream hit an unsafe update this epoch.
-  std::unordered_set<Session*> frozen_;
-  // Next-epoch items, per session, in submission order.
-  std::unordered_map<Session*, std::deque<IngestItem>> deferred_;
-  // In-epoch duplicate-count deltas.
-  std::unordered_map<uint64_t, int64_t> dup_deltas_;
+  FlatSet<Session*, PointerHash> frozen_;
+  // Next-epoch items in park (= claim) order; re-staged by the next pass.
+  // Two buffers swapped so the frozen-session partition never allocates.
+  std::vector<IngestItem> deferred_;
+  std::vector<IngestItem> deferred_keep_;
+  // In-epoch duplicate-count deltas, keyed on the full (src, dst, weight)
+  // tuple — a hashed 64-bit key with no collision handling can let two
+  // distinct edges share a delta and misclassify a deletion.
+  FlatMap<Edge, int64_t, EdgeTupleHash> dup_deltas_;
 };
 
 }  // namespace risgraph

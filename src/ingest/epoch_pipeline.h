@@ -48,6 +48,11 @@ struct ServiceOptions {
   /// blocks its producers — backpressure.
   size_t ingest_shards = 0;
   size_t ingest_shard_capacity = 4096;
+  /// Packing: fan classification across the thread pool once a packing pass
+  /// stages at least this many items (smaller passes classify inline, where
+  /// a fork-join would cost more than the lookups). SIZE_MAX forces the
+  /// sequential packer — the bench baseline and equivalence-test oracle.
+  size_t pack_parallel_threshold = 256;
 };
 
 /// The epoch pipeline: RisGraph's multi-session concurrency-control core
@@ -77,7 +82,9 @@ class EpochPipeline {
         pool_(pool != nullptr ? pool : &ThreadPool::Global()),
         queue_(options.ingest_shards != 0 ? options.ingest_shards : 4,
                options.ingest_shard_capacity),
-        former_(system, queue_) {}
+        former_(system, queue_, pool_,
+                typename BatchFormer<Store>::Options{
+                    options.pack_parallel_threshold}) {}
 
   ~EpochPipeline() { Stop(); }
 
@@ -115,6 +122,9 @@ class EpochPipeline {
   uint64_t unsafe_ops() const {
     return unsafe_ops_.load(std::memory_order_relaxed);
   }
+  /// Blocking transactions (SubmitTxn) completed — one count per
+  /// transaction, while completed_ops counts their individual updates.
+  uint64_t txn_ops() const { return txn_ops_.load(std::memory_order_relaxed); }
   const LatencyRecorder& latencies() const { return latencies_; }
   const std::vector<EpochStat>& epoch_stats() const { return epoch_stats_; }
   const Scheduler& scheduler() const { return scheduler_; }
@@ -180,7 +190,7 @@ class EpochPipeline {
       //     parallelism); none of them can change any result. Pipelined
       //     groups run as units so one session's updates keep FIFO order.
       auto& safe_batch = former_.safe_batch();
-      auto& async_safe = former_.async_safe();
+      auto async_safe = former_.async_safe();  // span over the epoch's groups
       uint64_t epoch_safe = former_.safe_size();
       if (!safe_batch.empty() || !async_safe.empty()) {
         VersionId ver = system_.GetCurrentVersion();

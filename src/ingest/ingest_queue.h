@@ -117,6 +117,36 @@ class IngestShard {
     }
   }
 
+  /// Bulk consumer pop: pops up to `max` items into `out`, returning the
+  /// count. Single-consumer only (unlike TryPop this elides the head CAS —
+  /// the coordinator is the ring's one consumer). The probe over slot
+  /// sequence numbers uses relaxed loads; ONE acquire fence then orders all
+  /// the item reads and ONE release fence publishes all the freed slots back
+  /// to producers — two fences per run of slots instead of an
+  /// acquire/release pair per item, which is what makes draining a full ring
+  /// cheap enough to sit on the packing hot path.
+  size_t TryPopBulk(IngestItem* out, size_t max) {
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    size_t n = 0;
+    while (n < max &&
+           slots_[(pos + n) & mask_].seq.load(std::memory_order_relaxed) ==
+               pos + n + 1) {
+      ++n;
+    }
+    if (n == 0) return 0;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = slots_[(pos + i) & mask_].item;
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+    for (size_t i = 0; i < n; ++i) {
+      slots_[(pos + i) & mask_].seq.store(pos + i + mask_ + 1,
+                                          std::memory_order_relaxed);
+    }
+    head_.store(pos + n, std::memory_order_relaxed);
+    return n;
+  }
+
   /// Racy size estimate (monitoring only).
   size_t ApproxSize() const {
     uint64_t tail = tail_.load(std::memory_order_relaxed);
@@ -170,6 +200,37 @@ class ShardedIngestQueue {
       }
     }
     return false;
+  }
+
+  /// Bulk-drains every shard into `out` (appending), up to one ring's worth
+  /// per shard so a caller can consult the scheduler between passes.
+  /// Single-consumer (see IngestShard::TryPopBulk). Returns the number of
+  /// items drained. The caller keeps `out`'s capacity across passes — with
+  /// room for the sum of ring capacities, steady state never allocates.
+  size_t DrainInto(std::vector<IngestItem>& out) {
+    size_t total = 0;
+    size_t n = shards_.size();
+    for (size_t k = 0; k < n; ++k) {
+      IngestShard& shard = *shards_[(rr_ + k) % n];
+      size_t budget = shard.capacity();
+      while (budget > 0) {
+        // Bound the staging grow by the ring's (racy) occupancy estimate so
+        // an idle scan never value-initializes a full ring's worth of slots;
+        // items the estimate missed are picked up by the next iteration or
+        // the next pass.
+        size_t want = std::min(budget, shard.ApproxSize());
+        if (want == 0) break;
+        size_t old = out.size();
+        out.resize(old + want);
+        size_t got = shard.TryPopBulk(out.data() + old, want);
+        out.resize(old + got);
+        total += got;
+        budget -= got;
+        if (got == 0) break;
+      }
+    }
+    rr_ = n == 0 ? 0 : (rr_ + 1) % n;
+    return total;
   }
 
   bool Empty() const {

@@ -28,6 +28,21 @@ struct Peak {
   size_t sessions = 0;
 };
 
+/// One session-count measurement, kept for the JSON artifact (the Figure
+/// 10a trend plus the peak table ride in one file).
+struct TrendRow {
+  std::string dataset;
+  const char* algo = "";
+  size_t sessions = 0;
+  double ops = 0, mean_us = 0, p999_ms = 0;
+  bool qualified = false;
+};
+
+std::vector<TrendRow>& TrendRows() {
+  static std::vector<TrendRow> rows;
+  return rows;
+}
+
 template <typename Algo>
 Peak RunDataset(const Dataset& d, const bench::Env& env) {
   StreamOptions so;
@@ -56,6 +71,8 @@ Peak RunDataset(const Dataset& d, const bench::Env& env) {
                 bench::FmtOps(r.ops_per_sec).c_str(),
                 bench::FmtTime(r.mean_us).c_str(), r.p999_ms,
                 ok ? "yes" : "MISS");
+    TrendRows().push_back(TrendRow{d.spec.name, Algo::Name(), sessions,
+                                   r.ops_per_sec, r.mean_us, r.p999_ms, ok});
     if (ok && r.ops_per_sec > peak.ops) {
       peak = Peak{r.ops_per_sec, r.mean_us, r.p999_ms, sessions};
     }
@@ -111,5 +128,54 @@ int main() {
   std::printf(
       "\nShape check: throughput rises with session count and peaks in the\n"
       "10^5-10^6 ops/s range at this scale with P999 under 20 ms.\n");
+
+  // JSON artifact: the per-session-count trend (Figure 10a) plus the peak
+  // table (Figure 10b), for the CI perf trajectory.
+  std::string json =
+      "{\n  \"bench\": \"fig10_throughput_latency\",\n  \"trend\": [\n";
+  bool first = true;
+  for (const TrendRow& t : TrendRows()) {
+    if (!first) json += ",\n";
+    first = false;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"dataset\": \"%s\", \"algo\": \"%s\", \"sessions\": "
+                  "%zu, \"ops_per_sec\": %.0f, \"mean_us\": %.2f, "
+                  "\"p999_ms\": %.3f, \"qualified\": %s}",
+                  t.dataset.c_str(), t.algo, t.sessions, t.ops, t.mean_us,
+                  t.p999_ms, t.qualified ? "true" : "false");
+    json += buf;
+  }
+  json += "\n  ],\n  \"peaks\": [\n";
+  first = true;
+  for (const PeakRow& r : rows) {
+    struct Named {
+      const char* algo;
+      const Peak* p;
+    };
+    for (const Named& n : {Named{"BFS", &r.bfs}, Named{"SSSP", &r.sssp},
+                           Named{"SSWP", &r.sswp}, Named{"WCC", &r.wcc}}) {
+      if (!first) json += ",\n";
+      first = false;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"dataset\": \"%s\", \"algo\": \"%s\", "
+                    "\"sessions\": %zu, \"ops_per_sec\": %.0f, \"mean_us\": "
+                    "%.2f, \"p999_ms\": %.3f}",
+                    r.dataset.c_str(), n.algo, n.p->sessions, n.p->ops,
+                    n.p->mean_us, n.p->p999_ms);
+      json += buf;
+    }
+  }
+  json += "\n  ]\n}\n";
+  const char* path = "BENCH_fig10_throughput_latency.json";
+  if (FILE* f = std::fopen(path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::printf("failed to write %s\n", path);
+    return 1;
+  }
   return 0;
 }

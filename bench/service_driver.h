@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/timer.h"
 #include "ingest/epoch_pipeline.h"
+#include "runtime/client.h"
 #include "workload/update_stream.h"
 
 namespace risgraph::bench {
@@ -21,18 +23,150 @@ struct DriveResult {
   uint64_t safe = 0;
   uint64_t unsafe = 0;
   uint64_t total = 0;
-  /// Blocking transactions completed (EpochPipeline::txn_ops): one count per
+  /// Blocking transactions (SubmitTxn) completed — one count per
   /// SubmitTxn, while `total` counts the updates inside them.
   uint64_t txns = 0;
 };
+
+/// Client-observed result of a generic IClient drive loop — what a remote
+/// harness can measure without access to server counters.
+struct ClientDrive {
+  double ops_per_sec = 0;
+  uint64_t submitted = 0;  // updates handed to the client API
+  uint64_t shed = 0;       // updates rejected with kBusy (kShed policy)
+  double elapsed_s = 0;
+  size_t consumed = 0;  // stream positions claimed (advance the cursor by this)
+};
+
+/// Closed-loop drive over any IClient transport (in-process SessionClient or
+/// remote RpcClient — the same loop drives both): one thread per client,
+/// each repeatedly claiming the next txn_size-sized chunk of the stream and
+/// submitting it blocking, the paper's TPC-C-style synchronous users
+/// (Section 6.2). Runs until `seconds` elapse or the slice is exhausted.
+inline ClientDrive DriveClientsClosedLoop(const std::vector<IClient*>& clients,
+                                          const std::vector<Update>& updates,
+                                          size_t begin, size_t available,
+                                          double seconds, size_t txn_size = 1) {
+  std::atomic<bool> deadline{false};
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<uint64_t> submitted{0};
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients.size());
+  for (size_t c = 0; c < clients.size(); ++c) {
+    threads.emplace_back([&, c] {
+      uint64_t local = 0;
+      while (!deadline.load(std::memory_order_relaxed)) {
+        size_t off = next_chunk.fetch_add(txn_size, std::memory_order_relaxed);
+        if (off + txn_size > available) break;
+        const Update* base = updates.data() + begin + off;
+        VersionId ver =
+            txn_size == 1
+                ? clients[c]->Submit(*base)
+                : clients[c]->SubmitTxn(
+                      std::vector<Update>(base, base + txn_size));
+        // A dead transport fails instantly — spinning on would count
+        // never-applied updates at memory speed.
+        if (ver == kInvalidVersion) break;
+        local += txn_size;
+      }
+      submitted.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  std::thread alarm([&] {
+    while (timer.ElapsedSeconds() < seconds &&
+           next_chunk.load(std::memory_order_relaxed) < available) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    deadline.store(true, std::memory_order_relaxed);
+  });
+  for (auto& t : threads) t.join();
+  alarm.join();
+  ClientDrive r;
+  r.elapsed_s = timer.ElapsedSeconds();
+  r.submitted = submitted.load();
+  r.ops_per_sec = static_cast<double>(r.submitted) / r.elapsed_s;
+  r.consumed = std::min(next_chunk.load(), available);
+  return r;
+}
+
+/// Pipelined drive over any IClient transport: each client streams updates
+/// through SubmitAsync — the client's own window (SessionClient::Options or
+/// the RpcClient constructor) bounds what is in flight — and Flushes at the
+/// end. kBusy rejections are counted, not resubmitted (the shed rate is part
+/// of what an overload bench measures).
+inline ClientDrive DriveClientsPipelined(const std::vector<IClient*>& clients,
+                                         const std::vector<Update>& updates,
+                                         size_t begin, size_t available,
+                                         double seconds) {
+  constexpr size_t kChunk = 64;
+  std::atomic<bool> deadline{false};
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> shed{0};
+  // Snapshot so reused clients don't leak a previous call's sheds into this
+  // run's accounting.
+  uint64_t shed_before = 0;
+  for (IClient* c : clients) shed_before += c->shed_count();
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients.size());
+  for (size_t c = 0; c < clients.size(); ++c) {
+    threads.emplace_back([&, c] {
+      uint64_t local = 0;
+      uint64_t local_shed = 0;
+      bool dead = false;
+      while (!dead && !deadline.load(std::memory_order_relaxed)) {
+        size_t off = next_chunk.fetch_add(kChunk, std::memory_order_relaxed);
+        if (off + kChunk > available) break;
+        const Update* base = updates.data() + begin + off;
+        for (size_t i = 0; i < kChunk; ++i) {
+          ClientStatus st = clients[c]->SubmitAsync(base[i]);
+          if (st == ClientStatus::kClosed) {
+            dead = true;  // transport gone: stop claiming stream
+            break;
+          }
+          if (st == ClientStatus::kBusy) local_shed++;
+          local++;
+        }
+      }
+      clients[c]->Flush();
+      submitted.fetch_add(local, std::memory_order_relaxed);
+      shed.fetch_add(local_shed, std::memory_order_relaxed);
+    });
+  }
+  std::thread alarm([&] {
+    while (timer.ElapsedSeconds() < seconds &&
+           next_chunk.load(std::memory_order_relaxed) < available) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    deadline.store(true, std::memory_order_relaxed);
+  });
+  for (auto& t : threads) t.join();
+  alarm.join();
+  ClientDrive r;
+  r.elapsed_s = timer.ElapsedSeconds();
+  r.submitted = submitted.load();
+  // The synchronous tally misses RPC kBusy acks that land after the submit
+  // loop; the per-client counters (less the pre-run snapshot) are
+  // authoritative.
+  uint64_t total_shed = 0;
+  for (IClient* c : clients) total_shed += c->shed_count();
+  r.shed = std::max(shed.load(), total_shed - shed_before);
+  r.ops_per_sec =
+      static_cast<double>(r.submitted - r.shed) / r.elapsed_s;
+  r.consumed = std::min(next_chunk.load(), available);
+  return r;
+}
 
 /// Emulates the paper's TPC-C-style synchronous users (Section 6.2): each
 /// session repeatedly sends one update (or one transaction) and waits for
 /// the response. Runs until `seconds` elapse or the stream slice is
 /// exhausted; advances `cursor` so successive calls continue the stream.
 ///
-/// Drives the EpochPipeline from src/ingest/ directly — the same code path
-/// the in-process service façade and the RPC server sit on.
+/// Builds in-process SessionClients over an EpochPipeline from src/ingest/
+/// and reuses the same generic IClient drive loop the RPC benches use —
+/// in-process and remote callers share one code path end to end.
 template <typename Store>
 DriveResult DriveService(RisGraph<Store>& system,
                          const std::vector<Update>& updates, size_t* cursor,
@@ -41,52 +175,26 @@ DriveResult DriveService(RisGraph<Store>& system,
                          ServiceOptions options = ServiceOptions(),
                          std::vector<EpochStat>* epoch_stats_out = nullptr) {
   EpochPipeline<Store> pipeline(system, options);
-  std::vector<Session*> sessions;
-  sessions.reserve(num_sessions);
+  std::vector<std::unique_ptr<SessionClient<Store>>> owned;
+  std::vector<IClient*> clients;
+  owned.reserve(num_sessions);
+  clients.reserve(num_sessions);
   for (size_t i = 0; i < num_sessions; ++i) {
-    sessions.push_back(pipeline.OpenSession());
+    owned.push_back(std::make_unique<SessionClient<Store>>(system, pipeline));
+    clients.push_back(owned.back().get());
   }
 
-  // Pre-shard the remaining stream across sessions.
   size_t begin = *cursor;
   size_t available = updates.size() - begin;
   available = available / txn_size * txn_size;
-  std::atomic<bool> deadline{false};
-  pipeline.Start();
-
   WallTimer timer;
-  std::vector<std::thread> clients;
-  std::atomic<size_t> next_chunk{0};
-  const size_t chunk = txn_size;
-  clients.reserve(num_sessions);
-  for (size_t c = 0; c < num_sessions; ++c) {
-    clients.emplace_back([&, c] {
-      while (!deadline.load(std::memory_order_relaxed)) {
-        size_t off = next_chunk.fetch_add(chunk, std::memory_order_relaxed);
-        if (off + chunk > available) break;
-        const Update* base = updates.data() + begin + off;
-        if (txn_size == 1) {
-          sessions[c]->Submit(*base);
-        } else {
-          sessions[c]->SubmitTxn(std::vector<Update>(base, base + txn_size));
-        }
-      }
-    });
-  }
-  // Enforce the measurement window.
-  std::thread alarm([&] {
-    while (timer.ElapsedSeconds() < seconds &&
-           next_chunk.load(std::memory_order_relaxed) < available) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
-    deadline.store(true, std::memory_order_relaxed);
-  });
-  for (auto& t : clients) t.join();
-  alarm.join();
+  pipeline.Start();
+  ClientDrive cd = DriveClientsClosedLoop(clients, updates, begin, available,
+                                          seconds, txn_size);
   pipeline.Stop();
   double elapsed = timer.ElapsedSeconds();
 
-  *cursor = begin + std::min(next_chunk.load(), available);
+  *cursor = begin + cd.consumed;
 
   DriveResult r;
   r.total = pipeline.completed_ops();
@@ -114,55 +222,27 @@ DriveResult DrivePipelined(RisGraph<Store>& system,
                            size_t num_sessions, size_t window, double seconds,
                            ServiceOptions options = ServiceOptions()) {
   EpochPipeline<Store> pipeline(system, options);
-  std::vector<Session*> sessions;
-  sessions.reserve(num_sessions);
+  std::vector<std::unique_ptr<SessionClient<Store>>> owned;
+  std::vector<IClient*> clients;
+  owned.reserve(num_sessions);
+  clients.reserve(num_sessions);
   for (size_t i = 0; i < num_sessions; ++i) {
-    sessions.push_back(pipeline.OpenSession());
+    owned.push_back(std::make_unique<SessionClient<Store>>(
+        system, pipeline,
+        typename SessionClient<Store>::Options{window, true}));
+    clients.push_back(owned.back().get());
   }
 
   size_t begin = *cursor;
   size_t available = updates.size() - begin;
-  std::atomic<bool> deadline{false};
-  pipeline.Start();
-
   WallTimer timer;
-  std::atomic<size_t> next_chunk{0};
-  constexpr size_t kChunk = 64;
-  std::vector<std::thread> clients;
-  clients.reserve(num_sessions);
-  for (size_t c = 0; c < num_sessions; ++c) {
-    clients.emplace_back([&, c] {
-      Session* s = sessions[c];
-      while (!deadline.load(std::memory_order_relaxed)) {
-        size_t off = next_chunk.fetch_add(kChunk, std::memory_order_relaxed);
-        if (off + kChunk > available) break;
-        const Update* base = updates.data() + begin + off;
-        for (size_t i = 0; i < kChunk; ++i) {
-          // Flow control: bound the outstanding queue depth (the shard ring
-          // adds its own backpressure underneath).
-          while (s->async_submitted() - s->async_completed() >= window &&
-                 !deadline.load(std::memory_order_relaxed)) {
-            std::this_thread::sleep_for(std::chrono::microseconds(5));
-          }
-          s->SubmitAsync(base[i]);
-        }
-      }
-      s->DrainAsync();
-    });
-  }
-  std::thread alarm([&] {
-    while (timer.ElapsedSeconds() < seconds &&
-           next_chunk.load(std::memory_order_relaxed) < available) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
-    deadline.store(true, std::memory_order_relaxed);
-  });
-  for (auto& t : clients) t.join();
-  alarm.join();
+  pipeline.Start();
+  ClientDrive cd =
+      DriveClientsPipelined(clients, updates, begin, available, seconds);
   pipeline.Stop();
   double elapsed = timer.ElapsedSeconds();
 
-  *cursor = begin + std::min(next_chunk.load(), available);
+  *cursor = begin + cd.consumed;
 
   DriveResult r;
   r.total = pipeline.completed_ops();

@@ -2,6 +2,13 @@
 // 1) — the "interactive interface [that] allows users to interact with
 // RisGraph in a fine-grained manner" at the top of Figure 1.
 //
+// The REPL is a real client of the running service: it drives an IClient
+// (runtime/client.h) — the same interface remote RpcClient callers use —
+// backed by an in-process SessionClient over the epoch pipeline. Blocking
+// commands ride the closed-loop lane; `load` streams its edges through the
+// pipelined lane (SubmitAsync windows) and gracefully resubmits anything the
+// kShed overload policy answers with kBusy.
+//
 //   $ ./build/examples/interactive_cli
 //   > ins 0 1
 //   v1 [unsafe] dist(1): 1
@@ -9,13 +16,19 @@
 //
 // Also scriptable:  echo "ins 0 1\nget 1" | ./build/examples/interactive_cli
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/algorithm_api.h"
+#include "runtime/client.h"
 #include "runtime/risgraph.h"
+#include "runtime/service.h"
 #include "workload/edgelist_io.h"
 
 using namespace risgraph;
@@ -36,21 +49,20 @@ void PrintHelp() {
       "  parent <v>              dependency-tree parent edge of v\n"
       "  path <v>                evidence path from v to the root\n"
       "  modified <version>      vertices whose result changed at a version\n"
-      "  load <file>             bulk-load a 'src dst [w]' edge list\n"
+      "  load <file>             bulk-load a 'src dst [w]' edge list over\n"
+      "                          the pipelined lane (kBusy-aware)\n"
       "  release <version>       allow GC of history before a version\n"
       "  stats                   store/engine counters\n"
       "  help | quit\n");
 }
 
-void PrintValue(RisGraph<>& sys, size_t algo, VertexId v, uint64_t value) {
+void PrintValue(VertexId v, uint64_t value) {
   if (value >= kInfWeight) {
     std::printf("dist(%llu): unreachable\n", (unsigned long long)v);
   } else {
     std::printf("dist(%llu): %llu\n", (unsigned long long)v,
                 (unsigned long long)value);
   }
-  (void)sys;
-  (void)algo;
 }
 
 }  // namespace
@@ -59,6 +71,16 @@ int main() {
   RisGraph<> sys(kNumVertices);
   size_t sssp = sys.AddAlgorithm<Sssp>(/*root=*/0);
   sys.InitializeResults();
+
+  // The REPL talks to a live service through the unified client surface.
+  // kShed: a pipelined `load` burst that outruns the epoch loop gets kBusy
+  // answers (which the load loop resubmits) instead of parking the REPL.
+  ServiceOptions options;
+  options.overload_policy = OverloadPolicy::kShed;
+  RisGraphService<> service(sys, options);
+  SessionClient<> client(sys, service.pipeline());
+  service.Start();
+
   std::printf(
       "RisGraph interactive shell — maintaining SSSP from vertex 0 over %llu "
       "vertices.\nType 'help' for commands.\n",
@@ -82,24 +104,32 @@ int main() {
     if (std::strcmp(cmd, "quit") == 0 || std::strcmp(cmd, "exit") == 0) break;
     if (std::strcmp(cmd, "help") == 0) {
       PrintHelp();
-    } else if (std::strcmp(cmd, "ins") == 0 && n >= 3) {
-      bool safe = sys.IsUpdateSafe(Update::InsertEdge(a, b, w));
-      VersionId ver = sys.InsEdge(a, b, w);
+    } else if ((std::strcmp(cmd, "ins") == 0 || std::strcmp(cmd, "del") == 0) &&
+               n >= 3) {
+      // Range-check BEFORE classifying: IsUpdateSafe indexes result arrays
+      // unchecked, so raw REPL input must never reach it out of bounds.
+      if (a >= kNumVertices || b >= kNumVertices) {
+        std::printf("refused: vertex out of range\n");
+        continue;
+      }
+      bool insert = cmd[0] == 'i';
+      Update u = insert ? Update::InsertEdge(a, b, w)
+                        : Update::DeleteEdge(a, b, w);
+      // Classify before submitting (the REPL is the only session, so no
+      // mutation can be in flight during the read-only check).
+      bool safe = sys.IsUpdateSafe(u);
+      VersionId ver = client.Submit(u);
       std::printf("v%llu [%s] ", (unsigned long long)ver,
                   safe ? "safe" : "unsafe");
-      PrintValue(sys, sssp, b, sys.GetValue(sssp, b));
-    } else if (std::strcmp(cmd, "del") == 0 && n >= 3) {
-      bool safe = sys.IsUpdateSafe(Update::DeleteEdge(a, b, w));
-      VersionId ver = sys.DelEdge(a, b, w);
-      std::printf("v%llu [%s] ", (unsigned long long)ver,
-                  safe ? "safe" : "unsafe");
-      PrintValue(sys, sssp, b, sys.GetValue(sssp, b));
+      uint64_t value = 0;
+      client.GetValue(sssp, b, &value);
+      PrintValue(b, value);
     } else if (std::strcmp(cmd, "addv") == 0) {
       VertexId fresh = kInvalidVertex;
-      sys.InsVertex(&fresh);
+      client.InsVertex(&fresh);
       std::printf("vertex %llu\n", (unsigned long long)fresh);
     } else if (std::strcmp(cmd, "delv") == 0 && n >= 2) {
-      VersionId ver = sys.DelVertex(a);
+      VersionId ver = client.DelVertex(a);
       std::printf(ver == kInvalidVersion
                       ? "refused: vertex %llu still has edges\n"
                       : "deleted vertex %llu\n",
@@ -107,15 +137,19 @@ int main() {
     } else if (std::strcmp(cmd, "get") == 0 && n >= 2) {
       // Optional "@version" suffix anywhere after the vertex id.
       const char* at = std::strchr(line, '@');
-      if (at != nullptr) {
-        unsigned long long ver = std::strtoull(at + 1, nullptr, 10);
-        PrintValue(sys, sssp, a, sys.GetValue(sssp, ver, a));
+      uint64_t value = 0;
+      bool ok = at != nullptr
+                    ? client.GetValueAt(
+                          sssp, std::strtoull(at + 1, nullptr, 10), a, &value)
+                    : client.GetValue(sssp, a, &value);
+      if (!ok) {
+        std::printf("error: bad vertex or version\n");
       } else {
-        PrintValue(sys, sssp, a, sys.GetValue(sssp, a));
+        PrintValue(a, value);
       }
     } else if (std::strcmp(cmd, "parent") == 0 && n >= 2) {
-      ParentEdge p = sys.GetParent(sssp, sys.GetCurrentVersion(), a);
-      if (p.parent == kInvalidVertex) {
+      ParentEdge p;
+      if (!client.GetParent(sssp, a, &p) || p.parent == kInvalidVertex) {
         std::printf("no parent (root or unreached)\n");
       } else {
         std::printf("parent(%llu) = %llu (edge weight %llu)\n", a,
@@ -126,22 +160,29 @@ int main() {
       // Walk the dependency tree to the root — the fraud-detection evidence
       // chain of the paper's Figure 2.
       VertexId v = a;
-      if (!Sssp::IsReached(sys.GetValue(sssp, v))) {
+      uint64_t value = 0;
+      if (!client.GetValue(sssp, v, &value) || !Sssp::IsReached(value)) {
         std::printf("unreachable\n");
         continue;
       }
       std::printf("%llu", (unsigned long long)v);
       int hops = 0;
       while (hops++ < 64) {
-        ParentEdge p = sys.GetParent(sssp, sys.GetCurrentVersion(), v);
-        if (p.parent == kInvalidVertex) break;
+        ParentEdge p;
+        if (!client.GetParent(sssp, v, &p) || p.parent == kInvalidVertex) {
+          break;
+        }
         std::printf(" <-(%llu)- %llu", (unsigned long long)p.weight,
                     (unsigned long long)p.parent);
         v = p.parent;
       }
       std::printf("\n");
     } else if (std::strcmp(cmd, "modified") == 0 && n >= 2) {
-      auto mods = sys.GetModifiedVertices(sssp, a);
+      std::vector<VertexId> mods;
+      if (!client.GetModified(sssp, a, &mods)) {
+        std::printf("error\n");
+        continue;
+      }
       std::printf("%zu vertices:", mods.size());
       for (size_t i = 0; i < mods.size() && i < 32; ++i) {
         std::printf(" %llu", (unsigned long long)mods[i]);
@@ -161,21 +202,53 @@ int main() {
         std::printf("error: %s\n", error.c_str());
         continue;
       }
-      for (const Edge& e : parsed.edges) sys.InsEdge(e.src, e.dst, e.weight);
-      std::printf("loaded %zu edges (%llu lines skipped)\n",
-                  parsed.edges.size(),
-                  (unsigned long long)parsed.lines_skipped);
+      // Bulk load over the pipelined lane: fire the whole file through
+      // SubmitBatch windows, then resubmit whatever the kShed policy
+      // answered with kBusy until the epoch loop has absorbed everything.
+      // Out-of-range vertex ids are filtered (and reported) up front — a
+      // batch containing one would be rejected atomically, not partially.
+      std::vector<Update> batch;
+      batch.reserve(parsed.edges.size());
+      uint64_t out_of_range = 0;
+      for (const Edge& e : parsed.edges) {
+        if (e.src >= kNumVertices || e.dst >= kNumVertices) {
+          out_of_range++;
+          continue;
+        }
+        batch.push_back(Update::InsertEdge(e.src, e.dst, e.weight));
+      }
+      uint64_t shed_before = client.shed_count();
+      client.SubmitBatch(batch.data(), batch.size());
+      client.WaitAcks();
+      std::vector<Update> todo = client.TakeRejected();
+      while (!todo.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        client.SubmitBatch(todo.data(), todo.size());
+        client.WaitAcks();
+        todo = client.TakeRejected();
+      }
+      FlushResult fr = client.Flush();
+      std::printf(
+          "loaded %zu edges pipelined -> version %llu (%llu shed+retried, "
+          "%llu lines skipped, %llu out-of-range ids dropped)\n",
+          batch.size(), (unsigned long long)fr.version,
+          (unsigned long long)(client.shed_count() - shed_before),
+          (unsigned long long)parsed.lines_skipped,
+          (unsigned long long)out_of_range);
     } else if (std::strcmp(cmd, "release") == 0 && n >= 2) {
-      sys.ReleaseHistory(a);
+      client.ReleaseHistory(a);
       std::printf("history before v%llu released\n", a);
     } else if (std::strcmp(cmd, "stats") == 0) {
+      VersionId cur = 0;
+      client.GetCurrentVersion(&cur);
       std::printf("version %llu, %llu edges, %.1f MB resident\n",
-                  (unsigned long long)sys.GetCurrentVersion(),
+                  (unsigned long long)cur,
                   (unsigned long long)sys.store().NumEdges(),
                   sys.MemoryBytes() / 1e6);
     } else {
       std::printf("unknown command (try 'help')\n");
     }
   }
+  service.Stop();
   return 0;
 }

@@ -1,15 +1,22 @@
 // RPC service demo: the full four-tier deployment of Figure 1 — clients on
-// real sockets, an RPC front end, the scheduler/epoch-loop service, and the
-// in-memory store — in one process for demonstration.
+// real sockets, a protocol-v2 RPC front end, the scheduler/epoch-loop
+// service, and the in-memory store — in one process for demonstration.
 //
 //   $ ./build/examples/rpc_service            # self-contained demo
 //   $ ./build/examples/rpc_service /tmp/g.sock 30   # serve for 30s, connect
 //                                                   # your own clients
 //
-// While serving, the demo drives emulated remote users (closed-loop, one
-// outstanding request each — the Section 6.2 client shape) and prints the
-// service-side throughput split into safe/unsafe lanes.
+// While serving, the demo drives two kinds of emulated remote users through
+// the SAME IClient interface (runtime/client.h):
+//   * closed-loop users — one outstanding request each, the Section 6.2
+//     client shape (Submit waits for the result version);
+//   * pipelined users — a window of correlation-ID frames in flight
+//     (SubmitAsync), periodically resubmitting anything the server shed with
+//     kBusy (the service runs with OverloadPolicy::kShed).
+// It prints the service-side throughput split into safe/unsafe lanes plus
+// the shed tally, then reads results back over the wire.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,6 +27,7 @@
 #include "core/algorithm_api.h"
 #include "net/rpc_client.h"
 #include "net/rpc_server.h"
+#include "runtime/client.h"
 #include "runtime/risgraph.h"
 #include "runtime/service.h"
 #include "workload/datasets.h"
@@ -40,38 +48,76 @@ int main(int argc, char** argv) {
   sys.LoadGraph(wl.preload);
   sys.InitializeResults();
 
-  RisGraphService<> service(sys);
+  // Shed instead of blocking RPC handler threads when a ring fills — the
+  // pipelined users below show the client-side kBusy recovery loop.
+  ServiceOptions options;
+  options.overload_policy = OverloadPolicy::kShed;
+  RisGraphService<> service(sys, options);
   RpcServer server(sys, service, socket_path);
   if (!server.Start(/*max_clients=*/64)) {
     std::fprintf(stderr, "cannot bind %s\n", socket_path.c_str());
     return 1;
   }
   service.Start();
-  std::printf("serving %s (|V|=%llu, %zu edges preloaded) on %s for %.0fs\n",
-              d.spec.name.c_str(), (unsigned long long)wl.num_vertices,
-              wl.preload.size(), socket_path.c_str(), seconds);
+  std::printf(
+      "serving %s (|V|=%llu, %zu edges preloaded) on %s for %.0fs "
+      "(protocol v%u)\n",
+      d.spec.name.c_str(), (unsigned long long)wl.num_vertices,
+      wl.preload.size(), socket_path.c_str(), seconds,
+      (unsigned)rpc::kProtocolVersion);
 
-  // Emulated remote users: each connects a socket client and replays a slice
-  // of the update stream, closed-loop.
-  constexpr int kUsers = 8;
+  constexpr int kClosedUsers = 4;
+  constexpr int kPipelinedUsers = 4;
   std::vector<std::thread> users;
-  std::atomic<uint64_t> user_ops{0};
+  std::atomic<uint64_t> closed_ops{0};
+  std::atomic<uint64_t> pipelined_ops{0};
+  std::atomic<uint64_t> shed_total{0};
   std::atomic<bool> stop{false};
-  for (int u = 0; u < kUsers; ++u) {
+
+  // Closed-loop users: connect a socket client and replay a slice of the
+  // update stream, one blocking Submit at a time.
+  for (int u = 0; u < kClosedUsers; ++u) {
     users.emplace_back([&, u] {
       RpcClient client;
       if (!client.Connect(socket_path)) return;
       size_t i = u;
       while (!stop.load(std::memory_order_relaxed)) {
         const Update& upd = wl.updates[i % wl.updates.size()];
-        i += kUsers;
-        VersionId ver =
-            upd.kind == UpdateKind::kInsertEdge
-                ? client.InsEdge(upd.edge.src, upd.edge.dst, upd.edge.weight)
-                : client.DelEdge(upd.edge.src, upd.edge.dst, upd.edge.weight);
-        if (ver == kInvalidVersion) break;
-        user_ops.fetch_add(1, std::memory_order_relaxed);
+        i += kClosedUsers;
+        if (client.Submit(upd) == kInvalidVersion) break;
+        closed_ops.fetch_add(1, std::memory_order_relaxed);
       }
+    });
+  }
+  // Pipelined users: a window of frames in flight; every chunk, collect the
+  // acks and resubmit whatever was shed with kBusy.
+  for (int u = 0; u < kPipelinedUsers; ++u) {
+    users.emplace_back([&, u] {
+      RpcClient client(/*window=*/256);
+      if (!client.Connect(socket_path)) return;
+      size_t i = u;
+      uint64_t since_sync = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Update& upd = wl.updates[i % wl.updates.size()];
+        i += kPipelinedUsers;
+        if (client.SubmitAsync(upd) == ClientStatus::kClosed) break;
+        pipelined_ops.fetch_add(1, std::memory_order_relaxed);
+        if (++since_sync >= 1024) {
+          since_sync = 0;
+          client.WaitAcks();
+          // Graceful kBusy handling: shed updates come back through
+          // TakeRejected(); back off before resubmitting so the epoch loop
+          // gets air — kBusy is the server saying "slow down", and a client
+          // that instantly re-fires just re-sheds into the same full ring.
+          std::vector<Update> rejected = client.TakeRejected();
+          if (!rejected.empty()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            client.SubmitBatch(rejected.data(), rejected.size());
+          }
+        }
+      }
+      client.Flush();
+      shed_total.fetch_add(client.shed_count(), std::memory_order_relaxed);
     });
   }
 
@@ -90,15 +136,15 @@ int main(int argc, char** argv) {
   for (auto& th : users) th.join();
 
   double total_s = t.ElapsedNanos() / 1e9;
+  uint64_t closed = closed_ops.load();
+  uint64_t pipelined = pipelined_ops.load();
   std::printf(
-      "\n%llu client ops in %.1fs = %s ops/s over real sockets; "
-      "P999 %.2f ms\n",
-      (unsigned long long)user_ops.load(), total_s,
-      user_ops.load() / total_s >= 1e6
-          ? (std::to_string(user_ops.load() / total_s / 1e6) + "M").c_str()
-          : (std::to_string((unsigned long long)(user_ops.load() / total_s)))
-                .c_str(),
-      service.latencies().P999Millis());
+      "\n%llu closed-loop + %llu pipelined client ops in %.1fs over real "
+      "sockets\n  closed-loop: %.0f ops/s/user; pipelined: %.0f ops/s/user "
+      "(%llu shed+resubmitted); P999 %.2f ms\n",
+      (unsigned long long)closed, (unsigned long long)pipelined, total_s,
+      closed / total_s / kClosedUsers, pipelined / total_s / kPipelinedUsers,
+      (unsigned long long)shed_total.load(), service.latencies().P999Millis());
 
   // A fresh client reads results the users produced.
   RpcClient reader;

@@ -29,6 +29,19 @@ struct EpochStat {
   uint64_t timeouts = 0;
 };
 
+/// What the client-facing tiers do when a session's ingest ring is full.
+/// Producers inside the process default to blocking (backpressure propagates
+/// to the caller naturally); an RPC tier usually prefers shedding, because a
+/// parked handler thread stalls every other request multiplexed behind it on
+/// the same connection.
+enum class OverloadPolicy : uint8_t {
+  /// Park the producer until the ring drains (Session::SubmitAsync).
+  kBlock,
+  /// Fail fast: pipelined submissions answer kBusy and drop the update
+  /// (Session::TrySubmitAsync); the client decides whether to resubmit.
+  kShed,
+};
+
 /// Options for the ingest pipeline. (Known as ServiceOptions to the service
 /// façade — the names predate the ingest subsystem and are all over the
 /// benches.)
@@ -53,6 +66,10 @@ struct ServiceOptions {
   /// a fork-join would cost more than the lookups). SIZE_MAX forces the
   /// sequential packer — the bench baseline and equivalence-test oracle.
   size_t pack_parallel_threshold = 256;
+  /// Shed-vs-block when a session's ingest ring is full (see OverloadPolicy).
+  /// Consulted by the pipelined client lane (SessionClient, RPC server);
+  /// the blocking lane always blocks.
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
 };
 
 /// The epoch pipeline: RisGraph's multi-session concurrency-control core
@@ -129,6 +146,7 @@ class EpochPipeline {
   const std::vector<EpochStat>& epoch_stats() const { return epoch_stats_; }
   const Scheduler& scheduler() const { return scheduler_; }
   const ShardedIngestQueue& queue() const { return queue_; }
+  const ServiceOptions& options() const { return options_; }
 
   ComponentTimer& sched_timer() { return sched_timer_; }
   ComponentTimer& network_timer() { return network_timer_; }

@@ -65,6 +65,23 @@ class Session {
     shard_->Push(IngestItem{IngestKind::kAsync, this, update});
   }
 
+  /// Non-blocking pipelined submission (the RPC tier's kBusy path): true if
+  /// the update was queued; false if the shard ring is full, in which case
+  /// nothing was queued and no thread parked — the caller sheds the update
+  /// (OverloadPolicy::kShed) instead of exerting backpressure. The submitted
+  /// counter is bumped before the push (mirroring SubmitAsync, so completions
+  /// never outrun submissions from any observer) and rolled back on failure;
+  /// sessions are single-producer, so the rollback cannot race another
+  /// submission on this session.
+  bool TrySubmitAsync(const Update& update) {
+    async_submitted_.fetch_add(1, std::memory_order_release);
+    if (shard_->TryPush(IngestItem{IngestKind::kAsync, this, update})) {
+      return true;
+    }
+    async_submitted_.fetch_sub(1, std::memory_order_release);
+    return false;
+  }
+
   /// Blocks until every SubmitAsync update has been executed; returns the
   /// result version of the last one (the service must be running).
   VersionId DrainAsync() {

@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 namespace risgraph {
@@ -21,15 +22,31 @@ bool ReadAll(int fd, void* buf, size_t len) {
   return true;
 }
 
+// MSG_NOSIGNAL: a pipelined frame sent just after the server dropped the
+// connection must fail with EPIPE on this call, not raise SIGPIPE.
 bool WriteAll(int fd, const void* buf, size_t len) {
   const uint8_t* p = static_cast<const uint8_t*>(buf);
   while (len > 0) {
-    ssize_t n = ::write(fd, p, len);
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
     if (n <= 0) return false;
     p += n;
     len -= static_cast<size_t>(n);
   }
   return true;
+}
+
+rpc::Op OpFor(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kInsertEdge:
+      return rpc::Op::kInsEdge;
+    case UpdateKind::kDeleteEdge:
+      return rpc::Op::kDelEdge;
+    case UpdateKind::kInsertVertex:
+      return rpc::Op::kInsVertex;
+    case UpdateKind::kDeleteVertex:
+      return rpc::Op::kDelVertex;
+  }
+  return rpc::Op::kPing;  // unreachable
 }
 
 }  // namespace
@@ -41,178 +58,453 @@ bool RpcClient::Connect(const std::string& socket_path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(addr.sun_path)) {
-    Close();
+    ::close(fd_);
+    fd_ = -1;
     return false;
   }
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Close();
+    ::close(fd_);
+    fd_ = -1;
     return false;
   }
+
+  // Handshake, synchronous (the reader thread does not exist yet).
+  connect_status_ = rpc::Status::kError;
+  protocol_version_ = 0;
+  std::vector<uint8_t> frame;
+  rpc::Writer w(frame);
+  rpc::WriteRequestHeader(w, 0, rpc::Op::kHello);
+  w.U32(rpc::kHelloMagic);
+  w.U16(rpc::kMinSupportedVersion);
+  w.U16(rpc::kProtocolVersion);
+  uint32_t len = static_cast<uint32_t>(frame.size());
+  uint32_t rlen = 0;
+  std::vector<uint8_t> resp;
+  bool transported = WriteAll(fd_, &len, 4) &&
+                     WriteAll(fd_, frame.data(), frame.size()) &&
+                     ReadAll(fd_, &rlen, 4) && rlen > 0 &&
+                     rlen <= rpc::kMaxFrameBytes;
+  if (transported) {
+    resp.resize(rlen);
+    transported = ReadAll(fd_, resp.data(), rlen);
+  }
+  bool accepted = false;
+  if (transported) {
+    if (rlen == 1) {
+      // The server's one-byte rejection (also what a v1 server's kBadRequest
+      // answer to our Hello looks like — either way, no compatible version).
+      connect_status_ = rpc::Status::kUnsupportedVersion;
+    } else if (rlen >= 11) {
+      rpc::Reader r(resp.data(), rlen);
+      r.U64();  // corr (0; the handshake is the only frame in flight)
+      auto status = static_cast<rpc::Status>(r.U8());
+      uint16_t version = r.U16();
+      if (r.ok() && status == rpc::Status::kOk) {
+        connect_status_ = rpc::Status::kOk;
+        protocol_version_ = version;
+        accepted = true;
+      } else {
+        connect_status_ = status;
+      }
+    }
+  }
+  if (!accepted) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    next_corr_ = 1;
+    pending_.clear();
+    async_.clear();
+    inflight_updates_ = 0;
+    shed_ = 0;
+    async_errors_ = 0;
+    rejected_.clear();
+  }
+  closed_.store(false, std::memory_order_release);
+  reader_ = std::thread([this] { ReaderLoop(); });
   return true;
 }
 
 void RpcClient::Close() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);  // wakes the reader's read()
+  if (reader_.joinable()) reader_.join();
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
 }
 
-bool RpcClient::Call(rpc::Status* status_out) {
-  if (fd_ < 0) return false;
-  uint32_t len = static_cast<uint32_t>(request_.size());
-  if (!WriteAll(fd_, &len, 4) || !WriteAll(fd_, request_.data(), len)) {
-    Close();
-    return false;
+void RpcClient::ReaderLoop() {
+  std::vector<uint8_t> payload;
+  for (;;) {
+    uint32_t len = 0;
+    if (!ReadAll(fd_, &len, 4)) break;
+    if (len < rpc::kRequestHeaderBytes || len > rpc::kMaxFrameBytes) {
+      break;  // desync: v2 responses always carry [corr][status]
+    }
+    payload.resize(len);
+    if (!ReadAll(fd_, payload.data(), len)) break;
+    uint64_t corr = 0;
+    std::memcpy(&corr, payload.data(), 8);
+    auto status = static_cast<rpc::Status>(payload[8]);
+
+    std::unique_lock<std::mutex> lk(mu_);
+    auto pit = pending_.find(corr);
+    if (pit != pending_.end()) {
+      PendingCall* pc = pit->second;
+      pc->status = status;
+      pc->body.assign(payload.begin() + 9, payload.end());
+      pc->done = true;
+      pending_.erase(pit);
+      cv_.notify_all();
+      continue;
+    }
+    auto ait = async_.find(corr);
+    if (ait != async_.end()) {
+      std::vector<Update>& updates = ait->second;
+      size_t n = updates.size();
+      if (status == rpc::Status::kBusy) {
+        // Load shed. Batch acks carry the accepted FIFO prefix; a bare
+        // kBusy (kSubmitPipelined) means nothing was queued.
+        size_t accepted = 0;
+        if (payload.size() >= 13) {
+          uint32_t acc = 0;
+          std::memcpy(&acc, payload.data() + 9, 4);
+          accepted = std::min<size_t>(acc, n);
+        }
+        shed_ += n - accepted;
+        rejected_.insert(rejected_.end(), updates.begin() + accepted,
+                         updates.end());
+      } else if (status != rpc::Status::kOk) {
+        async_errors_ += n;  // invalid updates: not eligible for resubmit
+      }
+      inflight_updates_ -= n;
+      async_.erase(ait);
+      cv_.notify_all();
+      continue;
+    }
+    break;  // stray correlation ID: protocol desync
   }
-  uint32_t rlen = 0;
-  if (!ReadAll(fd_, &rlen, 4) || rlen == 0 || rlen > rpc::kMaxFrameBytes) {
-    Close();
-    return false;
+
+  // Connection over: fail every parked call; updates of unacknowledged
+  // pipelined frames have an unknown fate — hand them back for the caller
+  // to decide (resubmit = at-least-once, drop = at-most-once).
+  std::lock_guard<std::mutex> lk(mu_);
+  closed_.store(true, std::memory_order_release);
+  for (auto& [corr, pc] : pending_) {
+    pc->failed = true;
+    pc->done = true;
   }
-  response_.resize(rlen);
-  if (!ReadAll(fd_, response_.data(), rlen)) {
-    Close();
-    return false;
+  pending_.clear();
+  for (auto& [corr, updates] : async_) {
+    rejected_.insert(rejected_.end(), updates.begin(), updates.end());
   }
-  *status_out = static_cast<rpc::Status>(response_[0]);
+  async_.clear();
+  inflight_updates_ = 0;
+  cv_.notify_all();
+}
+
+bool RpcClient::SendFrame(const std::vector<uint8_t>& payload) {
+  std::lock_guard<std::mutex> lk(send_mu_);
+  if (fd_ < 0 || closed_.load(std::memory_order_acquire)) return false;
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  if (WriteAll(fd_, &len, 4) &&
+      WriteAll(fd_, payload.data(), payload.size())) {
+    return true;
+  }
+  ::shutdown(fd_, SHUT_RDWR);  // wake the reader so it runs the cleanup
+  return false;
+}
+
+bool RpcClient::BeginCall(PendingCall* pc, uint64_t* corr_out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (closed_.load(std::memory_order_acquire)) return false;
+  *corr_out = next_corr_++;
+  pending_[*corr_out] = pc;
   return true;
 }
 
-bool RpcClient::Ping() {
-  request_.clear();
-  rpc::Writer w(request_);
-  w.U8(static_cast<uint8_t>(rpc::Op::kPing));
-  rpc::Status status;
-  return Call(&status) && status == rpc::Status::kOk;
+bool RpcClient::FinishCall(PendingCall* pc, uint64_t corr,
+                           const std::vector<uint8_t>& request) {
+  SendFrame(request);  // on failure the reader fails the slot shortly
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] {
+    return pc->done || closed_.load(std::memory_order_acquire);
+  });
+  if (!pc->done) {
+    pending_.erase(corr);
+    return false;
+  }
+  return !pc->failed;
 }
 
-VersionId RpcClient::InsEdge(VertexId src, VertexId dst, Weight weight) {
-  request_.clear();
-  rpc::Writer w(request_);
-  w.U8(static_cast<uint8_t>(rpc::Op::kInsEdge));
-  w.U64(src);
-  w.U64(dst);
-  w.U64(weight);
-  rpc::Status status;
-  if (!Call(&status) || status != rpc::Status::kOk) return kInvalidVersion;
-  rpc::Reader r(response_.data() + 1, response_.size() - 1);
-  return r.U64();
+//===--- Blocking lane -------------------------------------------------------//
+
+VersionId RpcClient::Submit(const Update& update) {
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return kInvalidVersion;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, OpFor(update.kind));
+  switch (update.kind) {
+    case UpdateKind::kInsertEdge:
+    case UpdateKind::kDeleteEdge:
+      w.U64(update.edge.src);
+      w.U64(update.edge.dst);
+      w.U64(update.edge.weight);
+      break;
+    case UpdateKind::kDeleteVertex:
+      w.U64(update.edge.src);
+      break;
+    case UpdateKind::kInsertVertex:
+      break;  // empty body; the fresh id in the response is discarded
+  }
+  if (!FinishCall(&pc, corr, req) || pc.status != rpc::Status::kOk) {
+    return kInvalidVersion;
+  }
+  rpc::Reader r(pc.body.data(), pc.body.size());
+  VersionId ver = r.U64();
+  return r.ok() ? ver : kInvalidVersion;
 }
 
-VersionId RpcClient::DelEdge(VertexId src, VertexId dst, Weight weight) {
-  request_.clear();
-  rpc::Writer w(request_);
-  w.U8(static_cast<uint8_t>(rpc::Op::kDelEdge));
-  w.U64(src);
-  w.U64(dst);
-  w.U64(weight);
-  rpc::Status status;
-  if (!Call(&status) || status != rpc::Status::kOk) return kInvalidVersion;
-  rpc::Reader r(response_.data() + 1, response_.size() - 1);
-  return r.U64();
+VersionId RpcClient::SubmitTxn(const std::vector<Update>& txn) {
+  // A transaction is atomic, so unlike SubmitBatch it cannot be chunked
+  // across frames; beyond the per-frame bound it cannot be represented.
+  if (txn.size() > rpc::kMaxBatchUpdates) return kInvalidVersion;
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return kInvalidVersion;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kTxn);
+  w.U32(static_cast<uint32_t>(txn.size()));
+  for (const Update& u : txn) rpc::WriteUpdate(w, u);
+  if (!FinishCall(&pc, corr, req) || pc.status != rpc::Status::kOk) {
+    return kInvalidVersion;
+  }
+  rpc::Reader r(pc.body.data(), pc.body.size());
+  VersionId ver = r.U64();
+  return r.ok() ? ver : kInvalidVersion;
 }
 
 VersionId RpcClient::InsVertex(VertexId* vertex_out) {
-  request_.clear();
-  rpc::Writer w(request_);
-  w.U8(static_cast<uint8_t>(rpc::Op::kInsVertex));
-  rpc::Status status;
-  if (!Call(&status) || status != rpc::Status::kOk) return kInvalidVersion;
-  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return kInvalidVersion;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kInsVertex);
+  if (!FinishCall(&pc, corr, req) || pc.status != rpc::Status::kOk) {
+    return kInvalidVersion;
+  }
+  rpc::Reader r(pc.body.data(), pc.body.size());
   VersionId ver = r.U64();
   VertexId fresh = r.U64();
   if (vertex_out != nullptr) *vertex_out = fresh;
   return r.ok() ? ver : kInvalidVersion;
 }
 
-VersionId RpcClient::DelVertex(VertexId v) {
-  request_.clear();
-  rpc::Writer w(request_);
-  w.U8(static_cast<uint8_t>(rpc::Op::kDelVertex));
-  w.U64(v);
-  rpc::Status status;
-  if (!Call(&status) || status != rpc::Status::kOk) return kInvalidVersion;
-  rpc::Reader r(response_.data() + 1, response_.size() - 1);
-  return r.U64();
+//===--- Pipelined lane ------------------------------------------------------//
+
+ClientStatus RpcClient::SubmitAsync(const Update& update) {
+  uint64_t corr = 0;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] {
+      return closed_.load(std::memory_order_acquire) || window_ == 0 ||
+             inflight_updates_ < window_;
+    });
+    if (closed_.load(std::memory_order_acquire)) return ClientStatus::kClosed;
+    corr = next_corr_++;
+    inflight_updates_ += 1;
+    async_.emplace(corr, std::vector<Update>{update});
+  }
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kSubmitPipelined);
+  rpc::WriteUpdate(w, update);
+  return SendFrame(req) ? ClientStatus::kOk : ClientStatus::kClosed;
 }
 
-VersionId RpcClient::TxnUpdates(const std::vector<Update>& updates) {
-  request_.clear();
-  rpc::Writer w(request_);
-  w.U8(static_cast<uint8_t>(rpc::Op::kTxn));
-  w.U32(static_cast<uint32_t>(updates.size()));
-  for (const Update& u : updates) rpc::WriteUpdate(w, u);
-  rpc::Status status;
-  if (!Call(&status) || status != rpc::Status::kOk) return kInvalidVersion;
-  rpc::Reader r(response_.data() + 1, response_.size() - 1);
-  return r.U64();
+size_t RpcClient::SubmitBatch(const Update* updates, size_t count) {
+  size_t sent = 0;
+  std::vector<uint8_t> req;
+  while (sent < count) {
+    size_t chunk = count - sent;
+    if (window_ != 0) chunk = std::min(chunk, window_);
+    chunk = std::min<size_t>(chunk, rpc::kMaxBatchUpdates);
+    uint64_t corr = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] {
+        return closed_.load(std::memory_order_acquire) || window_ == 0 ||
+               inflight_updates_ + chunk <= window_ || inflight_updates_ == 0;
+      });
+      if (closed_.load(std::memory_order_acquire)) break;
+      corr = next_corr_++;
+      inflight_updates_ += chunk;
+      async_.emplace(corr, std::vector<Update>(updates + sent,
+                                               updates + sent + chunk));
+    }
+    req.clear();
+    rpc::Writer w(req);
+    rpc::WriteRequestHeader(w, corr, rpc::Op::kUpdateBatch);
+    w.U32(static_cast<uint32_t>(chunk));
+    for (size_t i = 0; i < chunk; ++i) rpc::WriteUpdate(w, updates[sent + i]);
+    if (!SendFrame(req)) break;  // reader hands the chunk to rejected_
+    sent += chunk;
+  }
+  return sent;
+}
+
+bool RpcClient::WaitAcks() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] {
+    return closed_.load(std::memory_order_acquire) || async_.empty();
+  });
+  return !closed_.load(std::memory_order_acquire);
+}
+
+FlushResult RpcClient::Flush() {
+  FlushResult fr;
+  if (!WaitAcks()) return fr;
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return fr;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kFlush);
+  if (!FinishCall(&pc, corr, req) || pc.status != rpc::Status::kOk) return fr;
+  rpc::Reader r(pc.body.data(), pc.body.size());
+  fr.version = r.U64();
+  fr.completed = r.U64();
+  fr.ok = r.ok();
+  return fr;
+}
+
+uint64_t RpcClient::shed_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return shed_;
+}
+
+uint64_t RpcClient::async_error_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return async_errors_;
+}
+
+std::vector<Update> RpcClient::TakeRejected() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Update> out;
+  out.swap(rejected_);
+  return out;
+}
+
+//===--- Reads ---------------------------------------------------------------//
+
+bool RpcClient::Ping() {
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return false;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kPing);
+  return FinishCall(&pc, corr, req) && pc.status == rpc::Status::kOk;
 }
 
 bool RpcClient::GetValue(uint64_t algo, VertexId v, uint64_t* out) {
-  request_.clear();
-  rpc::Writer w(request_);
-  w.U8(static_cast<uint8_t>(rpc::Op::kGetValue));
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return false;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kGetValue);
   w.U64(algo);
   w.U64(v);
-  rpc::Status status;
-  if (!Call(&status) || status != rpc::Status::kOk) return false;
-  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  if (!FinishCall(&pc, corr, req) || pc.status != rpc::Status::kOk) {
+    return false;
+  }
+  rpc::Reader r(pc.body.data(), pc.body.size());
   *out = r.U64();
   return r.ok();
 }
 
 bool RpcClient::GetValueAt(uint64_t algo, VersionId version, VertexId v,
                            uint64_t* out) {
-  request_.clear();
-  rpc::Writer w(request_);
-  w.U8(static_cast<uint8_t>(rpc::Op::kGetValueAt));
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return false;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kGetValueAt);
   w.U64(algo);
   w.U64(version);
   w.U64(v);
-  rpc::Status status;
-  if (!Call(&status) || status != rpc::Status::kOk) return false;
-  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  if (!FinishCall(&pc, corr, req) || pc.status != rpc::Status::kOk) {
+    return false;
+  }
+  rpc::Reader r(pc.body.data(), pc.body.size());
   *out = r.U64();
   return r.ok();
 }
 
 bool RpcClient::GetParent(uint64_t algo, VertexId v, ParentEdge* out) {
-  request_.clear();
-  rpc::Writer w(request_);
-  w.U8(static_cast<uint8_t>(rpc::Op::kGetParent));
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return false;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kGetParent);
   w.U64(algo);
   w.U64(v);
-  rpc::Status status;
-  if (!Call(&status) || status != rpc::Status::kOk) return false;
-  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  if (!FinishCall(&pc, corr, req) || pc.status != rpc::Status::kOk) {
+    return false;
+  }
+  rpc::Reader r(pc.body.data(), pc.body.size());
   out->parent = r.U64();
   out->weight = r.U64();
   return r.ok();
 }
 
 bool RpcClient::GetCurrentVersion(VersionId* out) {
-  request_.clear();
-  rpc::Writer w(request_);
-  w.U8(static_cast<uint8_t>(rpc::Op::kGetCurrentVersion));
-  rpc::Status status;
-  if (!Call(&status) || status != rpc::Status::kOk) return false;
-  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return false;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kGetCurrentVersion);
+  if (!FinishCall(&pc, corr, req) || pc.status != rpc::Status::kOk) {
+    return false;
+  }
+  rpc::Reader r(pc.body.data(), pc.body.size());
   *out = r.U64();
   return r.ok();
 }
 
 bool RpcClient::GetModified(uint64_t algo, VersionId version,
                             std::vector<VertexId>* out) {
-  request_.clear();
-  rpc::Writer w(request_);
-  w.U8(static_cast<uint8_t>(rpc::Op::kGetModified));
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return false;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kGetModified);
   w.U64(algo);
   w.U64(version);
-  rpc::Status status;
-  if (!Call(&status) || status != rpc::Status::kOk) return false;
-  rpc::Reader r(response_.data() + 1, response_.size() - 1);
+  if (!FinishCall(&pc, corr, req) || pc.status != rpc::Status::kOk) {
+    return false;
+  }
+  rpc::Reader r(pc.body.data(), pc.body.size());
   uint32_t count = r.U32();
   out->clear();
   for (uint32_t i = 0; i < count && r.ok(); ++i) out->push_back(r.U64());
@@ -220,12 +512,14 @@ bool RpcClient::GetModified(uint64_t algo, VersionId version,
 }
 
 bool RpcClient::ReleaseHistory(VersionId version) {
-  request_.clear();
-  rpc::Writer w(request_);
-  w.U8(static_cast<uint8_t>(rpc::Op::kReleaseHistory));
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return false;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kReleaseHistory);
   w.U64(version);
-  rpc::Status status;
-  return Call(&status) && status == rpc::Status::kOk;
+  return FinishCall(&pc, corr, req) && pc.status == rpc::Status::kOk;
 }
 
 }  // namespace risgraph

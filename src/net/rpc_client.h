@@ -1,64 +1,146 @@
 #ifndef RISGRAPH_NET_RPC_CLIENT_H_
 #define RISGRAPH_NET_RPC_CLIENT_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
 #include "core/incremental_engine.h"  // ParentEdge
 #include "net/rpc_protocol.h"
+#include "runtime/client.h"
 
 namespace risgraph {
 
-/// Blocking client stub for the RPC tier — one connection, one outstanding
-/// request (the closed-loop shape of the paper's emulated users: "repeatedly
-/// send a single update and wait for the response", Section 6.2). Not
-/// thread-safe; use one client per thread like one session per user.
-class RpcClient {
+/// Protocol-v2 client stub for the RPC tier, implementing the same IClient
+/// surface as the in-process SessionClient.
+///
+/// Connect() performs the Hello version-negotiation handshake, then starts a
+/// reader thread that demultiplexes responses by correlation ID — so the
+/// connection is no longer a closed loop. Two lanes share it:
+///
+///  * Blocking calls (Submit, reads, ...) register a pending slot under a
+///    fresh correlation ID, send, and park until the reader completes the
+///    slot. Multiple threads may issue blocking calls concurrently; each
+///    gets its own correlation ID (responses may arrive in any order).
+///  * Pipelined calls (SubmitAsync / SubmitBatch) send kSubmitPipelined /
+///    kUpdateBatch frames without waiting for results, keeping up to
+///    `window` updates in flight (0 = unbounded); once the window is full
+///    the submitting thread blocks until acks arrive. kBusy acks (load shed
+///    under OverloadPolicy::kShed) are tallied in shed_count() and the shed
+///    updates are handed back through TakeRejected() for resubmission;
+///    call WaitAcks() first — busy detection is deferred to the ack over
+///    RPC. Flush() drains the server-side pipelined lane and returns the
+///    last result version.
+///
+/// If the connection dies, every parked call fails and the updates of
+/// unacknowledged pipelined frames land in TakeRejected() (their fate is
+/// unknown; resubmission gives at-least-once semantics, dropping them
+/// at-most-once — the caller picks).
+///
+/// Calls are thread-safe against each other, but not against
+/// Connect()/Close().
+class RpcClient final : public IClient {
  public:
-  RpcClient() = default;
-  ~RpcClient() { Close(); }
+  static constexpr size_t kDefaultWindow = 256;
+
+  /// `window`: max pipelined updates in flight before SubmitAsync blocks on
+  /// client-side flow control (0 = unbounded).
+  explicit RpcClient(size_t window = kDefaultWindow) : window_(window) {}
+  ~RpcClient() override { Close(); }
 
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
 
+  /// Connects and runs the v2 handshake. False on transport failure or
+  /// handshake rejection — connect_status() distinguishes
+  /// kUnsupportedVersion from plain connection failure.
   bool Connect(const std::string& socket_path);
   void Close();
-  bool IsConnected() const { return fd_ >= 0; }
+  bool IsConnected() const {
+    return fd_ >= 0 && !closed_.load(std::memory_order_acquire);
+  }
+  /// Status of the last Connect() handshake (kOk after success;
+  /// kUnsupportedVersion when the server refused the version range).
+  rpc::Status connect_status() const { return connect_status_; }
+  /// Version negotiated by the handshake (0 before a successful Connect).
+  uint16_t protocol_version() const { return protocol_version_; }
 
-  /// Liveness check; false on a broken connection.
-  bool Ping();
+  //===--- IClient: blocking lane -----------------------------------------===//
 
-  /// Interactive API over the wire (Table 1). Updates return the version of
-  /// the resulting snapshot (kInvalidVersion on error).
-  VersionId InsEdge(VertexId src, VertexId dst, Weight w = 1);
-  VersionId DelEdge(VertexId src, VertexId dst, Weight w = 1);
-  /// Returns the fresh vertex id via out-param.
-  VersionId InsVertex(VertexId* vertex_out);
-  VersionId DelVertex(VertexId v);
-  VersionId TxnUpdates(const std::vector<Update>& updates);
+  VersionId Submit(const Update& update) override;
+  VersionId SubmitTxn(const std::vector<Update>& txn) override;
+  VersionId InsVertex(VertexId* vertex_out) override;
 
-  /// Current value (lock-free server-side); kInfWeight conventions as local.
-  bool GetValue(uint64_t algo, VertexId v, uint64_t* out);
-  /// Historical value (serialized server-side through the sequential lane).
+  //===--- IClient: pipelined lane ----------------------------------------===//
+
+  ClientStatus SubmitAsync(const Update& update) override;
+  size_t SubmitBatch(const Update* updates, size_t count) override;
+  bool WaitAcks() override;
+  FlushResult Flush() override;
+  uint64_t shed_count() const override;
+  std::vector<Update> TakeRejected() override;
+  /// Pipelined updates refused as semantically invalid (kError acks); these
+  /// are NOT eligible for resubmission and are not in TakeRejected().
+  uint64_t async_error_count() const;
+
+  //===--- IClient: reads -------------------------------------------------===//
+
+  bool Ping() override;
+  bool GetValue(uint64_t algo, VertexId v, uint64_t* out) override;
   bool GetValueAt(uint64_t algo, VersionId version, VertexId v,
-                  uint64_t* out);
-  bool GetParent(uint64_t algo, VertexId v, ParentEdge* out);
-  bool GetCurrentVersion(VersionId* out);
+                  uint64_t* out) override;
+  bool GetParent(uint64_t algo, VertexId v, ParentEdge* out) override;
+  bool GetCurrentVersion(VersionId* out) override;
   bool GetModified(uint64_t algo, VersionId version,
-                   std::vector<VertexId>* out);
-  bool ReleaseHistory(VersionId version);
+                   std::vector<VertexId>* out) override;
+  bool ReleaseHistory(VersionId version) override;
 
  private:
-  /// Sends `request_` and reads the response into `response_`; returns the
-  /// payload reader positioned after the status byte, or nullopt on
-  /// transport/status failure.
-  bool Call(rpc::Status* status_out);
+  /// A parked blocking call, completed by the reader thread.
+  struct PendingCall {
+    rpc::Status status = rpc::Status::kError;
+    std::vector<uint8_t> body;  // response payload after [corr][status]
+    bool done = false;
+    bool failed = false;  // transport died before a response arrived
+  };
+
+  /// Registers a pending slot under a fresh correlation ID; false when the
+  /// connection is closed.
+  bool BeginCall(PendingCall* pc, uint64_t* corr_out);
+  /// Sends the frame and parks until the reader completes (or fails) the
+  /// slot. True when a response with any status arrived.
+  bool FinishCall(PendingCall* pc, uint64_t corr,
+                  const std::vector<uint8_t>& request);
+  /// Serialized frame write; on failure wakes the reader for cleanup.
+  bool SendFrame(const std::vector<uint8_t>& payload);
+  void ReaderLoop();
 
   int fd_ = -1;
-  std::vector<uint8_t> request_;
-  std::vector<uint8_t> response_;
+  size_t window_;
+  std::thread reader_;
+  std::atomic<bool> closed_{true};
+  rpc::Status connect_status_ = rpc::Status::kError;
+  uint16_t protocol_version_ = 0;
+
+  std::mutex send_mu_;  // serializes socket writes across lanes/threads
+
+  mutable std::mutex mu_;  // guards everything below
+  std::condition_variable cv_;
+  uint64_t next_corr_ = 1;
+  std::unordered_map<uint64_t, PendingCall*> pending_;
+  /// In-flight pipelined frames: correlation ID -> the updates it carried
+  /// (kept so kBusy acks can hand the shed tail back to the caller).
+  std::unordered_map<uint64_t, std::vector<Update>> async_;
+  size_t inflight_updates_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t async_errors_ = 0;
+  std::vector<Update> rejected_;
 };
 
 }  // namespace risgraph

@@ -9,22 +9,121 @@
 
 namespace risgraph {
 
-/// Wire protocol for RisGraph's interactive RPC tier.
+/// Wire protocol v2 for RisGraph's interactive RPC tier.
 ///
 /// The paper's evaluation drives RisGraph from a second machine over an
 /// Infiniband RPC framework (Section 6.2); this repository's analog runs the
-/// same request/response shapes over Unix-domain sockets (DESIGN.md Section
-/// 1 documents the substitution — the latency metric is processing time, so
-/// transport cost is deliberately minimized in both setups).
+/// same request/response shapes over Unix-domain sockets (the latency metric
+/// is processing time, so transport cost is deliberately minimized in both
+/// setups). Protocol v1 was a strict closed loop — one outstanding request
+/// per connection, responses implicitly matched by order. v2 adds a
+/// version-negotiation handshake, correlation-ID framing, a pipelined
+/// submission lane that maps straight onto the ingest rings
+/// (Session::SubmitAsync), and kBusy load shedding.
 ///
-/// Framing: every message is [u32 length][payload]; `length` counts the
-/// payload only. Payloads are little-endian packed structs defined below;
-/// the first payload byte is the opcode (requests) or status (responses).
-/// The frame cap keeps a malformed or hostile peer from ballooning server
-/// memory.
+/// ## Framing
+///
+/// Every message is `[u32 length][payload]`; `length` counts the payload
+/// only and must be in (0, kMaxFrameBytes] — the cap keeps a malformed or
+/// hostile peer from ballooning server memory. All integers are
+/// little-endian packed.
+///
+///   request payload  := [u64 correlation_id][u8 opcode][body...]
+///   response payload := [u64 correlation_id][u8 status][body...]
+///
+/// The correlation ID is chosen by the client and echoed verbatim by the
+/// server. Responses MAY arrive in any order; clients match them to requests
+/// by correlation ID only (a reader thread demuxes). The server never
+/// interprets correlation IDs beyond echoing them.
+///
+/// ## Handshake
+///
+/// The first frame on a connection MUST be a kHello request:
+///
+///   body := [u32 magic = kHelloMagic][u16 min_version][u16 max_version]
+///
+/// The server negotiates the highest version in the intersection of
+/// [min_version, max_version] and [kMinSupportedVersion, kProtocolVersion]
+/// and answers `[corr][kOk][u16 negotiated_version]`. If the first frame is
+/// not a parseable Hello (e.g. a v1 client that starts with a bare opcode),
+/// the magic mismatches, or no common version exists, the server answers a
+/// single-byte frame `[kUnsupportedVersion]` and closes. The one-byte shape
+/// is deliberate: a v1 client reads its first response byte as a status, so
+/// it observes a clean rejection instead of a framing desync.
+///
+/// ## Opcode table (request body -> kOk response body)
+///
+///   kPing               --                          -> --
+///   kInsEdge            u64 src, u64 dst, u64 w     -> u64 version
+///   kDelEdge            u64 src, u64 dst, u64 w     -> u64 version
+///   kInsVertex          --                          -> u64 version, u64 vertex
+///   kDelVertex          u64 v                       -> u64 version
+///   kTxn                u32 n, n x Update           -> u64 version
+///   kGetValue           u64 algo, u64 v             -> u64 value
+///   kGetValueAt         u64 algo, u64 ver, u64 v    -> u64 value
+///   kGetParent          u64 algo, u64 v             -> u64 parent, u64 weight
+///   kGetCurrentVersion  --                          -> u64 version
+///   kGetModified        u64 algo, u64 ver           -> u32 n, n x u64
+///                       (capped to one frame: a modification set that
+///                        would exceed kMaxFrameBytes answers kError)
+///   kReleaseHistory     u64 ver                     -> --
+///   kHello              u32 magic, u16 min, u16 max -> u16 version
+///   kSubmitPipelined    Update                      -> --
+///   kUpdateBatch        u32 n, n x Update           -> u32 accepted
+///   kFlush              --                          -> u64 version, u64 done
+///
+/// An Update is [u8 kind][u64 src][u64 dst][u64 weight] (25 bytes).
+///
+/// ## Pipelined lane
+///
+/// kSubmitPipelined and kUpdateBatch enqueue updates on the session's
+/// pipelined ingest lane and are acknowledged as soon as they are queued —
+/// the ack carries no result version. Clients keep a window of in-flight
+/// correlation IDs and need not wait for acks between frames. kFlush blocks
+/// until every previously accepted pipelined update has executed and returns
+/// the result version of the last one plus the session-lifetime count of
+/// executed pipelined updates. Per-session FIFO order is preserved: updates
+/// are applied in submission order even through the parallel safe phase.
+///
+/// ## Status semantics
+///
+///   kOk                 request executed; body as per the table above.
+///   kError              semantically invalid (unknown algorithm, vertex out
+///                       of range, vertex still has edges, ...). The
+///                       connection stays usable.
+///   kBadRequest         unparseable frame. The server answers
+///                       `[corr][kBadRequest]` (corr 0 when even the header
+///                       was short) and CLOSES the connection — framing may
+///                       be lost.
+///   kBusy               load shed: the session's ingest ring was full and
+///                       ServiceOptions::overload_policy is kShed. For
+///                       kUpdateBatch the response body's `accepted` is the
+///                       FIFO prefix that was queued; everything after it
+///                       was dropped and may be resubmitted. The connection
+///                       stays usable.
+///   kUnsupportedVersion handshake failed (see above); sent as a one-byte
+///                       frame, then the connection closes.
 namespace rpc {
 
 inline constexpr uint32_t kMaxFrameBytes = 1 << 20;
+
+/// Version negotiated by the kHello handshake. v1 (the closed-loop,
+/// correlation-free protocol) is no longer served.
+inline constexpr uint16_t kProtocolVersion = 2;
+inline constexpr uint16_t kMinSupportedVersion = 2;
+
+/// First field of a Hello body; anything else on a fresh connection is a
+/// pre-v2 (or non-RisGraph) peer.
+inline constexpr uint32_t kHelloMagic = 0x52697347;  // "GisR" on the wire
+
+/// Updates per kTxn / kUpdateBatch frame. Derived from the frame cap so a
+/// maximal batch always fits one frame ([u64 corr][u8 op][u32 count] header
+/// plus 25 bytes per update); it doubles as the server-side staging bound.
+inline constexpr uint32_t kMaxBatchUpdates = (kMaxFrameBytes - 13) / 25;
+static_assert(13 + 25ull * kMaxBatchUpdates <= kMaxFrameBytes);
+
+/// Bytes of [u64 correlation_id][u8 opcode] that prefix every request.
+inline constexpr size_t kRequestHeaderBytes = 9;
 
 enum class Op : uint8_t {
   kPing = 0,
@@ -39,12 +138,18 @@ enum class Op : uint8_t {
   kGetCurrentVersion = 9,
   kGetModified = 10,
   kReleaseHistory = 11,
+  kHello = 12,            // handshake; must be the first frame, only there
+  kSubmitPipelined = 13,  // fire-many: queue one update, ack immediately
+  kUpdateBatch = 14,      // fire-many: queue a frame of updates
+  kFlush = 15,            // drain the pipelined lane, collect versions
 };
 
 enum class Status : uint8_t {
   kOk = 0,
-  kError = 1,      // semantically invalid (e.g. unknown algorithm id)
-  kBadRequest = 2, // unparseable frame
+  kError = 1,               // semantically invalid (e.g. unknown algorithm)
+  kBadRequest = 2,          // unparseable frame; connection is dropped
+  kBusy = 3,                // load shed under OverloadPolicy::kShed
+  kUnsupportedVersion = 4,  // handshake failed; one-byte frame, then close
 };
 
 /// Serialization cursor over a growing byte buffer.
@@ -53,6 +158,7 @@ class Writer {
   explicit Writer(std::vector<uint8_t>& buf) : buf_(buf) {}
 
   void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v) { Raw(&v, 2); }
   void U32(uint32_t v) { Raw(&v, 4); }
   void U64(uint64_t v) { Raw(&v, 8); }
   void Raw(const void* data, size_t len) {
@@ -72,6 +178,11 @@ class Reader {
   Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
 
   uint8_t U8() { return ok_ && pos_ < len_ ? data_[pos_++] : (ok_ = false, 0); }
+  uint16_t U16() {
+    uint16_t v = 0;
+    Raw(&v, 2);
+    return v;
+  }
   uint32_t U32() {
     uint32_t v = 0;
     Raw(&v, 4);
@@ -99,6 +210,18 @@ class Reader {
   size_t pos_ = 0;
   bool ok_ = true;
 };
+
+/// `[u64 correlation_id][u8 opcode]` — the prefix of every request payload.
+inline void WriteRequestHeader(Writer& w, uint64_t corr, Op op) {
+  w.U64(corr);
+  w.U8(static_cast<uint8_t>(op));
+}
+
+/// `[u64 correlation_id][u8 status]` — the prefix of every response payload.
+inline void WriteResponseHeader(Writer& w, uint64_t corr, Status status) {
+  w.U64(corr);
+  w.U8(static_cast<uint8_t>(status));
+}
 
 inline void WriteUpdate(Writer& w, const Update& u) {
   w.U8(static_cast<uint8_t>(u.kind));

@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -23,15 +24,22 @@ bool ReadAll(int fd, void* buf, size_t len) {
   return true;
 }
 
+// MSG_NOSIGNAL: a peer that closed without reading its response must surface
+// as an EPIPE error on this connection, not a process-killing SIGPIPE.
 bool WriteAll(int fd, const void* buf, size_t len) {
   const uint8_t* p = static_cast<const uint8_t*>(buf);
   while (len > 0) {
-    ssize_t n = ::write(fd, p, len);
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
     if (n <= 0) return false;
     p += n;
     len -= static_cast<size_t>(n);
   }
   return true;
+}
+
+bool WriteFrame(int fd, const std::vector<uint8_t>& payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  return WriteAll(fd, &len, 4) && WriteAll(fd, payload.data(), payload.size());
 }
 
 }  // namespace
@@ -137,10 +145,58 @@ void RpcServer::AcceptLoop() {
   }
 }
 
+bool RpcServer::Handshake(int fd) {
+  uint32_t len = 0;
+  bool accepted = false;
+  std::vector<uint8_t> frame;
+  std::vector<uint8_t> response;
+  if (ReadAll(fd, &len, 4) && len > 0 && len <= rpc::kMaxFrameBytes) {
+    frame.resize(len);
+    if (!ReadAll(fd, frame.data(), len)) return false;  // truncated: no reply
+    rpc::Reader r(frame.data(), len);
+    uint64_t corr = r.U64();
+    uint8_t op = r.U8();
+    uint32_t magic = r.U32();
+    uint16_t min_ver = r.U16();
+    uint16_t max_ver = r.U16();
+    if (r.ok() && r.AtEnd() &&
+        op == static_cast<uint8_t>(rpc::Op::kHello) &&
+        magic == rpc::kHelloMagic) {
+      uint16_t lo = std::max(min_ver, rpc::kMinSupportedVersion);
+      uint16_t hi = std::min(max_ver, rpc::kProtocolVersion);
+      if (lo <= hi) {
+        rpc::Writer w(response);
+        rpc::WriteResponseHeader(w, corr, rpc::Status::kOk);
+        w.U16(hi);
+        accepted = WriteFrame(fd, response);
+        return accepted;
+      }
+    }
+  } else if (len == 0 || len > rpc::kMaxFrameBytes) {
+    return false;  // hostile length prefix: drop without a reply
+  } else {
+    return false;  // EOF before a frame arrived
+  }
+  // Not a compatible v2 Hello. Answer with a bare one-byte status frame — a
+  // v1 client reads its first response byte as a status, so it sees a clean
+  // kUnsupportedVersion instead of a framing desync — and close.
+  handshakes_rejected_.fetch_add(1, std::memory_order_relaxed);
+  response.clear();
+  response.push_back(static_cast<uint8_t>(rpc::Status::kUnsupportedVersion));
+  WriteFrame(fd, response);
+  return false;
+}
+
 void RpcServer::HandleConnection(int fd, Session* session) {
+  // The wire adapter dispatches onto the same IClient surface in-process
+  // callers use. Rejection tracking is off: the remote client tracks its own
+  // shed updates from the kBusy acks.
+  SessionClient<> client(system_, pipeline_, session,
+                         {/*window=*/0, /*track_rejected=*/false});
   std::vector<uint8_t> request;
   std::vector<uint8_t> response;
-  while (!stopping_.load(std::memory_order_acquire)) {
+  bool handshaken = Handshake(fd);
+  while (handshaken && !stopping_.load(std::memory_order_acquire)) {
     uint32_t len = 0;
     if (!ReadAll(fd, &len, 4)) break;
     if (len == 0 || len > rpc::kMaxFrameBytes) break;  // hostile or broken
@@ -148,21 +204,20 @@ void RpcServer::HandleConnection(int fd, Session* session) {
     if (!ReadAll(fd, request.data(), len)) break;
 
     response.clear();
-    bool parsed = Dispatch(request.data(), len, session, response);
+    uint64_t corr = 0;
+    bool parsed = Dispatch(request.data(), len, client, response, &corr);
     if (!parsed) {
       // One bad frame poisons the stream (framing may be lost): answer with
       // kBadRequest, then drop the connection.
       response.clear();
       rpc::Writer w(response);
-      w.U8(static_cast<uint8_t>(rpc::Status::kBadRequest));
+      rpc::WriteResponseHeader(w, corr, rpc::Status::kBadRequest);
     }
     // Count before responding: a client that has its response in hand must
     // already be visible in requests_served() (tests read the counter right
     // after the last response arrives).
     requests_.fetch_add(1, std::memory_order_relaxed);
-    uint32_t rlen = static_cast<uint32_t>(response.size());
-    if (!WriteAll(fd, &rlen, 4) ||
-        !WriteAll(fd, response.data(), response.size()) || !parsed) {
+    if (!WriteFrame(fd, response) || !parsed) {
       break;
     }
   }
@@ -179,29 +234,38 @@ void RpcServer::HandleConnection(int fd, Session* session) {
   ::close(fd);
 }
 
-bool RpcServer::Dispatch(const uint8_t* payload, size_t len, Session* session,
-                         std::vector<uint8_t>& response) {
+bool RpcServer::ValidUpdate(const Update& u) const {
+  return IsValidUpdate(u, system_.store().NumVertices());
+}
+
+bool RpcServer::Dispatch(const uint8_t* payload, size_t len, IClient& client,
+                         std::vector<uint8_t>& response, uint64_t* corr_out) {
   rpc::Reader r(payload, len);
-  rpc::Writer w(response);
+  uint64_t corr = r.U64();
   uint8_t op_raw = r.U8();
-  if (!r.ok() || op_raw > static_cast<uint8_t>(rpc::Op::kReleaseHistory)) {
+  *corr_out = r.ok() ? corr : 0;
+  if (!r.ok() || op_raw > static_cast<uint8_t>(rpc::Op::kFlush)) {
     return false;
   }
   auto op = static_cast<rpc::Op>(op_raw);
-  auto ok_u64 = [&](uint64_t v) {
-    w.U8(static_cast<uint8_t>(rpc::Status::kOk));
-    w.U64(v);
-  };
-  auto check_algo = [&](uint64_t algo) {
-    if (algo < system_.NumAlgorithms()) return true;
-    w.U8(static_cast<uint8_t>(rpc::Status::kError));
-    return false;
+  rpc::Writer w(response);
+  auto head = [&](rpc::Status s) { rpc::WriteResponseHeader(w, corr, s); };
+  auto version_or_error = [&](VersionId ver) {
+    if (ver == kInvalidVersion) {
+      head(rpc::Status::kError);
+    } else {
+      head(rpc::Status::kOk);
+      w.U64(ver);
+    }
   };
 
   switch (op) {
+    case rpc::Op::kHello:
+      // Re-negotiation after the handshake is a protocol violation.
+      return false;
     case rpc::Op::kPing: {
       if (!r.AtEnd()) return false;
-      w.U8(static_cast<uint8_t>(rpc::Status::kOk));
+      head(rpc::Status::kOk);
       return true;
     }
     case rpc::Op::kInsEdge:
@@ -213,21 +277,14 @@ bool RpcServer::Dispatch(const uint8_t* payload, size_t len, Session* session,
       Update u = op == rpc::Op::kInsEdge
                      ? Update::InsertEdge(src, dst, weight)
                      : Update::DeleteEdge(src, dst, weight);
-      if (src >= system_.store().NumVertices() ||
-          dst >= system_.store().NumVertices()) {
-        w.U8(static_cast<uint8_t>(rpc::Status::kError));
-        return true;
-      }
-      ok_u64(session->Submit(u));
+      version_or_error(client.Submit(u));
       return true;
     }
     case rpc::Op::kInsVertex: {
       if (!r.AtEnd()) return false;
-      // Routed through the sequential lane so the fresh id can be returned.
       VertexId fresh = kInvalidVertex;
-      VersionId ver = session->SubmitReadWrite(
-          [&](RwTxn& txn) { fresh = txn.InsVertex(); });
-      w.U8(static_cast<uint8_t>(rpc::Status::kOk));
+      VersionId ver = client.InsVertex(&fresh);
+      head(rpc::Status::kOk);
       w.U64(ver);
       w.U64(fresh);
       return true;
@@ -235,30 +292,74 @@ bool RpcServer::Dispatch(const uint8_t* payload, size_t len, Session* session,
     case rpc::Op::kDelVertex: {
       uint64_t v = r.U64();
       if (!r.ok() || !r.AtEnd()) return false;
-      ok_u64(session->Submit(Update::DeleteVertex(v)));
+      version_or_error(client.Submit(Update::DeleteVertex(v)));
       return true;
     }
     case rpc::Op::kTxn: {
       uint32_t count = r.U32();
-      if (!r.ok() || count > 65536) return false;
+      if (!r.ok() || count > rpc::kMaxBatchUpdates) return false;
       std::vector<Update> txn(count);
       for (uint32_t i = 0; i < count; ++i) {
         if (!rpc::ReadUpdate(r, &txn[i])) return false;
       }
       if (!r.AtEnd()) return false;
-      ok_u64(session->SubmitTxn(std::move(txn)));
+      version_or_error(client.SubmitTxn(txn));
+      return true;
+    }
+    case rpc::Op::kSubmitPipelined: {
+      Update u;
+      if (!rpc::ReadUpdate(r, &u) || !r.AtEnd()) return false;
+      // Maps straight onto the session's pipelined lane, which validates the
+      // update (kError) and under kShed never parks this thread — the ack is
+      // immediate either way.
+      ClientStatus st = client.SubmitAsync(u);
+      head(st == ClientStatus::kOk    ? rpc::Status::kOk
+           : st == ClientStatus::kBusy ? rpc::Status::kBusy
+                                       : rpc::Status::kError);
+      return true;
+    }
+    case rpc::Op::kUpdateBatch: {
+      uint32_t count = r.U32();
+      if (!r.ok() || count > rpc::kMaxBatchUpdates) return false;
+      std::vector<Update> batch(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!rpc::ReadUpdate(r, &batch[i])) return false;
+      }
+      if (!r.AtEnd()) return false;
+      for (const Update& u : batch) {
+        if (!ValidUpdate(u)) {
+          head(rpc::Status::kError);  // atomic reject: nothing queued
+          return true;
+        }
+      }
+      size_t accepted = client.SubmitBatch(batch.data(), batch.size());
+      head(accepted == batch.size() ? rpc::Status::kOk : rpc::Status::kBusy);
+      w.U32(static_cast<uint32_t>(accepted));
+      return true;
+    }
+    case rpc::Op::kFlush: {
+      if (!r.AtEnd()) return false;
+      FlushResult fr = client.Flush();
+      if (!fr.ok) {
+        head(rpc::Status::kError);
+        return true;
+      }
+      head(rpc::Status::kOk);
+      w.U64(fr.version);
+      w.U64(fr.completed);
       return true;
     }
     case rpc::Op::kGetValue: {
       uint64_t algo = r.U64();
       uint64_t v = r.U64();
       if (!r.ok() || !r.AtEnd()) return false;
-      if (!check_algo(algo)) return true;
-      if (v >= system_.store().NumVertices()) {
-        w.U8(static_cast<uint8_t>(rpc::Status::kError));
+      uint64_t value = 0;
+      if (!client.GetValue(algo, v, &value)) {
+        head(rpc::Status::kError);
         return true;
       }
-      ok_u64(system_.GetValue(algo, v));  // atomic read, lock-free
+      head(rpc::Status::kOk);
+      w.U64(value);
       return true;
     }
     case rpc::Op::kGetValueAt: {
@@ -266,50 +367,54 @@ bool RpcServer::Dispatch(const uint8_t* payload, size_t len, Session* session,
       uint64_t version = r.U64();
       uint64_t v = r.U64();
       if (!r.ok() || !r.AtEnd()) return false;
-      if (!check_algo(algo)) return true;
-      if (v >= system_.store().NumVertices()) {
-        w.U8(static_cast<uint8_t>(rpc::Status::kError));
+      uint64_t value = 0;
+      if (!client.GetValueAt(algo, version, v, &value)) {
+        head(rpc::Status::kError);
         return true;
       }
-      uint64_t value = 0;
-      session->SubmitReadWrite([&](RwTxn&) {  // history is single-writer
-        value = system_.GetValue(algo, version, v);
-      });
-      ok_u64(value);
+      head(rpc::Status::kOk);
+      w.U64(value);
       return true;
     }
     case rpc::Op::kGetParent: {
       uint64_t algo = r.U64();
       uint64_t v = r.U64();
       if (!r.ok() || !r.AtEnd()) return false;
-      if (!check_algo(algo)) return true;
-      if (v >= system_.store().NumVertices()) {
-        w.U8(static_cast<uint8_t>(rpc::Status::kError));
+      ParentEdge p;
+      if (!client.GetParent(algo, v, &p)) {
+        head(rpc::Status::kError);
         return true;
       }
-      ParentEdge p;
-      session->SubmitReadWrite(
-          [&](RwTxn& txn) { p = txn.GetParent(algo, v); });
-      w.U8(static_cast<uint8_t>(rpc::Status::kOk));
+      head(rpc::Status::kOk);
       w.U64(p.parent);
       w.U64(p.weight);
       return true;
     }
     case rpc::Op::kGetCurrentVersion: {
       if (!r.AtEnd()) return false;
-      ok_u64(system_.GetCurrentVersion());
+      VersionId ver = 0;
+      client.GetCurrentVersion(&ver);
+      head(rpc::Status::kOk);
+      w.U64(ver);
       return true;
     }
     case rpc::Op::kGetModified: {
       uint64_t algo = r.U64();
       uint64_t version = r.U64();
       if (!r.ok() || !r.AtEnd()) return false;
-      if (!check_algo(algo)) return true;
       std::vector<VertexId> mods;
-      session->SubmitReadWrite([&](RwTxn&) {
-        mods = system_.GetModifiedVertices(algo, version);
-      });
-      w.U8(static_cast<uint8_t>(rpc::Status::kOk));
+      if (!client.GetModified(algo, version, &mods)) {
+        head(rpc::Status::kError);
+        return true;
+      }
+      // A response over the frame cap would read as a protocol desync on
+      // the client and tear down every in-flight request on the connection;
+      // answer kError instead (the spec caps kGetModified to one frame).
+      if (13 + 8 * mods.size() > rpc::kMaxFrameBytes) {
+        head(rpc::Status::kError);
+        return true;
+      }
+      head(rpc::Status::kOk);
       w.U32(static_cast<uint32_t>(mods.size()));
       for (VertexId m : mods) w.U64(m);
       return true;
@@ -317,9 +422,8 @@ bool RpcServer::Dispatch(const uint8_t* payload, size_t len, Session* session,
     case rpc::Op::kReleaseHistory: {
       uint64_t version = r.U64();
       if (!r.ok() || !r.AtEnd()) return false;
-      session->SubmitReadWrite(
-          [&](RwTxn&) { system_.ReleaseHistory(version); });
-      w.U8(static_cast<uint8_t>(rpc::Status::kOk));
+      head(client.ReleaseHistory(version) ? rpc::Status::kOk
+                                          : rpc::Status::kError);
       return true;
     }
   }

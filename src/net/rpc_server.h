@@ -9,6 +9,7 @@
 
 #include "ingest/epoch_pipeline.h"
 #include "net/rpc_protocol.h"
+#include "runtime/client.h"
 #include "runtime/risgraph.h"
 #include "runtime/service.h"
 
@@ -16,14 +17,26 @@ namespace risgraph {
 
 /// RPC front end over the ingest pipeline: the top tier of the paper's
 /// Figure 1 architecture, serving remote clients instead of in-process ones.
-/// Remote and in-process callers share one code path — both submit through
-/// Session handles into the sharded ingest queue of an EpochPipeline.
+/// Remote and in-process callers share one code path — every connection is
+/// dispatched onto a SessionClient (runtime/client.h), the same IClient
+/// implementation in-process callers hold, which submits through a Session
+/// handle into the sharded ingest queue of an EpochPipeline. The server
+/// itself is a thin wire adapter: decode protocol-v2 frames, call IClient,
+/// encode responses.
+///
+/// Protocol v2 (net/rpc_protocol.h): connections start with a Hello
+/// version-negotiation handshake; every request carries a correlation ID the
+/// server echoes. Besides the closed-loop ops, the pipelined lane
+/// (kSubmitPipelined / kUpdateBatch / kFlush) maps straight onto the
+/// session's SubmitAsync rings; when the ring is full the behavior follows
+/// ServiceOptions::overload_policy — block (backpressure) or answer kBusy
+/// without ever parking the handler thread (shedding).
 ///
 /// Each accepted connection gets its own Session (preserving the paper's
-/// session semantics: per-session FIFO order and sequential consistency)
-/// and a dedicated handler thread that decodes one request at a time —
-/// remote clients are closed-loop, exactly like the evaluation's emulated
-/// users.
+/// session semantics: per-session FIFO order) and a dedicated handler thread
+/// that decodes requests in arrival order. Pipelined clients may have many
+/// frames in flight; responses go out in processing order, matched by
+/// correlation ID on the client side.
 ///
 /// Consistency of reads:
 ///  * kGetValue / kGetCurrentVersion read lock-free server state (values are
@@ -61,14 +74,26 @@ class RpcServer {
   uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Connections rejected at the handshake (kUnsupportedVersion).
+  uint64_t handshakes_rejected() const {
+    return handshakes_rejected_.load(std::memory_order_relaxed);
+  }
 
  private:
   void AcceptLoop();
   void HandleConnection(int fd, Session* session);
-  /// Decodes and executes one request; appends the response payload.
-  /// Returns false when the frame is unparseable (connection is dropped).
-  bool Dispatch(const uint8_t* payload, size_t len, Session* session,
-                std::vector<uint8_t>& response);
+  /// Reads and answers the Hello frame; false when the peer is not a
+  /// compatible v2 client (a one-byte kUnsupportedVersion frame has been
+  /// sent and the connection must close).
+  bool Handshake(int fd);
+  /// Decodes and executes one request against the connection's client;
+  /// appends the response payload. Returns false when the frame is
+  /// unparseable (`*corr_out` holds the correlation ID when one could be
+  /// read; the caller answers kBadRequest and drops the connection).
+  bool Dispatch(const uint8_t* payload, size_t len, IClient& client,
+                std::vector<uint8_t>& response, uint64_t* corr_out);
+
+  bool ValidUpdate(const Update& u) const;
 
   RisGraph<>& system_;
   EpochPipeline<>& pipeline_;
@@ -84,6 +109,7 @@ class RpcServer {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> handshakes_rejected_{0};
 };
 
 }  // namespace risgraph

@@ -1,0 +1,322 @@
+#ifndef RISGRAPH_RUNTIME_CLIENT_H_
+#define RISGRAPH_RUNTIME_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "core/incremental_engine.h"  // ParentEdge
+#include "ingest/epoch_pipeline.h"
+#include "ingest/session.h"
+#include "runtime/risgraph.h"
+
+namespace risgraph {
+
+/// Outcome of a client call that can be load-shed.
+enum class ClientStatus : uint8_t {
+  kOk = 0,
+  /// The update was shed (ingest ring full under OverloadPolicy::kShed).
+  /// Nothing was queued; the update lands in TakeRejected() when rejection
+  /// tracking is on, and the caller decides whether to resubmit.
+  kBusy = 1,
+  /// Semantically invalid (vertex out of range, ...). Nothing was queued.
+  kError = 2,
+  /// The transport is gone (RPC connection closed).
+  kClosed = 3,
+};
+
+/// Result of Flush(): the pipelined lane has fully drained.
+struct FlushResult {
+  bool ok = false;
+  /// Result version of the last pipelined update applied (0 if none ever).
+  VersionId version = 0;
+  /// Session-lifetime count of pipelined updates applied.
+  uint64_t completed = 0;
+};
+
+/// The semantic-validity rule every client-facing tier applies before an
+/// update touches the ingest plane (one definition — the RPC server's
+/// atomic batch pre-scan and SessionClient share it, so remote and
+/// in-process semantics cannot diverge).
+inline bool IsValidUpdate(const Update& u, uint64_t num_vertices) {
+  switch (u.kind) {
+    case UpdateKind::kInsertEdge:
+    case UpdateKind::kDeleteEdge:
+      return u.edge.src < num_vertices && u.edge.dst < num_vertices;
+    case UpdateKind::kDeleteVertex:
+      return u.edge.src < num_vertices;
+    case UpdateKind::kInsertVertex:
+      return true;
+  }
+  return false;
+}
+
+/// The one client surface of the system — implemented by the in-process
+/// SessionClient (an ingest::Session adapter) and by the remote RpcClient
+/// (net/rpc_client.h), so benches, examples, and tests drive either
+/// transport through the same API.
+///
+/// Two lanes, mirroring ingest::Session:
+///  * Blocking (closed loop): Submit / SubmitTxn / InsVertex — one
+///    outstanding request, the call returns the result version.
+///  * Pipelined: SubmitAsync / SubmitBatch fire without waiting for results;
+///    Flush() drains and collects the final version. Under
+///    OverloadPolicy::kShed submissions can come back kBusy: in-process the
+///    status is synchronous, over RPC the kBusy ack arrives later — call
+///    WaitAcks() before consulting shed_count()/TakeRejected().
+///
+/// Implementations are not thread-safe per instance unless documented
+/// otherwise; use one client per logical session, like one Session per user.
+class IClient {
+ public:
+  virtual ~IClient() = default;
+
+  //===--- Blocking lane (paper Table 1, closed loop) ---------------------===//
+
+  /// Submits one update and waits for its result version (kInvalidVersion on
+  /// error, e.g. vertex out of range or deleting a vertex that has edges).
+  virtual VersionId Submit(const Update& update) = 0;
+  /// Atomic batch (paper: txn_updates); one version for the whole batch.
+  virtual VersionId SubmitTxn(const std::vector<Update>& txn) = 0;
+  /// Allocates a vertex; the fresh id is returned via out-param.
+  virtual VersionId InsVertex(VertexId* vertex_out) = 0;
+
+  VersionId InsEdge(VertexId src, VertexId dst, Weight w = 1) {
+    return Submit(Update::InsertEdge(src, dst, w));
+  }
+  VersionId DelEdge(VertexId src, VertexId dst, Weight w = 1) {
+    return Submit(Update::DeleteEdge(src, dst, w));
+  }
+  VersionId DelVertex(VertexId v) { return Submit(Update::DeleteVertex(v)); }
+
+  //===--- Pipelined lane -------------------------------------------------===//
+
+  /// Queues one update on the pipelined lane. May block briefly on client
+  /// flow control (the in-flight window), never on the server's ingest ring
+  /// under kShed.
+  virtual ClientStatus SubmitAsync(const Update& update) = 0;
+  /// Queues up to `count` updates (FIFO prefix semantics). Returns how many
+  /// were queued for submission; under kShed the entire shed tail lands in
+  /// TakeRejected() — over RPC only once the ack arrives (WaitAcks()). A
+  /// batch containing an invalid update queues nothing and is not
+  /// resubmittable: in-process the whole call rejects; over RPC the server
+  /// rejects atomically per wire frame (a batch wider than the client
+  /// window spans several frames), so validate before batching huge spans.
+  virtual size_t SubmitBatch(const Update* updates, size_t count) = 0;
+  /// Blocks until every pipelined submission has been acknowledged (queued
+  /// or shed). No-op in-process, where acks are synchronous. Returns false
+  /// if the transport died while waiting.
+  virtual bool WaitAcks() = 0;
+  /// Blocks until every accepted pipelined update has executed; returns the
+  /// last result version and the completed count.
+  virtual FlushResult Flush() = 0;
+  /// Pipelined updates shed with kBusy so far (lifetime).
+  virtual uint64_t shed_count() const = 0;
+  /// Hands back (and clears) the shed updates, for resubmission.
+  virtual std::vector<Update> TakeRejected() = 0;
+
+  //===--- Reads ----------------------------------------------------------===//
+
+  /// Liveness check; false on a broken transport.
+  virtual bool Ping() = 0;
+  /// Current value (lock-free server-side).
+  virtual bool GetValue(uint64_t algo, VertexId v, uint64_t* out) = 0;
+  /// Historical value (serialized server-side through the sequential lane).
+  virtual bool GetValueAt(uint64_t algo, VersionId version, VertexId v,
+                          uint64_t* out) = 0;
+  virtual bool GetParent(uint64_t algo, VertexId v, ParentEdge* out) = 0;
+  virtual bool GetCurrentVersion(VersionId* out) = 0;
+  virtual bool GetModified(uint64_t algo, VersionId version,
+                           std::vector<VertexId>* out) = 0;
+  virtual bool ReleaseHistory(VersionId version) = 0;
+};
+
+/// The in-process IClient: an adapter over one ingest::Session plus the
+/// read-side of RisGraph — exactly the surface the RPC server exposes over
+/// the wire, minus the wire. The RPC server itself dispatches onto this
+/// class, so remote and in-process callers share one semantic code path.
+template <typename Store = DefaultGraphStore>
+class SessionClient final : public IClient {
+ public:
+  struct Options {
+    /// Max pipelined updates outstanding (submitted - completed) before
+    /// SubmitAsync blocks on client-side flow control; 0 = unbounded (the
+    /// shard ring still backpressures under OverloadPolicy::kBlock).
+    size_t window = 0;
+    /// Record shed updates for TakeRejected(). The RPC server turns this
+    /// off: the remote client does its own rejection tracking.
+    bool track_rejected = true;
+  };
+
+  /// Adapts an already-open session (the RPC server's per-connection path).
+  SessionClient(RisGraph<Store>& system, EpochPipeline<Store>& pipeline,
+                Session* session, Options options = {})
+      : system_(system),
+        pipeline_(pipeline),
+        session_(session),
+        options_(options) {}
+
+  /// Opens its own session. Like EpochPipeline::OpenSession, this must
+  /// happen before the pipeline starts.
+  SessionClient(RisGraph<Store>& system, EpochPipeline<Store>& pipeline,
+                Options options = {})
+      : SessionClient(system, pipeline, pipeline.OpenSession(), options) {}
+
+  Session* session() { return session_; }
+
+  //===--- Blocking lane --------------------------------------------------===//
+
+  VersionId Submit(const Update& update) override {
+    if (!ValidUpdate(update)) return kInvalidVersion;
+    return session_->Submit(update);
+  }
+
+  VersionId SubmitTxn(const std::vector<Update>& txn) override {
+    for (const Update& u : txn) {
+      if (!ValidUpdate(u)) return kInvalidVersion;
+    }
+    return session_->SubmitTxn(txn);
+  }
+
+  VersionId InsVertex(VertexId* vertex_out) override {
+    // Routed through the sequential lane so the fresh id can be returned.
+    VertexId fresh = kInvalidVertex;
+    VersionId ver =
+        session_->SubmitReadWrite([&](RwTxn& txn) { fresh = txn.InsVertex(); });
+    if (vertex_out != nullptr) *vertex_out = fresh;
+    return ver;
+  }
+
+  //===--- Pipelined lane -------------------------------------------------===//
+
+  ClientStatus SubmitAsync(const Update& update) override {
+    if (!ValidUpdate(update)) return ClientStatus::kError;
+    if (options_.window != 0) {
+      while (session_->async_submitted() - session_->async_completed() >=
+             options_.window) {
+        std::this_thread::sleep_for(std::chrono::microseconds(5));
+      }
+    }
+    if (pipeline_.options().overload_policy == OverloadPolicy::kShed) {
+      if (!session_->TrySubmitAsync(update)) {
+        shed_++;
+        if (options_.track_rejected) rejected_.push_back(update);
+        return ClientStatus::kBusy;
+      }
+    } else {
+      session_->SubmitAsync(update);
+    }
+    return ClientStatus::kOk;
+  }
+
+  size_t SubmitBatch(const Update* updates, size_t count) override {
+    // Atomic validity check first, mirroring the RPC server's per-frame
+    // pre-scan: a batch with an invalid update queues NOTHING on either
+    // transport (the one semantic the shared-surface claim hinges on).
+    for (size_t i = 0; i < count; ++i) {
+      if (!ValidUpdate(updates[i])) return 0;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (SubmitAsync(updates[i]) == ClientStatus::kBusy) {
+        // FIFO prefix queued; SubmitAsync recorded updates[i] — the untried
+        // tail behind it is equally shed and must come back through
+        // TakeRejected() too, or a caller resubmitting rejections would
+        // silently lose it.
+        shed_ += count - i - 1;
+        if (options_.track_rejected) {
+          rejected_.insert(rejected_.end(), updates + i + 1, updates + count);
+        }
+        return i;
+      }
+    }
+    return count;
+  }
+
+  bool WaitAcks() override { return true; }  // acks are synchronous in-process
+
+  FlushResult Flush() override {
+    FlushResult r;
+    r.version = session_->DrainAsync();
+    r.completed = session_->async_completed();
+    r.ok = true;
+    return r;
+  }
+
+  uint64_t shed_count() const override { return shed_; }
+
+  std::vector<Update> TakeRejected() override {
+    std::vector<Update> out;
+    out.swap(rejected_);
+    return out;
+  }
+
+  //===--- Reads ----------------------------------------------------------===//
+
+  bool Ping() override { return true; }
+
+  bool GetValue(uint64_t algo, VertexId v, uint64_t* out) override {
+    if (!ValidAlgo(algo) || v >= system_.store().NumVertices()) return false;
+    *out = system_.GetValue(algo, v);  // atomic read, lock-free
+    return true;
+  }
+
+  bool GetValueAt(uint64_t algo, VersionId version, VertexId v,
+                  uint64_t* out) override {
+    if (!ValidAlgo(algo) || v >= system_.store().NumVertices()) return false;
+    uint64_t value = 0;
+    session_->SubmitReadWrite([&](RwTxn&) {  // history is single-writer
+      value = system_.GetValue(algo, version, v);
+    });
+    *out = value;
+    return true;
+  }
+
+  bool GetParent(uint64_t algo, VertexId v, ParentEdge* out) override {
+    if (!ValidAlgo(algo) || v >= system_.store().NumVertices()) return false;
+    ParentEdge p;
+    session_->SubmitReadWrite([&](RwTxn& txn) { p = txn.GetParent(algo, v); });
+    *out = p;
+    return true;
+  }
+
+  bool GetCurrentVersion(VersionId* out) override {
+    *out = system_.GetCurrentVersion();
+    return true;
+  }
+
+  bool GetModified(uint64_t algo, VersionId version,
+                   std::vector<VertexId>* out) override {
+    if (!ValidAlgo(algo)) return false;
+    session_->SubmitReadWrite(
+        [&](RwTxn&) { *out = system_.GetModifiedVertices(algo, version); });
+    return true;
+  }
+
+  bool ReleaseHistory(VersionId version) override {
+    session_->SubmitReadWrite(
+        [&](RwTxn&) { system_.ReleaseHistory(version); });
+    return true;
+  }
+
+ private:
+  bool ValidAlgo(uint64_t algo) const {
+    return algo < system_.NumAlgorithms();
+  }
+
+  bool ValidUpdate(const Update& u) const {
+    return IsValidUpdate(u, system_.store().NumVertices());
+  }
+
+  RisGraph<Store>& system_;
+  EpochPipeline<Store>& pipeline_;
+  Session* session_;
+  Options options_;
+  uint64_t shed_ = 0;
+  std::vector<Update> rejected_;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_RUNTIME_CLIENT_H_

@@ -178,6 +178,47 @@ TEST(Pipelined, UnsafeUpdateDefersQueueTail) {
   }
 }
 
+TEST(Pipelined, TrySubmitAsyncShedsWhenRingFullAndRecovers) {
+  // The non-blocking pipelined push (the RPC tier's kBusy path): with the
+  // coordinator stopped, the shard ring absorbs exactly its capacity and
+  // TrySubmitAsync fails fast — no thread parks — rolling the submitted
+  // counter back so DrainAsync accounting stays exact.
+  constexpr uint64_t kVertices = 64;
+  RisGraph<> sys(kVertices);
+  size_t bfs = sys.AddAlgorithm<Bfs>(0);
+  sys.InitializeResults();
+  ServiceOptions opt;
+  opt.ingest_shards = 1;
+  opt.ingest_shard_capacity = 8;
+  RisGraphService<> service(sys, opt);
+  Session* s = service.OpenSession();
+
+  size_t accepted = 0;
+  while (s->TrySubmitAsync(Update::InsertEdge(0, 1 + accepted, 1))) {
+    accepted++;
+    ASSERT_LT(accepted, 64u);  // must stop at the ring capacity
+  }
+  EXPECT_EQ(accepted, 8u);  // capacity rounds to a power of two
+  EXPECT_EQ(s->async_submitted(), accepted);  // failed pushes rolled back
+
+  service.Start();
+  // The coordinator drains the ring; pushes succeed again.
+  Update extra = Update::InsertEdge(0, 40, 1);
+  while (!s->TrySubmitAsync(extra)) {
+    std::this_thread::yield();
+  }
+  VersionId last = s->DrainAsync();
+  EXPECT_EQ(s->async_completed(), accepted + 1);
+  EXPECT_EQ(last, sys.GetCurrentVersion());
+  service.Stop();
+
+  EXPECT_EQ(sys.GetValue(bfs, 40), 1u);
+  auto ref = ReferenceCompute<Bfs>(sys.store(), 0);
+  for (VertexId v = 0; v < kVertices; ++v) {
+    ASSERT_EQ(sys.GetValue(bfs, v), ref[v]) << v;
+  }
+}
+
 TEST(Pipelined, DrainOnEmptyQueueReturnsImmediately) {
   RisGraph<> sys(8);
   sys.AddAlgorithm<Bfs>(0);

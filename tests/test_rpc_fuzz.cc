@@ -1,0 +1,263 @@
+// Protocol-robustness fuzzing of the v2 RPC server: randomized, truncated,
+// and oversized frames — including bad correlation IDs and v1 frames against
+// a v2 server — must end every connection with kBadRequest /
+// kUnsupportedVersion (or a clean close for frames the server never fully
+// received), never a hang or a crash, and must leave the server healthy for
+// well-behaved clients.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/algorithm_api.h"
+#include "net/rpc_client.h"
+#include "net/rpc_server.h"
+#include "rpc_test_util.h"
+#include "runtime/risgraph.h"
+#include "runtime/service.h"
+
+namespace risgraph {
+namespace {
+
+using testutil::HandshakeRaw;
+using testutil::RawConnect;
+using testutil::ReadFrameRaw;
+using testutil::SendFrameRaw;
+
+class RpcFuzzTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kVertices = 64;
+
+  void SetUp() override {
+    socket_path_ = "/tmp/risgraph_fuzz_" +
+                   std::to_string(reinterpret_cast<uintptr_t>(this)) + ".sock";
+    sys_ = std::make_unique<RisGraph<>>(kVertices);
+    bfs_ = sys_->AddAlgorithm<Bfs>(0);
+    sys_->InitializeResults();
+    service_ = std::make_unique<RisGraphService<>>(*sys_);
+    server_ = std::make_unique<RpcServer>(*sys_, *service_, socket_path_);
+    ASSERT_TRUE(server_->Start(/*max_clients=*/512));
+    service_->Start();
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    service_->Stop();
+  }
+
+  /// Asserts the expected terminal shape of a poisoned connection: exactly
+  /// one kBadRequest response echoing `expect_corr`, then EOF.
+  void ExpectBadRequestThenClose(int fd, uint64_t expect_corr) {
+    std::vector<uint8_t> resp;
+    ASSERT_TRUE(ReadFrameRaw(fd, &resp)) << "no response (hang or drop?)";
+    ASSERT_EQ(resp.size(), 9u);
+    uint64_t corr = 0;
+    std::memcpy(&corr, resp.data(), 8);
+    EXPECT_EQ(corr, expect_corr);
+    EXPECT_EQ(resp[8], static_cast<uint8_t>(rpc::Status::kBadRequest));
+    uint8_t byte;
+    EXPECT_EQ(::read(fd, &byte, 1), 0) << "connection not closed";
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<RisGraph<>> sys_;
+  size_t bfs_ = 0;
+  std::unique_ptr<RisGraphService<>> service_;
+  std::unique_ptr<RpcServer> server_;
+};
+
+TEST_F(RpcFuzzTest, GarbageFirstFramesAreRejectedAsUnsupportedVersion) {
+  // Whatever the first frame is — v1 opcodes, random bytes, a Hello with the
+  // wrong magic — a peer that never completes the handshake gets the
+  // one-byte kUnsupportedVersion frame and a close.
+  Rng rng(42);
+  for (int round = 0; round < 64; ++round) {
+    int fd = RawConnect(socket_path_);
+    ASSERT_GE(fd, 0);
+    std::vector<uint8_t> frame;
+    switch (round % 4) {
+      case 0:  // v1 single-opcode frame
+        frame = {static_cast<uint8_t>(rng.NextBounded(12))};
+        break;
+      case 1: {  // v1 update frame
+        rpc::Writer w(frame);
+        w.U8(1 + rng.NextBounded(2));
+        w.U64(rng.NextBounded(kVertices));
+        w.U64(rng.NextBounded(kVertices));
+        w.U64(1);
+        break;
+      }
+      case 2: {  // random bytes
+        size_t n = 1 + rng.NextBounded(48);
+        for (size_t i = 0; i < n; ++i) {
+          frame.push_back(static_cast<uint8_t>(rng.NextBounded(256)));
+        }
+        // Guard the one-in-billions case where random bytes spell a valid
+        // Hello: stomp the magic's first byte.
+        if (frame.size() >= 13) frame[9] ^= 0xa5;
+        break;
+      }
+      case 3: {  // well-formed Hello, wrong magic
+        rpc::Writer w(frame);
+        rpc::WriteRequestHeader(w, rng.Next(), rpc::Op::kHello);
+        w.U32(rpc::kHelloMagic ^ 0x1);
+        w.U16(rpc::kMinSupportedVersion);
+        w.U16(rpc::kProtocolVersion);
+        break;
+      }
+    }
+    ASSERT_TRUE(SendFrameRaw(fd, frame));
+    std::vector<uint8_t> resp;
+    ASSERT_TRUE(ReadFrameRaw(fd, &resp)) << "round " << round;
+    ASSERT_EQ(resp.size(), 1u) << "round " << round;
+    EXPECT_EQ(resp[0],
+              static_cast<uint8_t>(rpc::Status::kUnsupportedVersion));
+    uint8_t byte;
+    EXPECT_EQ(::read(fd, &byte, 1), 0) << "round " << round;
+    ::close(fd);
+  }
+  EXPECT_GE(server_->handshakes_rejected(), 64u);
+}
+
+TEST_F(RpcFuzzTest, MalformedFramesAfterHandshakeEndWithBadRequest) {
+  Rng rng(1234);
+  for (int round = 0; round < 128; ++round) {
+    int fd = RawConnect(socket_path_);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(HandshakeRaw(fd)) << "round " << round;
+
+    // Bad correlation IDs are part of the sweep: 0, max, random — the server
+    // must echo them verbatim, never interpret them.
+    uint64_t corr = 0;
+    switch (rng.NextBounded(3)) {
+      case 0: corr = 0; break;
+      case 1: corr = ~uint64_t{0}; break;
+      default: corr = rng.Next(); break;
+    }
+    std::vector<uint8_t> frame;
+    rpc::Writer w(frame);
+    uint64_t expect_corr = corr;
+    switch (rng.NextBounded(7)) {
+      case 0: {  // invalid opcode
+        w.U64(corr);
+        w.U8(16 + static_cast<uint8_t>(rng.NextBounded(240)));
+        size_t n = rng.NextBounded(16);
+        for (size_t i = 0; i < n; ++i) w.U8(0);
+        break;
+      }
+      case 1: {  // valid opcode, truncated body
+        w.U64(corr);
+        w.U8(static_cast<uint8_t>(rpc::Op::kInsEdge));
+        size_t n = rng.NextBounded(24);  // needs exactly 24
+        for (size_t i = 0; i < n; ++i) w.U8(0x11);
+        break;
+      }
+      case 2: {  // valid opcode, oversized body
+        w.U64(corr);
+        w.U8(static_cast<uint8_t>(rpc::Op::kGetValue));
+        size_t n = 17 + rng.NextBounded(16);  // needs exactly 16
+        for (size_t i = 0; i < n; ++i) w.U8(0x22);
+        break;
+      }
+      case 3: {  // kTxn with an absurd count
+        w.U64(corr);
+        w.U8(static_cast<uint8_t>(rpc::Op::kTxn));
+        w.U32(rpc::kMaxBatchUpdates + 1 + rng.NextBounded(1 << 20));
+        break;
+      }
+      case 4: {  // kUpdateBatch whose count disagrees with the body
+        w.U64(corr);
+        w.U8(static_cast<uint8_t>(rpc::Op::kUpdateBatch));
+        w.U32(4);
+        rpc::WriteUpdate(w, Update::InsertEdge(0, 1, 1));  // only one update
+        break;
+      }
+      case 5: {  // kSubmitPipelined with an invalid update kind
+        w.U64(corr);
+        w.U8(static_cast<uint8_t>(rpc::Op::kSubmitPipelined));
+        w.U8(4 + static_cast<uint8_t>(rng.NextBounded(250)));  // kind > 3
+        w.U64(0);
+        w.U64(1);
+        w.U64(1);
+        break;
+      }
+      default: {  // header too short to carry [corr][opcode]
+        size_t n = 1 + rng.NextBounded(rpc::kRequestHeaderBytes - 1);
+        for (size_t i = 0; i < n; ++i) {
+          w.U8(static_cast<uint8_t>(rng.NextBounded(256)));
+        }
+        expect_corr = 0;  // the server could not read one
+        break;
+      }
+    }
+    ASSERT_TRUE(SendFrameRaw(fd, frame));
+    ExpectBadRequestThenClose(fd, expect_corr);
+    ::close(fd);
+  }
+
+  // The server survived the sweep and still serves well-behaved clients.
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+  EXPECT_TRUE(client.Ping());
+  EXPECT_NE(client.InsEdge(0, 1), kInvalidVersion);
+}
+
+TEST_F(RpcFuzzTest, TruncatedAndOversizedFramesCloseCleanly) {
+  Rng rng(7);
+  for (int round = 0; round < 32; ++round) {
+    int fd = RawConnect(socket_path_);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(HandshakeRaw(fd));
+    if (round % 2 == 0) {
+      // Truncated: the header promises more bytes than ever arrive. The
+      // server cannot answer a frame it never received — the connection
+      // must simply close once we give up (no hang).
+      uint32_t claimed = 32 + static_cast<uint32_t>(rng.NextBounded(256));
+      ASSERT_EQ(::write(fd, &claimed, 4), 4);
+      size_t sent = rng.NextBounded(claimed);
+      std::vector<uint8_t> partial(sent, 0xab);
+      if (sent > 0) {
+        ASSERT_EQ(::write(fd, partial.data(), sent),
+                  static_cast<ssize_t>(sent));
+      }
+      ::shutdown(fd, SHUT_WR);  // EOF mid-frame
+    } else {
+      // Oversized or zero length prefix: dropped before reading a body.
+      uint32_t claimed =
+          round % 4 == 1 ? 0 : rpc::kMaxFrameBytes + 1 + rng.NextBounded(99);
+      ASSERT_EQ(::write(fd, &claimed, 4), 4);
+    }
+    uint8_t byte;
+    EXPECT_LE(::read(fd, &byte, 1), 0) << "round " << round;  // EOF, no hang
+    ::close(fd);
+  }
+
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+  EXPECT_TRUE(client.Ping());
+}
+
+TEST_F(RpcFuzzTest, HelloAfterHandshakeIsAProtocolViolation) {
+  int fd = RawConnect(socket_path_);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(HandshakeRaw(fd));
+  std::vector<uint8_t> again;
+  rpc::Writer w(again);
+  rpc::WriteRequestHeader(w, 77, rpc::Op::kHello);
+  w.U32(rpc::kHelloMagic);
+  w.U16(rpc::kMinSupportedVersion);
+  w.U16(rpc::kProtocolVersion);
+  ASSERT_TRUE(SendFrameRaw(fd, again));
+  ExpectBadRequestThenClose(fd, 77);
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace risgraph

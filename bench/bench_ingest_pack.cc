@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -137,7 +138,23 @@ int main() {
   const Mix mixes[] = {{"mixed", 0.5}, {"insert_heavy", 0.9}};
   const size_t thread_counts[] = {2, 4, 8};
 
-  std::string json = "{\n  \"bench\": \"ingest_pack\",\n  \"results\": [\n";
+  // Record the box size with the numbers: a 1-core container has no workers
+  // to fan classification to, so "parallel" modes degenerate to sequential
+  // plus fork-join overhead and speedup_vs_seq inverts below 1x. The
+  // trajectory tooling must compare speedups only when
+  // parallel_speedup_meaningful is true, instead of flagging a small-CI
+  // inversion as a regression.
+  unsigned hw = std::thread::hardware_concurrency();
+  std::string json = "{\n  \"bench\": \"ingest_pack\",\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  json += std::string("  \"parallel_speedup_meaningful\": ") +
+          (hw > 1 ? "true" : "false") + ",\n  \"results\": [\n";
+  if (hw <= 1) {
+    std::printf("NOTE: single-core host (hardware_concurrency=%u): parallel "
+                "speedups are not meaningful and are recorded as such in the "
+                "JSON.\n\n",
+                hw);
+  }
   bool first = true;
   for (const Mix& mix : mixes) {
     so.insert_fraction = mix.insert_fraction;

@@ -26,6 +26,9 @@ struct DriveResult {
   /// Blocking transactions (SubmitTxn) completed — one count per
   /// SubmitTxn, while `total` counts the updates inside them.
   uint64_t txns = 0;
+  /// Safe updates whose mutation spanned two store partitions (always 0 on
+  /// an unpartitioned store) — the shard layer's locality lever.
+  uint64_t cross_shard = 0;
 };
 
 /// Client-observed result of a generic IClient drive loop — what a remote
@@ -201,6 +204,7 @@ DriveResult DriveService(RisGraph<Store>& system,
   r.safe = pipeline.safe_ops();
   r.unsafe = pipeline.unsafe_ops();
   r.txns = pipeline.txn_ops();
+  r.cross_shard = pipeline.cross_shard_ops();
   r.ops_per_sec = static_cast<double>(r.total) / elapsed;
   r.mean_us = pipeline.latencies().MeanMicros();
   r.p999_ms = pipeline.latencies().P999Millis();
@@ -249,6 +253,7 @@ DriveResult DrivePipelined(RisGraph<Store>& system,
   r.safe = pipeline.safe_ops();
   r.unsafe = pipeline.unsafe_ops();
   r.txns = pipeline.txn_ops();
+  r.cross_shard = pipeline.cross_shard_ops();
   r.ops_per_sec = static_cast<double>(r.total) / elapsed;
   r.mean_us = pipeline.latencies().MeanMicros();
   r.p999_ms = pipeline.latencies().P999Millis();

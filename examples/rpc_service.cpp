@@ -106,12 +106,17 @@ int main(int argc, char** argv) {
           since_sync = 0;
           client.WaitAcks();
           // Graceful kBusy handling: shed updates come back through
-          // TakeRejected(); back off before resubmitting so the epoch loop
-          // gets air — kBusy is the server saying "slow down", and a client
-          // that instantly re-fires just re-sheds into the same full ring.
+          // TakeRejected(); back off for the server-suggested interval (the
+          // kBusy ack's retry_after_micros — the server's estimate of
+          // draining one full ingest ring at its measured per-update cost)
+          // before resubmitting, so shedding is self-stabilizing instead of
+          // a guessed hard-coded sleep. A client that instantly re-fires
+          // just re-sheds into the same full ring.
           std::vector<Update> rejected = client.TakeRejected();
           if (!rejected.empty()) {
-            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            uint32_t backoff_us = client.retry_after_micros();
+            if (backoff_us == 0) backoff_us = 2000;  // server has no estimate
+            std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
             client.SubmitBatch(rejected.data(), rejected.size());
           }
         }

@@ -1,6 +1,7 @@
 #ifndef RISGRAPH_COMMON_TIMER_H_
 #define RISGRAPH_COMMON_TIMER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -34,16 +35,23 @@ class WallTimer {
 };
 
 /// Accumulates wall time into a named component bucket; used by the
-/// performance-breakdown experiment (Figure 11b).
+/// performance-breakdown experiment (Figure 11b). Relaxed-atomic: the
+/// epoch pipeline's parallel safe phase times store applies from many pool
+/// workers at once, so the accumulate must not lose increments (ordering is
+/// irrelevant — the buckets are read between phases).
 class ComponentTimer {
  public:
-  void AddNanos(int64_t ns) { total_ns_ += ns; }
-  int64_t TotalNanos() const { return total_ns_; }
-  double TotalMillis() const { return total_ns_ / 1e6; }
-  void Reset() { total_ns_ = 0; }
+  void AddNanos(int64_t ns) {
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  int64_t TotalNanos() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  double TotalMillis() const { return TotalNanos() / 1e6; }
+  void Reset() { total_ns_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t total_ns_ = 0;
+  std::atomic<int64_t> total_ns_{0};
 };
 
 /// RAII helper adding its scope's duration to a ComponentTimer.

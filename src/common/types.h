@@ -46,6 +46,28 @@ struct EdgeKey {
   friend auto operator<=>(const EdgeKey&, const EdgeKey&) = default;
 };
 
+/// Vertex-ownership predicate for the partitioned graph store (src/shard/):
+/// vertex v is owned by partition `v % num_shards`. `num_shards <= 1` means
+/// unpartitioned — everything resolves to shard 0, which keeps the predicate
+/// free on the default single-store configuration. One definition is injected
+/// everywhere a layer needs the ownership map (StoreOptions::partition for
+/// the storage halves, EngineOptions::ownership for the engine's
+/// locality-grouped frontiers, ShardRouter for update routing), so the
+/// layers can never disagree about who owns a vertex.
+struct VertexPartition {
+  uint32_t shard = 0;       // which partition this handle speaks for
+  uint32_t num_shards = 1;  // total partitions (<=1: unpartitioned)
+
+  uint32_t OwnerOf(VertexId v) const {
+    return num_shards <= 1 ? 0u : static_cast<uint32_t>(v % num_shards);
+  }
+  bool Owns(VertexId v) const { return OwnerOf(v) == shard; }
+  bool Partitioned() const { return num_shards > 1; }
+
+  friend bool operator==(const VertexPartition&,
+                         const VertexPartition&) = default;
+};
+
 /// The kinds of updates accepted by the Interactive API (Table 1).
 enum class UpdateKind : uint8_t {
   kInsertEdge,

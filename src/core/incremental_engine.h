@@ -59,6 +59,16 @@ struct EngineOptions {
   /// sequential threshold consults the trainer (which may explore) and
   /// reports its duration back. Not owned; must outlive the engine.
   OnlineClassifierTrainer* online_trainer = nullptr;
+  /// Injected vertex-ownership predicate (the shard layer's map; see
+  /// shard/shard_router.h). When the graph store is partitioned
+  /// (ownership.num_shards > 1), parallel frontier steps group active
+  /// vertices by owning shard so a pool worker streams one partition's
+  /// adjacency arrays instead of striding across all of them. Grouping only
+  /// permutes the processing order of an already order-free parallel step;
+  /// on a 1-thread pool the step stays in frontier order, keeping
+  /// single-threaded runs bit-identical across shard counts.
+  /// RisGraph::AddAlgorithm wires this automatically from a sharded store.
+  VertexPartition ownership;
 };
 
 /// Incrementally maintains one monotonic algorithm over an evolving graph —
@@ -450,13 +460,36 @@ class IncrementalEngine {
   }
 
   void VertexParallelStep(const std::vector<VertexId>& cur) {
-    uint64_t grain = std::max<uint64_t>(1, cur.size() / (pool_->num_threads() * 8));
-    pool_->ParallelFor(cur.size(), grain,
-                       [this, &cur](size_t tid, uint64_t b, uint64_t e) {
+    // Partitioned store: group the frontier by owning shard (stable counting
+    // sort into reused scratch) so contiguous ranges — and hence pool
+    // workers — stay within one partition's adjacency arrays.
+    const std::vector<VertexId>& work =
+        options_.ownership.Partitioned() && pool_->num_threads() > 1
+            ? GroupFrontierByOwner(cur)
+            : cur;
+    uint64_t grain =
+        std::max<uint64_t>(1, work.size() / (pool_->num_threads() * 8));
+    pool_->ParallelFor(work.size(), grain,
+                       [this, &work](size_t tid, uint64_t b, uint64_t e) {
                          for (uint64_t i = b; i < e; ++i) {
-                           ProcessVertexEdges(tid, cur[i]);
+                           ProcessVertexEdges(tid, work[i]);
                          }
                        });
+  }
+
+  const std::vector<VertexId>& GroupFrontierByOwner(
+      const std::vector<VertexId>& cur) {
+    const VertexPartition& own = options_.ownership;
+    owner_offsets_.assign(own.num_shards + 1, 0);
+    for (VertexId v : cur) owner_offsets_[own.OwnerOf(v) + 1]++;
+    for (uint32_t s = 0; s < own.num_shards; ++s) {
+      owner_offsets_[s + 1] += owner_offsets_[s];
+    }
+    grouped_frontier_.resize(cur.size());
+    for (VertexId v : cur) {
+      grouped_frontier_[owner_offsets_[own.OwnerOf(v)]++] = v;
+    }
+    return grouped_frontier_;
   }
 
   // Edge-parallel: partition the concatenated raw adjacency slots of the
@@ -631,6 +664,8 @@ class IncrementalEngine {
 
   SparseFrontier frontier_;
   std::vector<VertexId> scratch_frontier_;
+  std::vector<VertexId> grouped_frontier_;
+  std::vector<uint64_t> owner_offsets_;
   std::vector<uint64_t> offsets_;
   GenerationMarks queued_;
   Bitmap dense_active_{0};

@@ -13,6 +13,7 @@
 #include "ingest/session.h"
 #include "parallel/thread_pool.h"
 #include "runtime/risgraph.h"
+#include "shard/shard_router.h"
 
 namespace risgraph {
 
@@ -64,6 +65,10 @@ class BatchFormer {
     /// amortizes over a few hundred classifications. SIZE_MAX degenerates
     /// to the sequential packer (bench baseline).
     size_t parallel_threshold = 256;
+    /// Shard layer's routing map (shard/shard_router.h); when partitioned,
+    /// safe verdicts carry a shard tag so the pipeline's sharded safe phase
+    /// can fan blocking claims without re-routing them. Not owned.
+    const ShardRouter* router = nullptr;
   };
 
   /// One claimed blocking request, or one unsafe pipelined update.
@@ -75,6 +80,10 @@ class BatchFormer {
     bool is_txn = false;      // the session belongs to the client again
     bool is_async = false;    // pipelined update (carried by value below)
     Update async_update{};
+    /// Shard tag for safe verdicts under a partitioned store: the owning
+    /// shard, or ShardRouter::kCrossShard when the request's mutation spans
+    /// partitions (always 0 when unpartitioned).
+    uint32_t shard = 0;
   };
 
   /// One session's safe prefix claimed from its pipelined stream this epoch;
@@ -335,7 +344,13 @@ class BatchFormer {
         if (!s->is_rw_) {
           auto [ups, n] = UpdatesView(*s);
           safe = FinalVerdict(i, ups, n, speculative);
-          if (safe) FoldDeltas(ups, n);
+          if (safe) {
+            FoldDeltas(ups, n);
+            if (options_.router != nullptr && options_.router->Partitioned()) {
+              c.shard = s->is_txn_ ? options_.router->RouteMany(ups, n)
+                                   : options_.router->Route(*ups);
+            }
+          }
           wal_batch.insert(wal_batch.end(), ups, ups + n);
         }
         if (safe) {

@@ -1,10 +1,12 @@
 #ifndef RISGRAPH_INGEST_EPOCH_PIPELINE_H_
 #define RISGRAPH_INGEST_EPOCH_PIPELINE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "ingest/session.h"
 #include "parallel/thread_pool.h"
 #include "runtime/risgraph.h"
+#include "shard/shard_router.h"
 
 namespace risgraph {
 
@@ -55,10 +58,13 @@ struct ServiceOptions {
   /// clients acknowledge every response immediately).
   uint64_t history_window = 128;
   bool record_epoch_stats = false;
-  /// Ingest-plane sharding: number of MPSC ring shards (0 = default of 4;
-  /// shards are fixed at construction, sessions are pinned round-robin) and
-  /// per-shard ring capacity (rounded up to a power of two). A full shard
-  /// blocks its producers — backpressure.
+  /// Ingest-plane sharding: number of MPSC ring shards (0 = default: the
+  /// store's shard count under a partitioned store, else 4; shards are
+  /// fixed at construction, sessions are pinned round-robin) and per-shard
+  /// ring capacity (rounded up to a power of two). A full shard blocks its
+  /// producers — backpressure. This is also the N of the shard layer: build
+  /// the sharded store with StoreOptions::partition.num_shards equal to it
+  /// (shard/shard_router.h).
   size_t ingest_shards = 0;
   size_t ingest_shard_capacity = 4096;
   /// Packing: fan classification across the thread pool once a packing pass
@@ -91,17 +97,30 @@ struct ServiceOptions {
 template <typename Store = DefaultGraphStore>
 class EpochPipeline {
  public:
+  /// True when Store is the shard layer's partitioned store (the shared
+  /// detection trait in shard/shard_router.h); the safe phase then fans
+  /// per shard.
+  static constexpr bool kShardedStore = kIsShardedStore<Store>;
+
   EpochPipeline(RisGraph<Store>& system, ServiceOptions options = {},
                 ThreadPool* pool = nullptr)
       : system_(system),
         options_(options),
         scheduler_(options.scheduler),
         pool_(pool != nullptr ? pool : &ThreadPool::Global()),
-        queue_(options.ingest_shards != 0 ? options.ingest_shards : 4,
-               options.ingest_shard_capacity),
+        router_(MakeRouter(system)),
+        queue_(RingShards(system, options), options.ingest_shard_capacity),
         former_(system, queue_, pool_,
                 typename BatchFormer<Store>::Options{
-                    options.pack_parallel_threshold}) {}
+                    options.pack_parallel_threshold, &router_}) {
+    ring_capacity_ = queue_.shard(0).capacity();
+    if (router_.Partitioned()) {
+      shard_lanes_.resize(router_.num_shards());
+      size_t per_shard =
+          options_.max_safe_batch / router_.num_shards() + 64;
+      for (auto& lane : shard_lanes_) lane.reserve(per_shard);
+    }
+  }
 
   ~EpochPipeline() { Stop(); }
 
@@ -135,6 +154,28 @@ class EpochPipeline {
   uint64_t completed_ops() const {
     return completed_ops_.load(std::memory_order_relaxed);
   }
+  /// Safe updates whose mutation spanned two store partitions (each applied
+  /// as two per-shard halves); the shard layer's scaling lever — see
+  /// shard/shard_router.h. Always 0 on an unpartitioned store.
+  uint64_t cross_shard_ops() const {
+    return cross_shard_ops_.load(std::memory_order_relaxed);
+  }
+  /// Server-suggested back-off carried in kBusy acks (rpc_protocol.h): the
+  /// estimated time to drain one full ingest ring at the recently observed
+  /// per-update processing cost. A shed update found its ring full, so the
+  /// ring's backlog — capacity updates — must drain before a retry can
+  /// find space; scaling by capacity (instead of echoing recent epoch
+  /// durations) keeps the hint honest when overload begins after a
+  /// light-load stretch of tiny epochs. Zero until a claiming epoch
+  /// completes (callers fall back to their own default).
+  uint32_t SuggestRetryAfterMicros() const {
+    int64_t per_op = avg_op_ns_.load(std::memory_order_relaxed);
+    if (per_op <= 0) return 0;
+    int64_t drain_us =
+        per_op * static_cast<int64_t>(ring_capacity_) / 1000;
+    return static_cast<uint32_t>(std::clamp<int64_t>(drain_us, 50, 20000));
+  }
+  const ShardRouter& router() const { return router_; }
   uint64_t safe_ops() const { return safe_ops_.load(std::memory_order_relaxed); }
   uint64_t unsafe_ops() const {
     return unsafe_ops_.load(std::memory_order_relaxed);
@@ -162,6 +203,10 @@ class EpochPipeline {
       former_.BeginEpoch();
       wal_batch.clear();
       uint64_t claimed_this_epoch = 0;
+      // Snapshotted at the first claiming pass, NOT at loop top: an epoch
+      // can idle-scan (and nap) for seconds before work arrives, and that
+      // wait must not leak into the busy-epoch EWMA the retry hint reads.
+      int64_t epoch_start_ns = 0;
 
       // --- Packing phase: claim + classify until the scheduler says drain.
       bool drain = false;
@@ -195,6 +240,7 @@ class EpochPipeline {
           }
         } else {
           idle_scans = 0;
+          if (epoch_start_ns == 0) epoch_start_ns = WallTimer::NowNanos();
         }
         if (should_stop) break;
       }
@@ -205,49 +251,18 @@ class EpochPipeline {
       system_.WalAppendBatch(wal_batch);
 
       // --- Safe phase: all safe updates in parallel (inter-update
-      //     parallelism); none of them can change any result. Pipelined
-      //     groups run as units so one session's updates keep FIFO order.
+      //     parallelism); none of them can change any result. Under a
+      //     partitioned store the fan-out is per shard (each worker owns one
+      //     partition's adjacency lists); otherwise it is per item over the
+      //     shared store's per-vertex locks.
       auto& safe_batch = former_.safe_batch();
       auto async_safe = former_.async_safe();  // span over the epoch's groups
       uint64_t epoch_safe = former_.safe_size();
       if (!safe_batch.empty() || !async_safe.empty()) {
-        VersionId ver = system_.GetCurrentVersion();
-        size_t n_sync = safe_batch.size();
-        size_t n_tasks = n_sync + async_safe.size();
-        auto run_task = [this, &safe_batch, &async_safe, n_sync,
-                         ver](uint64_t i) {
-          if (i < n_sync) {
-            Session& s = *safe_batch[i].session;
-            if (s.is_txn_) {
-              for (const Update& u : s.txn_) ApplySafe(u);
-            } else {
-              ApplySafe(s.update_);
-            }
-            safe_batch[i].latency_ns = RespondOnly(s, ver);
-          } else {
-            AsyncGroup& g = async_safe[i - n_sync];
-            for (const Update& u : g.updates) ApplySafe(u);
-            g.latency_ns = WallTimer::NowNanos() - g.claim_ns;
-            AsyncComplete(*g.session, ver, g.updates.size());
-          }
-        };
-        // Tiny batches run inline: a fork-join across the pool costs more
-        // than a handful of O(1) store updates (same reasoning as the
-        // engine's sequential_edge_threshold).
-        if (n_tasks <= 16) {
-          for (uint64_t i = 0; i < n_tasks; ++i) run_task(i);
+        if (router_.Partitioned()) {
+          ShardedSafePhase(safe_batch, async_safe);
         } else {
-          pool_->ParallelFor(n_tasks, 2,
-                             [&run_task](size_t, uint64_t b, uint64_t e) {
-                               for (uint64_t i = b; i < e; ++i) run_task(i);
-                             });
-        }
-        // Stats are recorded sequentially (LatencyRecorder is not atomic).
-        for (const Claimed& c : safe_batch) {
-          RecordStats(c, /*safe=*/true);
-        }
-        for (const AsyncGroup& g : async_safe) {
-          RecordAsyncStats(g.latency_ns, g.updates.size(), /*safe=*/true);
+          UnshardedSafePhase(safe_batch, async_safe);
         }
       }
 
@@ -290,10 +305,146 @@ class EpochPipeline {
       }
       epoch_qualified_ = 0;
       epoch_missed_ = 0;
+      if (claimed_this_epoch > 0 && epoch_start_ns != 0) {
+        // EWMA of per-update processing cost (first claim -> epoch end,
+        // over the updates the epoch claimed); feeds
+        // SuggestRetryAfterMicros. Idle epochs, and the idle prefix of
+        // this one, are excluded — they would drag the estimate toward the
+        // nap length instead of the drain rate.
+        int64_t per_op = (WallTimer::NowNanos() - epoch_start_ns) /
+                         static_cast<int64_t>(claimed_this_epoch);
+        int64_t avg = avg_op_ns_.load(std::memory_order_relaxed);
+        avg_op_ns_.store(avg == 0 ? per_op : avg + (per_op - avg) / 8,
+                         std::memory_order_relaxed);
+      }
 
       if (should_stop && claimed_this_epoch == 0 && !former_.HasDeferred()) {
         return;
       }
+    }
+  }
+
+  /// The pre-shard safe phase, unchanged: every safe update applies through
+  /// the shared store (per-vertex spinlocks make distinct-vertex mutations
+  /// commute), item-parallel across the pool. Pipelined groups run as units
+  /// so one session's updates keep FIFO order.
+  void UnshardedSafePhase(std::vector<Claimed>& safe_batch,
+                          std::span<AsyncGroup> async_safe) {
+    VersionId ver = system_.GetCurrentVersion();
+    size_t n_sync = safe_batch.size();
+    size_t n_tasks = n_sync + async_safe.size();
+    auto run_task = [this, &safe_batch, &async_safe, n_sync,
+                     ver](uint64_t i) {
+      if (i < n_sync) {
+        Session& s = *safe_batch[i].session;
+        if (s.is_txn_) {
+          for (const Update& u : s.txn_) ApplySafe(u);
+        } else {
+          ApplySafe(s.update_);
+        }
+        safe_batch[i].latency_ns = RespondOnly(s, ver);
+      } else {
+        AsyncGroup& g = async_safe[i - n_sync];
+        for (const Update& u : g.updates) ApplySafe(u);
+        g.latency_ns = WallTimer::NowNanos() - g.claim_ns;
+        AsyncComplete(*g.session, ver, g.updates.size());
+      }
+    };
+    // Tiny batches run inline: a fork-join across the pool costs more
+    // than a handful of O(1) store updates (same reasoning as the
+    // engine's sequential_edge_threshold).
+    if (n_tasks <= 16) {
+      for (uint64_t i = 0; i < n_tasks; ++i) run_task(i);
+    } else {
+      pool_->ParallelFor(n_tasks, 2,
+                         [&run_task](size_t, uint64_t b, uint64_t e) {
+                           for (uint64_t i = b; i < e; ++i) run_task(i);
+                         });
+    }
+    // Stats are recorded sequentially (LatencyRecorder is not atomic).
+    for (const Claimed& c : safe_batch) {
+      RecordStats(c, /*safe=*/true);
+    }
+    for (const AsyncGroup& g : async_safe) {
+      RecordAsyncStats(g.latency_ns, g.updates.size(), /*safe=*/true);
+    }
+  }
+
+  /// The shard layer's safe phase (shard/shard_router.h): one apply lane per
+  /// store partition, fanned across the pool with one worker per shard —
+  /// workers never touch another shard's adjacency lists. Each lane holds,
+  /// in claim order, the shard-local updates the partition owns plus its
+  /// half of every cross-shard update (the partition-aware stores apply
+  /// only the halves they own), so every vertex's adjacency sees updates in
+  /// claim order and the final state — and with it classification and
+  /// results — is bit-identical to the unsharded phase at any shard count.
+  /// Responses and stats move after the join: they are coordinator-side
+  /// bookkeeping, and a response must imply the update is applied.
+  void ShardedSafePhase(std::vector<Claimed>& safe_batch,
+                        std::span<AsyncGroup> async_safe) {
+    if constexpr (kShardedStore) {
+      VersionId ver = system_.GetCurrentVersion();
+      for (auto& lane : shard_lanes_) lane.clear();
+      uint64_t cross = 0;
+      auto route_push = [&](const Update& u) {
+        int halves = 0;
+        router_.ForEachOwningShard(u.edge, [&](uint32_t s) {
+          shard_lanes_[s].push_back(u);
+          ++halves;
+        });
+        if (halves > 1) ++cross;  // the dst owner applies the in-half
+      };
+      for (const Claimed& c : safe_batch) {
+        Session& s = *c.session;
+        if (c.shard != ShardRouter::kCrossShard) {
+          // Batch-former shard tag: the whole request is local to one
+          // partition — straight into its lane, no re-routing.
+          auto& lane = shard_lanes_[c.shard];
+          if (s.is_txn_) {
+            lane.insert(lane.end(), s.txn_.begin(), s.txn_.end());
+          } else {
+            lane.push_back(s.update_);
+          }
+        } else if (s.is_txn_) {
+          for (const Update& u : s.txn_) route_push(u);
+        } else {
+          route_push(s.update_);
+        }
+      }
+      for (AsyncGroup& g : async_safe) {
+        for (const Update& u : g.updates) route_push(u);
+      }
+      cross_shard_ops_.fetch_add(cross, std::memory_order_relaxed);
+
+      {
+        // One coordinator-side timer over the whole fan: the bucket counts
+        // wall time of the phase, not the sum of per-worker apply times.
+        ScopedTimer t(system_.upd_eng_timer());
+        auto& store = system_.store();
+        pool_->ParallelFor(
+            router_.num_shards(), 1,
+            [this, &store](size_t, uint64_t b, uint64_t e) {
+              for (uint64_t s = b; s < e; ++s) {
+                for (const Update& u : shard_lanes_[s]) {
+                  store.ApplyToShard(static_cast<uint32_t>(s), u);
+                }
+              }
+            });
+      }
+
+      for (Claimed& c : safe_batch) {
+        c.latency_ns = RespondOnly(*c.session, ver);
+        RecordStats(c, /*safe=*/true);
+      }
+      int64_t now = WallTimer::NowNanos();
+      for (AsyncGroup& g : async_safe) {
+        g.latency_ns = now - g.claim_ns;
+        AsyncComplete(*g.session, ver, g.updates.size());
+        RecordAsyncStats(g.latency_ns, g.updates.size(), /*safe=*/true);
+      }
+    } else {
+      (void)safe_batch;
+      (void)async_safe;
     }
   }
 
@@ -358,12 +509,40 @@ class EpochPipeline {
     }
   }
 
+  /// The shard layer's routing map: copied from a partitioned store, a
+  /// single always-local shard otherwise (zero routing overhead at N = 1).
+  static ShardRouter MakeRouter(RisGraph<Store>& system) {
+    if constexpr (kShardedStore) {
+      return system.store().router();
+    } else {
+      return ShardRouter(1, system.store().options().keep_transpose);
+    }
+  }
+
+  /// Ingest-ring shard count: the explicit knob when set; under a
+  /// genuinely partitioned store (N > 1) the default aligns rings to store
+  /// shards (one ingest shard feeding each engine partition), else the
+  /// historical 4 — an N = 1 sharded store must not quarter ring capacity.
+  static size_t RingShards(RisGraph<Store>& system,
+                           const ServiceOptions& options) {
+    if (options.ingest_shards != 0) return options.ingest_shards;
+    if constexpr (kShardedStore) {
+      if (system.store().router().Partitioned()) {
+        return system.store().num_shards();
+      }
+    }
+    return 4;
+  }
+
   RisGraph<Store>& system_;
   ServiceOptions options_;
   Scheduler scheduler_;
   ThreadPool* pool_;
+  ShardRouter router_;
   ShardedIngestQueue queue_;
   BatchFormer<Store> former_;
+  /// Per-partition apply lanes of the sharded safe phase (reused scratch).
+  std::vector<std::vector<Update>> shard_lanes_;
 
   std::vector<std::unique_ptr<Session>> sessions_;
   std::thread coordinator_;
@@ -374,6 +553,11 @@ class EpochPipeline {
   std::atomic<uint64_t> safe_ops_{0};
   std::atomic<uint64_t> unsafe_ops_{0};
   std::atomic<uint64_t> txn_ops_{0};
+  std::atomic<uint64_t> cross_shard_ops_{0};
+  /// EWMA of per-update processing cost over claiming epochs; with the
+  /// ring capacity it prices a full-ring drain for the kBusy retry hint.
+  std::atomic<int64_t> avg_op_ns_{0};
+  size_t ring_capacity_ = 0;
   uint64_t epoch_qualified_ = 0;
   uint64_t epoch_missed_ = 0;
   LatencyRecorder latencies_;

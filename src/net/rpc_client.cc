@@ -123,6 +123,7 @@ bool RpcClient::Connect(const std::string& socket_path) {
     inflight_updates_ = 0;
     shed_ = 0;
     async_errors_ = 0;
+    retry_after_micros_ = 0;
     rejected_.clear();
   }
   closed_.store(false, std::memory_order_release);
@@ -174,13 +175,17 @@ void RpcClient::ReaderLoop() {
       std::vector<Update>& updates = ait->second;
       size_t n = updates.size();
       if (status == rpc::Status::kBusy) {
-        // Load shed. Batch acks carry the accepted FIFO prefix; a bare
-        // kBusy (kSubmitPipelined) means nothing was queued.
+        // Load shed. kBusy bodies are uniform across both pipelined ops:
+        // [u32 accepted][u32 retry_after_micros] (accepted = 0 for a
+        // kSubmitPipelined single — nothing was queued).
         size_t accepted = 0;
         if (payload.size() >= 13) {
           uint32_t acc = 0;
           std::memcpy(&acc, payload.data() + 9, 4);
           accepted = std::min<size_t>(acc, n);
+        }
+        if (payload.size() >= 17) {
+          std::memcpy(&retry_after_micros_, payload.data() + 13, 4);
         }
         shed_ += n - accepted;
         rejected_.insert(rejected_.end(), updates.begin() + accepted,
@@ -396,6 +401,11 @@ FlushResult RpcClient::Flush() {
 uint64_t RpcClient::shed_count() const {
   std::lock_guard<std::mutex> lk(mu_);
   return shed_;
+}
+
+uint32_t RpcClient::retry_after_micros() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return retry_after_micros_;
 }
 
 uint64_t RpcClient::async_error_count() const {

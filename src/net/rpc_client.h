@@ -85,6 +85,10 @@ class RpcClient final : public IClient {
   FlushResult Flush() override;
   uint64_t shed_count() const override;
   std::vector<Update> TakeRejected() override;
+  /// Back-off suggested by the most recent kBusy ack, in microseconds (0
+  /// before any shed, or when the server had no estimate). Like
+  /// shed_count(), consult it after WaitAcks() — the ack is asynchronous.
+  uint32_t retry_after_micros() const override;
   /// Pipelined updates refused as semantically invalid (kError acks); these
   /// are NOT eligible for resubmission and are not in TakeRejected().
   uint64_t async_error_count() const;
@@ -135,11 +139,13 @@ class RpcClient final : public IClient {
   uint64_t next_corr_ = 1;
   std::unordered_map<uint64_t, PendingCall*> pending_;
   /// In-flight pipelined frames: correlation ID -> the updates it carried
-  /// (kept so kBusy acks can hand the shed tail back to the caller).
+  /// (kept so kBusy acks can hand the shed tail back to the caller; kBusy
+  /// bodies are uniform across both pipelined opcodes — see rpc_protocol.h).
   std::unordered_map<uint64_t, std::vector<Update>> async_;
   size_t inflight_updates_ = 0;
   uint64_t shed_ = 0;
   uint64_t async_errors_ = 0;
+  uint32_t retry_after_micros_ = 0;
   std::vector<Update> rejected_;
 };
 

@@ -96,11 +96,25 @@ namespace risgraph {
 ///                       was short) and CLOSES the connection — framing may
 ///                       be lost.
 ///   kBusy               load shed: the session's ingest ring was full and
-///                       ServiceOptions::overload_policy is kShed. For
-///                       kUpdateBatch the response body's `accepted` is the
-///                       FIFO prefix that was queued; everything after it
-///                       was dropped and may be resubmitted. The connection
-///                       stays usable.
+///                       ServiceOptions::overload_policy is kShed. The body
+///                       is uniform for both pipelined opcodes:
+///                         [u32 accepted][u32 retry_after_micros]
+///                       `accepted` is the FIFO prefix that was queued
+///                       (always 0 for kSubmitPipelined — the single update
+///                       was dropped); everything after it may be
+///                       resubmitted — ideally after retry_after_micros
+///                       (the server's estimate of draining one full
+///                       ingest ring at its observed per-update cost — the
+///                       soonest a retry can find space without
+///                       re-shedding; 0 = no estimate yet). The hint makes
+///                       shedding self-stabilizing: clients back off at the
+///                       server's drain rate instead of a hard-coded sleep.
+///                       The uniform shape is deliberate: a pre-hint v2
+///                       client parses bytes 9-12 of any kBusy ack as the
+///                       accepted count, so `accepted` must sit first (and
+///                       be 0 for singles) for that client to keep counting
+///                       its sheds correctly; it simply never sees the
+///                       hint. The connection stays usable.
 ///   kUnsupportedVersion handshake failed (see above); sent as a one-byte
 ///                       frame, then the connection closes.
 namespace rpc {

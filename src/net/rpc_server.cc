@@ -316,6 +316,10 @@ bool RpcServer::Dispatch(const uint8_t* payload, size_t len, IClient& client,
       head(st == ClientStatus::kOk    ? rpc::Status::kOk
            : st == ClientStatus::kBusy ? rpc::Status::kBusy
                                        : rpc::Status::kError);
+      if (st == ClientStatus::kBusy) {
+        w.U32(0);  // uniform kBusy body: accepted prefix (nothing queued)
+        w.U32(pipeline_.SuggestRetryAfterMicros());
+      }
       return true;
     }
     case rpc::Op::kUpdateBatch: {
@@ -335,6 +339,9 @@ bool RpcServer::Dispatch(const uint8_t* payload, size_t len, IClient& client,
       size_t accepted = client.SubmitBatch(batch.data(), batch.size());
       head(accepted == batch.size() ? rpc::Status::kOk : rpc::Status::kBusy);
       w.U32(static_cast<uint32_t>(accepted));
+      if (accepted != batch.size()) {
+        w.U32(pipeline_.SuggestRetryAfterMicros());
+      }
       return true;
     }
     case rpc::Op::kFlush: {

@@ -116,6 +116,12 @@ class IClient {
   virtual uint64_t shed_count() const = 0;
   /// Hands back (and clears) the shed updates, for resubmission.
   virtual std::vector<Update> TakeRejected() = 0;
+  /// Server-suggested back-off before resubmitting shed updates, in
+  /// microseconds (0 = no suggestion yet; pick your own default).
+  /// In-process this reads the pipeline's ring-drain estimate directly;
+  /// over RPC it is the hint carried by the most recent kBusy ack —
+  /// consult it after WaitAcks(), like shed_count().
+  virtual uint32_t retry_after_micros() const { return 0; }
 
   //===--- Reads ----------------------------------------------------------===//
 
@@ -250,6 +256,10 @@ class SessionClient final : public IClient {
     std::vector<Update> out;
     out.swap(rejected_);
     return out;
+  }
+
+  uint32_t retry_after_micros() const override {
+    return pipeline_.SuggestRetryAfterMicros();
   }
 
   //===--- Reads ----------------------------------------------------------===//

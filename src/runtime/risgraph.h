@@ -185,6 +185,15 @@ class TypedAlgorithm final : public AlgorithmInstance {
 /// the multi-session concurrent front end (epoch loop + scheduler +
 /// inter-update parallelism) see RisGraphService in runtime/service.h, which
 /// drives the Apply*/Classify* primitives exposed here.
+///
+/// Store choices: the default is one DefaultGraphStore; instantiating over
+/// ShardedGraphStore (shard/sharded_store.h) partitions the store into N
+/// vertex-owned slices behind the same store concept — engines, history,
+/// WAL and the Interactive API see the stitched coordinator view and behave
+/// bit-identically at any shard count, while the epoch pipeline's safe
+/// phase mutates the partitions in parallel and keeps unsafe work on its
+/// sequential lane (architecture doc: shard/shard_router.h).
+/// AddAlgorithm injects the store's vertex-ownership map into each engine.
 template <typename Store = DefaultGraphStore>
 class RisGraph {
  public:
@@ -204,6 +213,14 @@ class RisGraph {
   /// Call before InitializeResults.
   template <MonotonicAlgorithm Algo>
   size_t AddAlgorithm(VertexId root, EngineOptions engine_options) {
+    // Sharded store: inject its vertex-ownership map so the engine can group
+    // parallel frontiers by owning partition (see EngineOptions::ownership).
+    if constexpr (requires { store_.router(); }) {
+      if (!engine_options.ownership.Partitioned()) {
+        engine_options.ownership =
+            VertexPartition{0, store_.router().num_shards()};
+      }
+    }
     algorithms_.push_back(
         std::make_unique<TypedAlgorithm<Algo, Store>>(store_, root,
                                                       engine_options));

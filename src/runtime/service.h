@@ -18,6 +18,11 @@ namespace risgraph {
 /// WAL-group-commit → safe-phase → unsafe-lane → history/version loop
 /// (ingest/epoch_pipeline.h, paper Sections 4 and 5, Figure 9).
 ///
+/// Instantiate over ShardedGraphStore (shard/sharded_store.h) to partition
+/// the graph store: the safe phase then fans one apply lane per partition
+/// and cross-shard work rides the sequential lane — same API, same results,
+/// per-shard mutation parallelism (architecture: shard/shard_router.h).
+///
 /// The RPC server (net/rpc_server.cc) and the bench drivers
 /// (bench/service_driver.h) drive the same EpochPipeline — in-process and
 /// remote callers share one code path.

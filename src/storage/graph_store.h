@@ -23,6 +23,13 @@ struct StoreOptions {
   /// Keep a transpose (in-edge) graph. Required by the incremental model's
   /// deletion path; can be disabled for ingest-only microbenchmarks.
   bool keep_transpose = true;
+  /// Partition-aware handle (src/shard/): which vertex-ownership slice this
+  /// store instance holds. Edge mutations apply only the halves the
+  /// partition owns — the out-half when it owns src, the in-half when it
+  /// owns dst — and NumEdges counts owned-src edges, so the N partitions of
+  /// a ShardedGraphStore sum to exactly the unsharded store. The default
+  /// (num_shards = 1) owns everything: today's behavior, unchanged.
+  VertexPartition partition;
 };
 
 /// The in-memory graph store: one Indexed Adjacency List per vertex for
@@ -51,6 +58,7 @@ class GraphStore {
   GraphStore& operator=(const GraphStore&) = delete;
 
   const StoreOptions& options() const { return options_; }
+  const VertexPartition& partition() const { return options_.partition; }
 
   //===------------------------------------------------------------------===//
   // Vertex management
@@ -105,34 +113,41 @@ class GraphStore {
   //===------------------------------------------------------------------===//
 
   /// Inserts one directed edge; returns true if a new (dst, weight) key was
-  /// created (false = duplicate count bump).
+  /// created (false = duplicate count bump, or a partition that does not own
+  /// src). A partitioned handle applies only the halves it owns.
   bool InsertEdge(const Edge& e) {
-    bool fresh;
-    {
+    bool fresh = false;
+    if (options_.partition.Owns(e.src)) {
       SpinLockGuard g(out_[e.src].lock);
       fresh = out_[e.src].adj.Insert(EdgeKey{e.dst, e.weight});
+      num_edges_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (options_.keep_transpose) {
+    if (options_.keep_transpose && options_.partition.Owns(e.dst)) {
       SpinLockGuard g(in_[e.dst].lock);
       in_[e.dst].adj.Insert(EdgeKey{e.src, e.weight});
     }
-    num_edges_.fetch_add(1, std::memory_order_relaxed);
     return fresh;
   }
 
-  /// Deletes one directed edge (one duplicate).
+  /// Deletes one directed edge (one duplicate). When the partition owns src,
+  /// kNotFound short-circuits before the in-half (the halves always move in
+  /// lock step, so an absent out-half implies an absent in-half); a
+  /// partition owning only dst trusts the src owner's verdict and applies
+  /// its in-half unconditionally (a no-op when the key is absent).
   DeleteResult DeleteEdge(const Edge& e) {
-    DeleteResult r;
-    {
+    DeleteResult r = DeleteResult::kNotFound;
+    bool owns_src = options_.partition.Owns(e.src);
+    if (owns_src) {
       SpinLockGuard g(out_[e.src].lock);
       r = out_[e.src].adj.Delete(EdgeKey{e.dst, e.weight});
+      if (r == DeleteResult::kNotFound) return r;
+      num_edges_.fetch_sub(1, std::memory_order_relaxed);
     }
-    if (r == DeleteResult::kNotFound) return r;
-    if (options_.keep_transpose) {
+    if (options_.keep_transpose && options_.partition.Owns(e.dst)) {
       SpinLockGuard g(in_[e.dst].lock);
-      in_[e.dst].adj.Delete(EdgeKey{e.src, e.weight});
+      DeleteResult in_r = in_[e.dst].adj.Delete(EdgeKey{e.src, e.weight});
+      if (!owns_src) r = in_r;  // in-half-only handle: report the in side
     }
-    num_edges_.fetch_sub(1, std::memory_order_relaxed);
     return r;
   }
 

@@ -4,8 +4,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "parallel/thread_pool.h"
 #include "runtime/risgraph.h"
+#include "shard/shard_router.h"
 #include "wal/checkpoint.h"
 #include "wal/wal.h"
 
@@ -38,10 +41,24 @@ struct RecoveryResult {
 /// intact) plus the WAL tail, and repositions the system's WAL LSN. Must run
 /// before algorithms are registered; results are recomputed from the
 /// recovered store by InitializeResults.
+///
+/// One log, per-shard replay partitions: under a sharded store
+/// (shard/sharded_store.h) the replay splits each edge record into the
+/// halves the partitions own — the out-half to OwnerOf(src)'s stream, the
+/// in-half to OwnerOf(dst)'s — and applies the per-shard streams in
+/// parallel on `pool` (default: the global pool). Each stream is the log
+/// order filtered to one partition's halves, so every adjacency list is
+/// rebuilt in exactly the sequential-replay order and the recovered state
+/// is bit-identical at any shard count. Vertex records are ordering
+/// barriers: they flush the pending streams, then apply through the
+/// stitched store's centralized vertex allocator (id recycling must see
+/// edge effects in log order).
 template <typename Store>
 RecoveryResult RecoverRisGraph(RisGraph<Store>& sys,
                                const std::string& checkpoint_path,
-                               const std::string& wal_path) {
+                               const std::string& wal_path,
+                               ThreadPool* pool = nullptr) {
+  constexpr bool kSharded = kIsShardedStore<Store>;  // shard/shard_router.h
   RecoveryResult result;
   uint64_t floor_lsn = 0;
   CheckpointInfo info = LoadCheckpoint(sys.store(), checkpoint_path);
@@ -51,25 +68,80 @@ RecoveryResult RecoverRisGraph(RisGraph<Store>& sys,
   }
   result.next_lsn = floor_lsn;
 
-  WriteAheadLog::Replay(wal_path, [&](const WalRecord& r) {
-    result.next_lsn = std::max(result.next_lsn, r.lsn + 1);
-    if (r.lsn < floor_lsn) return;  // already inside the checkpoint
-    result.replayed_records++;
-    switch (r.update.kind) {
-      case UpdateKind::kInsertEdge:
-        sys.store().InsertEdge(r.update.edge);
-        break;
-      case UpdateKind::kDeleteEdge:
-        sys.store().DeleteEdge(r.update.edge);
-        break;
-      case UpdateKind::kInsertVertex:
-        sys.store().AddVertex();
-        break;
-      case UpdateKind::kDeleteVertex:
-        sys.store().RemoveVertex(r.update.edge.src);
-        break;
-    }
-  });
+  if constexpr (kSharded) {
+    auto& store = sys.store();
+    const uint32_t n_shards = store.num_shards();
+    ThreadPool* replay_pool = pool != nullptr ? pool : &ThreadPool::Global();
+    // Bounded staging: unlike the streaming unsharded path, the partitioned
+    // replay stages half-records, so cap the buffered total — a huge
+    // edge-only tail must not materialize in memory during crash recovery.
+    // Flushing early cannot change the result: each per-shard stream stays
+    // the log order filtered to that partition's halves.
+    constexpr size_t kMaxStagedHalves = size_t{1} << 20;
+    std::vector<std::vector<Update>> streams(n_shards);
+    size_t staged = 0;
+    auto flush = [&] {
+      replay_pool->ParallelFor(
+          n_shards, 1, [&](size_t, uint64_t b, uint64_t e) {
+            for (uint64_t s = b; s < e; ++s) {
+              for (const Update& u : streams[s]) {
+                // One per-shard apply definition, shared with the epoch
+                // pipeline's lane workers (applies only the owned halves).
+                store.ApplyToShard(static_cast<uint32_t>(s), u);
+              }
+              streams[s].clear();
+            }
+          });
+      staged = 0;
+    };
+    WriteAheadLog::Replay(wal_path, [&](const WalRecord& r) {
+      result.next_lsn = std::max(result.next_lsn, r.lsn + 1);
+      if (r.lsn < floor_lsn) return;  // already inside the checkpoint
+      result.replayed_records++;
+      switch (r.update.kind) {
+        case UpdateKind::kInsertEdge:
+        case UpdateKind::kDeleteEdge:
+          // One definition of half placement: ShardRouter routes the
+          // out-half and (cross-shard) in-half to their owners' streams.
+          store.router().ForEachOwningShard(r.update.edge, [&](uint32_t s) {
+            streams[s].push_back(r.update);
+            ++staged;
+          });
+          if (staged >= kMaxStagedHalves) flush();
+          break;
+        case UpdateKind::kInsertVertex:
+          flush();  // barrier: id assignment depends on prior edge effects
+          store.AddVertex();
+          break;
+        case UpdateKind::kDeleteVertex:
+          flush();  // barrier: the isolation check needs prior deletes
+          store.RemoveVertex(r.update.edge.src);
+          break;
+      }
+    });
+    flush();
+  } else {
+    (void)pool;
+    WriteAheadLog::Replay(wal_path, [&](const WalRecord& r) {
+      result.next_lsn = std::max(result.next_lsn, r.lsn + 1);
+      if (r.lsn < floor_lsn) return;  // already inside the checkpoint
+      result.replayed_records++;
+      switch (r.update.kind) {
+        case UpdateKind::kInsertEdge:
+          sys.store().InsertEdge(r.update.edge);
+          break;
+        case UpdateKind::kDeleteEdge:
+          sys.store().DeleteEdge(r.update.edge);
+          break;
+        case UpdateKind::kInsertVertex:
+          sys.store().AddVertex();
+          break;
+        case UpdateKind::kDeleteVertex:
+          sys.store().RemoveVertex(r.update.edge.src);
+          break;
+      }
+    });
+  }
 
   sys.wal().SetNextLsn(result.next_lsn);
   return result;

@@ -462,6 +462,46 @@ TEST_F(RpcShedTest, UpdateBatchReportsAcceptedPrefix) {
   }
 }
 
+TEST_F(RpcShedTest, BusyAckCarriesServerRetryAfterHint) {
+  RpcClient client(/*window=*/512);
+  ASSERT_TRUE(client.Connect(socket_path_));
+
+  // Before any epoch has run the server has no drain-rate estimate: the
+  // kBusy acks carry retry_after_micros = 0 and the client reports it.
+  auto updates = DistinctInserts(2 * kRing);
+  for (const Update& u : updates) {
+    ASSERT_EQ(client.SubmitAsync(u), ClientStatus::kOk);
+  }
+  ASSERT_TRUE(client.WaitAcks());
+  EXPECT_EQ(client.shed_count(), kRing);
+  EXPECT_EQ(client.retry_after_micros(), 0u);
+
+  // Drain through the service: busy epochs complete, so the pipeline forms
+  // its busy-epoch EWMA and both client surfaces report a clamped hint.
+  service_->Start();
+  ResubmitUntilAccepted(client, client.TakeRejected());
+  FlushResult fr = client.Flush();
+  ASSERT_TRUE(fr.ok);
+  uint32_t suggested = service_->pipeline().SuggestRetryAfterMicros();
+  EXPECT_GE(suggested, 50u);
+  EXPECT_LE(suggested, 20000u);
+  SessionClient<> local(*sys_, service_->pipeline());
+  EXPECT_EQ(local.retry_after_micros(), suggested);
+
+  // Park the coordinator and overflow the ring again: the new kBusy acks
+  // must now carry the measured hint over the wire.
+  service_->Stop();
+  auto more = DistinctInserts(2 * kRing);
+  for (Update& u : more) u.edge.weight = 7;  // distinct from the first batch
+  for (const Update& u : more) {
+    ASSERT_EQ(client.SubmitAsync(u), ClientStatus::kOk);
+  }
+  ASSERT_TRUE(client.WaitAcks());
+  EXPECT_GT(client.shed_count(), kRing);
+  EXPECT_GE(client.retry_after_micros(), 50u);
+  EXPECT_LE(client.retry_after_micros(), 20000u);
+}
+
 TEST_F(RpcShedTest, InProcessSubmitBatchHandsBackWholeShedTail) {
   // The in-process client must honor the same contract as the RPC ack path:
   // once a batch hits kBusy, the ENTIRE untried tail comes back through

@@ -4,8 +4,14 @@
 // Expected shape: BFS/SSSP/SSWP gain from smaller windows (fewer reachable
 // vertices => smaller affected areas); WCC loses (sparser graphs destabilize
 // components, raising the unsafe ratio — see Table 4).
+//
+// Writes BENCH_table5_sliding_window.json next to the binary (CI bench-smoke
+// gate artifact); hardware_concurrency is recorded so small-runner numbers
+// read as box size, not regression.
 
 #include <cstdio>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -49,7 +55,17 @@ int main() {
 
   std::printf("%8s %8s %8s %8s %8s\n", "window", "BFS", "SSSP", "SSWP",
               "WCC");
+  const char* algo_names[4] = {"bfs", "sssp", "sswp", "wcc"};
   double base[4] = {};
+  std::string json = "{\n  \"bench\": \"table5_sliding_window\",\n";
+  {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "  \"hardware_concurrency\": %u,\n",
+                  std::thread::hardware_concurrency());
+    json += buf;
+  }
+  json += "  \"results\": [\n";
+  bool first_row = true;
   for (double preload : {0.9, 0.5, 0.1}) {
     double t[4] = {Throughput<Bfs>(d, preload, env),
                    Throughput<Sssp>(d, preload, env),
@@ -66,9 +82,30 @@ int main() {
                   t[0] / base[0], t[1] / base[1], t[2] / base[2],
                   t[3] / base[3]);
     }
+    for (int i = 0; i < 4; ++i) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"preload\": %.1f, \"algorithm\": \"%s\", "
+                    "\"ops_per_sec\": %.0f, \"relative_to_90\": %.3f}",
+                    first_row ? "" : ",\n", preload, algo_names[i], t[i],
+                    base[i] > 0 ? t[i] / base[i] : 0.0);
+      first_row = false;
+      json += buf;
+    }
   }
+  json += "\n  ]\n}\n";
   std::printf(
       "\nShape check (paper): 50%% -> ~1.3-1.5x for BFS/SSSP/SSWP, ~0.85x "
       "for WCC; 10%% -> ~2-3x vs ~0.34x for WCC.\n");
+
+  const char* path = "BENCH_table5_sliding_window.json";
+  if (FILE* f = std::fopen(path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::printf("failed to write %s\n", path);
+    return 1;
+  }
   return 0;
 }

@@ -29,6 +29,8 @@
 #include "runtime/client.h"
 #include "runtime/risgraph.h"
 #include "runtime/service.h"
+#include "subscribe/publisher.h"
+#include "subscribe/registry.h"
 #include "workload/edgelist_io.h"
 
 using namespace risgraph;
@@ -51,9 +53,14 @@ void PrintHelp() {
       "  modified <version>      vertices whose result changed at a version\n"
       "  load <file>             bulk-load a 'src dst [w]' edge list over\n"
       "                          the pipelined lane (kBusy-aware)\n"
+      "  watch <v>               standing query: push a note whenever v's\n"
+      "                          distance changes (watch all: every vertex)\n"
+      "  unwatch <id>            cancel a standing query\n"
       "  release <version>       allow GC of history before a version\n"
       "  stats                   store/engine counters\n"
-      "  help | quit\n");
+      "  help | quit\n"
+      "Pending notifications from watched vertices print before each "
+      "prompt.\n");
 }
 
 void PrintValue(VertexId v, uint64_t value) {
@@ -78,6 +85,11 @@ int main() {
   ServiceOptions options;
   options.overload_policy = OverloadPolicy::kShed;
   RisGraphService<> service(sys, options);
+  // Continuous queries for `watch`: committed changes are pushed into the
+  // client's delivery queue and printed before the next prompt.
+  SubscriptionRegistry registry;
+  ChangePublisher publisher(registry);
+  service.AttachPublisher(&publisher);
   SessionClient<> client(sys, service.pipeline());
   service.Start();
 
@@ -88,7 +100,18 @@ int main() {
 
   char line[512];
   bool tty = isatty(fileno(stdin));
+  std::vector<Notification> notes;
   while (true) {
+    // Drain standing-query pushes first: the epoch loop runs concurrently
+    // with the REPL, so watched changes (e.g. from a `load`) surface here.
+    publisher.WaitIdle();
+    notes.clear();
+    client.PollNotifications(&notes);
+    for (const Notification& n : notes) {
+      std::printf("notify[%llu] v%llu: ", (unsigned long long)n.subscription_id,
+                  (unsigned long long)n.version);
+      PrintValue(n.vertex, n.new_value);
+    }
     if (tty) {
       std::printf("> ");
       std::fflush(stdout);
@@ -235,6 +258,28 @@ int main() {
           (unsigned long long)(client.shed_count() - shed_before),
           (unsigned long long)parsed.lines_skipped,
           (unsigned long long)out_of_range);
+    } else if (std::strcmp(cmd, "watch") == 0) {
+      char what[32] = {0};
+      uint64_t sub = 0;
+      if (std::sscanf(line, "%*s %31s", what) != 1) {
+        std::printf("usage: watch <vertex>|all\n");
+        continue;
+      }
+      if (std::strcmp(what, "all") == 0) {
+        sub = client.Subscribe(SubscriptionFilter::WatchAll(sssp));
+      } else if (n >= 2 && a < kNumVertices) {
+        sub = client.Subscribe(SubscriptionFilter::WatchVertices(sssp, {a}));
+      }
+      if (sub == 0) {
+        std::printf("refused: bad vertex (or no publisher attached)\n");
+      } else {
+        std::printf("watching -> subscription %llu (cancel: unwatch %llu)\n",
+                    (unsigned long long)sub, (unsigned long long)sub);
+      }
+    } else if (std::strcmp(cmd, "unwatch") == 0 && n >= 2) {
+      std::printf(client.Unsubscribe(a) ? "unwatched %llu\n"
+                                        : "no such subscription %llu\n",
+                  (unsigned long long)a);
     } else if (std::strcmp(cmd, "release") == 0 && n >= 2) {
       client.ReleaseHistory(a);
       std::printf("history before v%llu released\n", a);

@@ -30,6 +30,8 @@
 #include "runtime/client.h"
 #include "runtime/risgraph.h"
 #include "runtime/service.h"
+#include "subscribe/publisher.h"
+#include "subscribe/registry.h"
 #include "workload/datasets.h"
 #include "workload/update_stream.h"
 
@@ -53,6 +55,11 @@ int main(int argc, char** argv) {
   ServiceOptions options;
   options.overload_policy = OverloadPolicy::kShed;
   RisGraphService<> service(sys, options);
+  // Continuous queries live on the demo service too: any connected v2.1
+  // client can kSubscribe and be pushed kNotify frames as results commit.
+  SubscriptionRegistry registry;
+  ChangePublisher publisher(registry);
+  service.AttachPublisher(&publisher);
   RpcServer server(sys, service, socket_path);
   if (!server.Start(/*max_clients=*/64)) {
     std::fprintf(stderr, "cannot bind %s\n", socket_path.c_str());

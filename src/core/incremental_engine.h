@@ -128,7 +128,10 @@ class IncrementalEngine {
   uint64_t NumVertices() const { return values_.size(); }
 
   /// Vertices whose value or parent changed during the last mutation, with
-  /// their pre-update state (each vertex appears at most once).
+  /// their pre-update state (each vertex appears at most once). Sorted by
+  /// vertex id: the order is deterministic and shard/thread-count invariant
+  /// whatever worker scheduling produced the records — history replay and
+  /// the subscription subsystem's notification streams depend on it.
   const std::vector<ModifiedRecord>& LastModified() const { return modified_; }
 
   /// Convenience: just the ids of the last modification set.
@@ -313,6 +316,16 @@ class IncrementalEngine {
       modified_.insert(modified_.end(), buf.begin(), buf.end());
       buf.clear();
     }
+    // Deterministic exposure order. The per-thread buffers concatenate in a
+    // worker-scheduling-dependent order; downstream consumers (history
+    // record/GetModified, and the subscription subsystem's notification
+    // streams) require LastModified() to be a pure function of the committed
+    // state, shard- and thread-count invariant. Each vertex appears at most
+    // once (modified_marks_), so sorting by id is a total order.
+    std::sort(modified_.begin(), modified_.end(),
+              [](const ModifiedRecord& a, const ModifiedRecord& b) {
+                return a.vertex < b.vertex;
+              });
   }
 
   //===------------------------------------------------------------------===//

@@ -20,6 +20,7 @@
 #include "parallel/thread_pool.h"
 #include "runtime/risgraph.h"
 #include "shard/shard_router.h"
+#include "subscribe/publisher.h"
 
 namespace risgraph {
 
@@ -135,6 +136,17 @@ class EpochPipeline {
     s->shard_ = queue_.shard_for(sessions_.size() - 1);
     return s;
   }
+
+  /// Appends the continuous-query stage to the commit path: installs the
+  /// publisher as the system's change sink (every committed version's
+  /// modification set is staged on the coordinator) and seals one batch per
+  /// epoch, after the WAL flush, for the publisher's off-path matcher.
+  /// Like OpenSession, wire this before Start(); nullptr detaches.
+  void AttachPublisher(ChangePublisher* publisher) {
+    publisher_ = publisher;
+    system_.SetChangeSink(publisher);
+  }
+  ChangePublisher* publisher() const { return publisher_; }
 
   void Start() {
     if (running_.exchange(true)) return;
@@ -289,6 +301,12 @@ class EpochPipeline {
 
       // --- Epoch end: group commit flush, history GC, scheduler adaptation.
       system_.WalFlush();
+      // Continuous queries: hand the epoch's committed changes to the
+      // publisher's matcher thread. After the flush — a pushed notification
+      // must never describe a change a crash could un-commit — and before
+      // history GC, O(1) handoff (buffer swap), off the critical path from
+      // here on.
+      if (publisher_ != nullptr) publisher_->SealEpoch();
       VersionId cur = system_.GetCurrentVersion();
       if (cur > options_.history_window) {
         system_.ReleaseHistory(cur - options_.history_window);
@@ -541,6 +559,8 @@ class EpochPipeline {
   ShardRouter router_;
   ShardedIngestQueue queue_;
   BatchFormer<Store> former_;
+  /// Continuous-query stage on the commit path (nullptr = no subscribers).
+  ChangePublisher* publisher_ = nullptr;
   /// Per-partition apply lanes of the sharded safe phase (reused scratch).
   std::vector<std::vector<Update>> shard_lanes_;
 

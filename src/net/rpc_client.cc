@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 namespace risgraph {
@@ -125,6 +126,13 @@ bool RpcClient::Connect(const std::string& socket_path) {
     async_errors_ = 0;
     retry_after_micros_ = 0;
     rejected_.clear();
+    subs_.clear();
+    retired_subs_.clear();
+    retired_order_.clear();
+    orphan_notifications_.clear();
+    orphan_count_ = 0;
+    notify_pending_ = 0;
+    stray_notifications_ = 0;
   }
   closed_.store(false, std::memory_order_release);
   reader_ = std::thread([this] { ReaderLoop(); });
@@ -158,6 +166,14 @@ void RpcClient::ReaderLoop() {
     uint64_t corr = 0;
     std::memcpy(&corr, payload.data(), 8);
     auto status = static_cast<rpc::Status>(payload[8]);
+
+    // Server-initiated pushes demux on the STATUS byte, before any
+    // correlation-ID matching: the corr field of a kNotify frame is a
+    // subscription id and may collide with an in-flight call's corr id.
+    if (status == rpc::Status::kNotify) {
+      if (!HandleNotifyFrame(payload)) break;  // malformed push: desync
+      continue;
+    }
 
     std::unique_lock<std::mutex> lk(mu_);
     auto pit = pending_.find(corr);
@@ -217,6 +233,47 @@ void RpcClient::ReaderLoop() {
   async_.clear();
   inflight_updates_ = 0;
   cv_.notify_all();
+}
+
+bool RpcClient::HandleNotifyFrame(const std::vector<uint8_t>& payload) {
+  uint64_t sub_id = 0;
+  std::memcpy(&sub_id, payload.data(), 8);
+  rpc::Reader r(payload.data() + 9, payload.size() - 9);
+  uint32_t count = r.U32();
+  if (!r.ok() || count > rpc::kMaxNotifyBatch ||
+      payload.size() != 13 + 32ull * count) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = subs_.find(sub_id);
+  if (it == subs_.end() && retired_subs_.count(sub_id) != 0) {
+    // The unsubscribe race: pushes already on the wire when kUnsubscribe
+    // landed. Drop, count, keep the stream healthy.
+    stray_notifications_ += count;
+    return true;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    Notification n;
+    n.subscription_id = sub_id;
+    n.version = r.U64();
+    n.vertex = r.U64();
+    n.old_value = r.U64();
+    n.new_value = r.U64();
+    if (it != subs_.end()) {
+      n.algo = it->second.algo;
+      size_t before = it->second.queue.Size();
+      it->second.queue.Push(n);
+      notify_pending_ += it->second.queue.Size() - before;
+    } else if (orphan_count_ < kOrphanCapacity) {
+      // Push beat the Subscribe response; park until the id is adopted.
+      orphan_notifications_[sub_id].push_back(n);
+      orphan_count_++;
+    } else {
+      stray_notifications_++;
+    }
+  }
+  if (it != subs_.end()) cv_.notify_all();
+  return true;
 }
 
 bool RpcClient::SendFrame(const std::vector<uint8_t>& payload) {
@@ -418,6 +475,115 @@ std::vector<Update> RpcClient::TakeRejected() {
   std::vector<Update> out;
   out.swap(rejected_);
   return out;
+}
+
+//===--- Subscriptions (v2.1) ------------------------------------------------//
+
+uint64_t RpcClient::Subscribe(const SubscriptionFilter& filter) {
+  // Against a plain-v2 server the handshake already told us: subscriptions
+  // are inexpressible. Report unsupported exactly like a publisher-less
+  // in-process client.
+  if (protocol_version_ < rpc::kSubscriptionVersion) return 0;
+  if (filter.vertices.size() > rpc::kMaxSubscribeVertices) return 0;
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return 0;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kSubscribe);
+  w.U64(filter.algo);
+  w.U8(filter.watch_all ? 1 : 0);
+  w.U8(static_cast<uint8_t>(filter.predicate));
+  w.U64(filter.threshold);
+  if (filter.watch_all) {
+    w.U32(0);  // the wire forbids a dead-weight vertex list on watch-all
+  } else {
+    w.U32(static_cast<uint32_t>(filter.vertices.size()));
+    for (VertexId v : filter.vertices) w.U64(v);
+  }
+  if (!FinishCall(&pc, corr, req) || pc.status != rpc::Status::kOk) return 0;
+  rpc::Reader r(pc.body.data(), pc.body.size());
+  uint64_t id = r.U64();
+  if (!r.ok() || id == 0) return 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  ClientSub& sub = subs_[id];
+  sub.algo = filter.algo;
+  // Adopt pushes that raced ahead of this response (the server starts the
+  // pusher right after writing it, so the race is real).
+  auto oit = orphan_notifications_.find(id);
+  if (oit != orphan_notifications_.end()) {
+    for (Notification& n : oit->second) {
+      n.algo = filter.algo;
+      size_t before = sub.queue.Size();
+      sub.queue.Push(n);
+      notify_pending_ += sub.queue.Size() - before;
+    }
+    orphan_count_ -= oit->second.size();
+    orphan_notifications_.erase(oit);
+    if (notify_pending_ > 0) cv_.notify_all();
+  }
+  return id;
+}
+
+bool RpcClient::Unsubscribe(uint64_t subscription_id) {
+  if (protocol_version_ < rpc::kSubscriptionVersion) return false;
+  {
+    // Retire locally FIRST: pushes still in flight must be dropped, not
+    // resurrected as a ghost subscription. Only ids that were actually
+    // live get remembered (a random id has no pushes to filter), and the
+    // memory stays bounded: beyond kRetiredCapacity the oldest retiree is
+    // evicted — its race window (one round trip) is long past.
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = subs_.find(subscription_id);
+    if (it != subs_.end()) {
+      notify_pending_ -= it->second.queue.Size();
+      subs_.erase(it);
+      if (retired_subs_.insert(subscription_id).second) {
+        retired_order_.push_back(subscription_id);
+        if (retired_order_.size() > kRetiredCapacity) {
+          retired_subs_.erase(retired_order_.front());
+          retired_order_.pop_front();
+        }
+      }
+    }
+    auto oit = orphan_notifications_.find(subscription_id);
+    if (oit != orphan_notifications_.end()) {
+      orphan_count_ -= oit->second.size();
+      orphan_notifications_.erase(oit);
+    }
+  }
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return false;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kUnsubscribe);
+  w.U64(subscription_id);
+  return FinishCall(&pc, corr, req) && pc.status == rpc::Status::kOk;
+}
+
+size_t RpcClient::PollNotifications(std::vector<Notification>* out,
+                                    size_t max) {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t moved = 0;
+  for (auto& [id, sub] : subs_) {
+    if (moved >= max) break;
+    moved += sub.queue.PopInto(out, max - moved);
+  }
+  notify_pending_ -= moved;
+  return moved;
+}
+
+bool RpcClient::WaitNotification(int64_t timeout_micros) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, std::chrono::microseconds(timeout_micros), [&] {
+    return notify_pending_ > 0;
+  });
+}
+
+uint64_t RpcClient::stray_notification_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stray_notifications_;
 }
 
 //===--- Reads ---------------------------------------------------------------//

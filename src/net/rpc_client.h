@@ -4,21 +4,26 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
 #include "core/incremental_engine.h"  // ParentEdge
 #include "net/rpc_protocol.h"
 #include "runtime/client.h"
+#include "subscribe/delivery_queue.h"
+#include "subscribe/subscription.h"
 
 namespace risgraph {
 
-/// Protocol-v2 client stub for the RPC tier, implementing the same IClient
-/// surface as the in-process SessionClient.
+/// Protocol-v2 / v2.1 client stub for the RPC tier, implementing the same
+/// IClient surface as the in-process SessionClient.
 ///
 /// Connect() performs the Hello version-negotiation handshake, then starts a
 /// reader thread that demultiplexes responses by correlation ID — so the
@@ -37,6 +42,18 @@ namespace risgraph {
 ///    call WaitAcks() first — busy detection is deferred to the ack over
 ///    RPC. Flush() drains the server-side pipelined lane and returns the
 ///    last result version.
+///
+/// Subscriptions (v2.1): Subscribe registers a standing query server-side
+/// and the reader thread demuxes the resulting kNotify pushes — identified
+/// by their status byte, with the subscription id riding the correlation-ID
+/// field — into bounded per-subscription delivery queues (the same
+/// latest-value-coalescing DeliveryQueue the server uses, so a client that
+/// stops polling bounds its own memory too). PollNotifications /
+/// WaitNotification drain them like the in-process client. Against an old
+/// server the handshake negotiates plain v2 and Subscribe reports
+/// unsupported (0). kNotify frames whose id is unknown or already
+/// unsubscribed (the in-flight race) are counted and dropped, never treated
+/// as a desync.
 ///
 /// If the connection dies, every parked call fails and the updates of
 /// unacknowledged pipelined frames land in TakeRejected() (their fate is
@@ -93,6 +110,17 @@ class RpcClient final : public IClient {
   /// are NOT eligible for resubmission and are not in TakeRejected().
   uint64_t async_error_count() const;
 
+  //===--- IClient: subscriptions (v2.1) ----------------------------------===//
+
+  uint64_t Subscribe(const SubscriptionFilter& filter) override;
+  bool Unsubscribe(uint64_t subscription_id) override;
+  size_t PollNotifications(std::vector<Notification>* out,
+                           size_t max = SIZE_MAX) override;
+  bool WaitNotification(int64_t timeout_micros) override;
+  /// kNotify entries dropped because their subscription id was unknown or
+  /// already unsubscribed (in-flight pushes racing kUnsubscribe).
+  uint64_t stray_notification_count() const;
+
   //===--- IClient: reads -------------------------------------------------===//
 
   bool Ping() override;
@@ -106,6 +134,20 @@ class RpcClient final : public IClient {
   bool ReleaseHistory(VersionId version) override;
 
  private:
+  /// Client-side buffer depth per subscription before latest-value
+  /// coalescing engages (mirrors the server-side DeliveryQueue bound, so a
+  /// non-polling client cannot grow its own memory without bound either).
+  static constexpr size_t kNotifyQueueCapacity = 1 << 16;
+  /// Total notifications parked for ids whose Subscribe response has not
+  /// completed yet (the push-beats-the-response race); beyond this they are
+  /// counted stray and dropped.
+  static constexpr size_t kOrphanCapacity = 4096;
+  /// Retired (unsubscribed) ids remembered for in-flight-push filtering.
+  /// The race window is one round trip, so a small FIFO suffices; without
+  /// the cap, a long-lived connection's subscription churn would grow
+  /// client memory without bound.
+  static constexpr size_t kRetiredCapacity = 1024;
+
   /// A parked blocking call, completed by the reader thread.
   struct PendingCall {
     rpc::Status status = rpc::Status::kError;
@@ -124,6 +166,10 @@ class RpcClient final : public IClient {
   /// Serialized frame write; on failure wakes the reader for cleanup.
   bool SendFrame(const std::vector<uint8_t>& payload);
   void ReaderLoop();
+  /// Routes one kNotify frame (status byte already checked). Returns false
+  /// only on a malformed frame — a framing-level desync, like any other
+  /// unparseable server bytes. Unknown ids are NOT malformed.
+  bool HandleNotifyFrame(const std::vector<uint8_t>& payload);
 
   int fd_ = -1;
   size_t window_;
@@ -147,6 +193,27 @@ class RpcClient final : public IClient {
   uint64_t async_errors_ = 0;
   uint32_t retry_after_micros_ = 0;
   std::vector<Update> rejected_;
+
+  /// One live subscription's client half: the algorithm (kNotify frames
+  /// omit it — it is implied by the id) and the local delivery buffer.
+  struct ClientSub {
+    uint64_t algo = 0;
+    DeliveryQueue queue{kNotifyQueueCapacity};
+  };
+  /// std::map: PollNotifications drains in subscription-id order, matching
+  /// the in-process client's deterministic drain.
+  std::map<uint64_t, ClientSub> subs_;
+  /// Ids unsubscribed on this connection; late pushes for them are dropped.
+  /// Bounded: retired_order_ evicts FIFO beyond kRetiredCapacity (a push
+  /// for an evicted id falls into the — also bounded — orphan stash).
+  std::unordered_set<uint64_t> retired_subs_;
+  std::deque<uint64_t> retired_order_;
+  /// Pushes that raced ahead of their Subscribe response, adopted once the
+  /// id is known (bounded by kOrphanCapacity).
+  std::map<uint64_t, std::vector<Notification>> orphan_notifications_;
+  size_t orphan_count_ = 0;
+  uint64_t notify_pending_ = 0;  // undelivered across subs_, for Wait
+  uint64_t stray_notifications_ = 0;
 };
 
 }  // namespace risgraph

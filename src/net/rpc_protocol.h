@@ -9,7 +9,7 @@
 
 namespace risgraph {
 
-/// Wire protocol v2 for RisGraph's interactive RPC tier.
+/// Wire protocol v2 / v2.1 for RisGraph's interactive RPC tier.
 ///
 /// The paper's evaluation drives RisGraph from a second machine over an
 /// Infiniband RPC framework (Section 6.2); this repository's analog runs the
@@ -19,7 +19,10 @@ namespace risgraph {
 /// per connection, responses implicitly matched by order. v2 adds a
 /// version-negotiation handshake, correlation-ID framing, a pipelined
 /// submission lane that maps straight onto the ingest rings
-/// (Session::SubmitAsync), and kBusy load shedding.
+/// (Session::SubmitAsync), and kBusy load shedding. v2.1 (wire version 3)
+/// adds continuous-query subscriptions: kSubscribe / kUnsubscribe requests
+/// and server-initiated kNotify frames that push committed result changes
+/// (src/subscribe/) — the first server-initiated traffic in the protocol.
 ///
 /// ## Framing
 ///
@@ -71,8 +74,41 @@ namespace risgraph {
 ///   kSubmitPipelined    Update                      -> --
 ///   kUpdateBatch        u32 n, n x Update           -> u32 accepted
 ///   kFlush              --                          -> u64 version, u64 done
+///   kSubscribe (v2.1)   u64 algo, u8 watch_all,     -> u64 subscription_id
+///                       u8 predicate, u64 threshold,
+///                       u32 n, n x u64 vertex
+///                       (n must be 0 when watch_all = 1; predicate is a
+///                        NotifyPredicate ordinal — see
+///                        subscribe/subscription.h; kError on unknown algo,
+///                        out-of-range vertex, empty non-watch-all set, or
+///                        a server without a publisher stage)
+///   kUnsubscribe (v2.1) u64 subscription_id         -> --
+///                       (kError when the id is not live; the connection
+///                        stays usable either way)
 ///
 /// An Update is [u8 kind][u64 src][u64 dst][u64 weight] (25 bytes).
+///
+/// ## Notification frames (v2.1, server-initiated)
+///
+/// After a kSubscribe succeeds, the server MAY at any time interleave
+/// notification frames with responses on the connection:
+///
+///   [u64 subscription_id][u8 status = kNotify]
+///   [u32 n][n x (u64 version, u64 vertex, u64 old_value, u64 new_value)]
+///
+/// The subscription ID rides the correlation-ID field; the status byte
+/// kNotify is what distinguishes a push from a response, so clients MUST
+/// demux on the status byte before matching correlation IDs (subscription
+/// IDs are server-assigned and may collide with client-chosen correlation
+/// IDs). A kNotify whose subscription id the client no longer knows (the
+/// unsubscribe race — pushes already in flight when kUnsubscribe lands)
+/// MUST be dropped silently, never treated as a desync. Frames are capped
+/// at kMaxNotifyBatch entries; larger deliveries span several frames.
+/// Entries are ordered: FIFO per subscription while the subscriber keeps
+/// up, latest-value-per-vertex (coalesced) once its server-side delivery
+/// queue overflows — the overload contract of subscribe/delivery_queue.h.
+/// A plain-v2 peer never sees kNotify: the server only pushes after a
+/// successful kSubscribe, which v2 cannot express (below).
 ///
 /// ## Pipelined lane
 ///
@@ -115,16 +151,35 @@ namespace risgraph {
 ///                       be 0 for singles) for that client to keep counting
 ///                       its sheds correctly; it simply never sees the
 ///                       hint. The connection stays usable.
+///   kNotify             never appears on a response: the marker byte of a
+///                       server-initiated notification frame (v2.1, above).
 ///   kUnsupportedVersion handshake failed (see above); sent as a one-byte
 ///                       frame, then the connection closes.
+///
+/// ## Version negotiation across v2 / v2.1
+///
+/// Versions are consecutive wire integers (2 = v2, 3 = v2.1) and the Hello
+/// negotiates the highest common one, so the mix-and-match matrix is:
+///  * new client (min 2, max 3) x old server (max 2) -> 2. The client's
+///    Subscribe surface reports unsupported (id 0); everything else works —
+///    plain-v2 operation, unaffected.
+///  * old client (max 2) x new server -> 2. The server treats the v2.1
+///    opcodes exactly as a v2 server would — an unparseable opcode,
+///    kBadRequest + close — and never pushes kNotify, so a v2 peer cannot
+///    observe any v2.1 traffic it would misparse as a desync.
+///  * new x new -> 3: the full subscription surface.
 namespace rpc {
 
 inline constexpr uint32_t kMaxFrameBytes = 1 << 20;
 
 /// Version negotiated by the kHello handshake. v1 (the closed-loop,
-/// correlation-free protocol) is no longer served.
-inline constexpr uint16_t kProtocolVersion = 2;
+/// correlation-free protocol) is no longer served. Wire version 3 is
+/// protocol v2.1 (subscriptions); 2 is still fully served for plain-v2
+/// peers.
+inline constexpr uint16_t kProtocolVersion = 3;
 inline constexpr uint16_t kMinSupportedVersion = 2;
+/// First wire version that carries kSubscribe / kUnsubscribe / kNotify.
+inline constexpr uint16_t kSubscriptionVersion = 3;
 
 /// First field of a Hello body; anything else on a fresh connection is a
 /// pre-v2 (or non-RisGraph) peer.
@@ -138,6 +193,18 @@ static_assert(13 + 25ull * kMaxBatchUpdates <= kMaxFrameBytes);
 
 /// Bytes of [u64 correlation_id][u8 opcode] that prefix every request.
 inline constexpr size_t kRequestHeaderBytes = 9;
+
+/// Notification entries per kNotify frame: [u64 sub_id][u8 kNotify][u32 n]
+/// header plus 32 bytes per (version, vertex, old, new) entry, derived from
+/// the frame cap like kMaxBatchUpdates.
+inline constexpr uint32_t kMaxNotifyBatch = (kMaxFrameBytes - 13) / 32;
+static_assert(13 + 32ull * kMaxNotifyBatch <= kMaxFrameBytes);
+
+/// Watched vertices per kSubscribe frame ([u64 corr][u8 op][u64 algo]
+/// [u8 watch_all][u8 predicate][u64 threshold][u32 n] header, 8 bytes per
+/// vertex id).
+inline constexpr uint32_t kMaxSubscribeVertices = (kMaxFrameBytes - 31) / 8;
+static_assert(31 + 8ull * kMaxSubscribeVertices <= kMaxFrameBytes);
 
 enum class Op : uint8_t {
   kPing = 0,
@@ -156,6 +223,8 @@ enum class Op : uint8_t {
   kSubmitPipelined = 13,  // fire-many: queue one update, ack immediately
   kUpdateBatch = 14,      // fire-many: queue a frame of updates
   kFlush = 15,            // drain the pipelined lane, collect versions
+  kSubscribe = 16,        // v2.1: register a standing query -> kNotify pushes
+  kUnsubscribe = 17,      // v2.1: cancel a standing query
 };
 
 enum class Status : uint8_t {
@@ -164,6 +233,7 @@ enum class Status : uint8_t {
   kBadRequest = 2,          // unparseable frame; connection is dropped
   kBusy = 3,                // load shed under OverloadPolicy::kShed
   kUnsupportedVersion = 4,  // handshake failed; one-byte frame, then close
+  kNotify = 5,              // v2.1 push-frame marker, never a response status
 };
 
 /// Serialization cursor over a growing byte buffer.

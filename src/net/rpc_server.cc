@@ -145,11 +145,11 @@ void RpcServer::AcceptLoop() {
   }
 }
 
-bool RpcServer::Handshake(int fd) {
+bool RpcServer::Handshake(int fd, uint16_t* version_out) {
   uint32_t len = 0;
-  bool accepted = false;
   std::vector<uint8_t> frame;
   std::vector<uint8_t> response;
+  *version_out = 0;
   if (ReadAll(fd, &len, 4) && len > 0 && len <= rpc::kMaxFrameBytes) {
     frame.resize(len);
     if (!ReadAll(fd, frame.data(), len)) return false;  // truncated: no reply
@@ -168,8 +168,8 @@ bool RpcServer::Handshake(int fd) {
         rpc::Writer w(response);
         rpc::WriteResponseHeader(w, corr, rpc::Status::kOk);
         w.U16(hi);
-        accepted = WriteFrame(fd, response);
-        return accepted;
+        *version_out = hi;
+        return WriteFrame(fd, response);
       }
     }
   } else if (len == 0 || len > rpc::kMaxFrameBytes) {
@@ -190,12 +190,19 @@ bool RpcServer::Handshake(int fd) {
 void RpcServer::HandleConnection(int fd, Session* session) {
   // The wire adapter dispatches onto the same IClient surface in-process
   // callers use. Rejection tracking is off: the remote client tracks its own
-  // shed updates from the kBusy acks.
+  // shed updates from the kBusy acks. Declared before the pusher thread so
+  // the pusher (which drives it) is always joined first.
   SessionClient<> client(system_, pipeline_, session,
                          {/*window=*/0, /*track_rejected=*/false});
+  // Serializes response writes with kNotify pushes once a pusher exists;
+  // uncontended (and pusher-free) for plain-v2 connections.
+  std::mutex write_mu;
+  std::atomic<bool> conn_done{false};
+  std::thread pusher;
   std::vector<uint8_t> request;
   std::vector<uint8_t> response;
-  bool handshaken = Handshake(fd);
+  uint16_t version = 0;
+  bool handshaken = Handshake(fd, &version);
   while (handshaken && !stopping_.load(std::memory_order_acquire)) {
     uint32_t len = 0;
     if (!ReadAll(fd, &len, 4)) break;
@@ -205,7 +212,9 @@ void RpcServer::HandleConnection(int fd, Session* session) {
 
     response.clear();
     uint64_t corr = 0;
-    bool parsed = Dispatch(request.data(), len, client, response, &corr);
+    bool subscribed = false;
+    bool parsed = Dispatch(request.data(), len, client, version, response,
+                           &corr, &subscribed);
     if (!parsed) {
       // One bad frame poisons the stream (framing may be lost): answer with
       // kBadRequest, then drop the connection.
@@ -217,10 +226,26 @@ void RpcServer::HandleConnection(int fd, Session* session) {
     // already be visible in requests_served() (tests read the counter right
     // after the last response arrives).
     requests_.fetch_add(1, std::memory_order_relaxed);
-    if (!WriteFrame(fd, response) || !parsed) {
+    bool wrote;
+    {
+      std::lock_guard<std::mutex> g(write_mu);
+      wrote = WriteFrame(fd, response);
+    }
+    if (!wrote || !parsed) {
       break;
     }
+    if (subscribed && !pusher.joinable()) {
+      // First standing query on this connection: start the pusher AFTER the
+      // kSubscribe response went out, so the subscription id always reaches
+      // the peer before its first kNotify.
+      pusher = std::thread([this, fd, &client, &write_mu, &conn_done] {
+        PushLoop(fd, client, write_mu, conn_done);
+      });
+    }
   }
+  conn_done.store(true, std::memory_order_release);
+  client.WakeNotificationWaiters();  // unpark the pusher for a prompt join
+  if (pusher.joinable()) pusher.join();
   {
     std::lock_guard<std::mutex> g(conn_mu_);
     for (size_t i = 0; i < conn_fds_.size(); ++i) {
@@ -238,13 +263,71 @@ bool RpcServer::ValidUpdate(const Update& u) const {
   return IsValidUpdate(u, system_.store().NumVertices());
 }
 
+void RpcServer::PushLoop(int fd, IClient& client, std::mutex& write_mu,
+                         std::atomic<bool>& conn_done) {
+  // Concurrency note: this thread only touches the client's subscription
+  // surface (WaitNotification / PollNotifications), which is backed by the
+  // registry's own lock — safe against the handler thread's concurrent
+  // dispatches on the same SessionClient.
+  std::vector<Notification> batch;
+  std::vector<uint8_t> frame;
+  while (!conn_done.load(std::memory_order_acquire) &&
+         !stopping_.load(std::memory_order_acquire)) {
+    // Parked, not polling: deliveries wake this immediately via the
+    // registry cv, and connection teardown wakes it explicitly
+    // (WakeNotificationWaiters) — the timeout is only a backstop, so idle
+    // subscribed connections cost the shared registry mutex ~4 acquisitions
+    // a second, not hundreds.
+    if (!client.WaitNotification(/*timeout_micros=*/250000)) continue;
+    batch.clear();
+    client.PollNotifications(&batch, rpc::kMaxNotifyBatch);
+    // One kNotify frame per run of same-subscription notifications (Poll
+    // returns them grouped in subscription-id order).
+    size_t i = 0;
+    while (i < batch.size()) {
+      size_t j = i;
+      while (j < batch.size() &&
+             batch[j].subscription_id == batch[i].subscription_id) {
+        ++j;
+      }
+      frame.clear();
+      rpc::Writer w(frame);
+      w.U64(batch[i].subscription_id);  // sub id rides the corr-id field
+      w.U8(static_cast<uint8_t>(rpc::Status::kNotify));
+      w.U32(static_cast<uint32_t>(j - i));
+      for (size_t k = i; k < j; ++k) {
+        w.U64(batch[k].version);
+        w.U64(batch[k].vertex);
+        w.U64(batch[k].old_value);
+        w.U64(batch[k].new_value);
+      }
+      bool wrote;
+      {
+        std::lock_guard<std::mutex> g(write_mu);
+        wrote = WriteFrame(fd, frame);
+      }
+      if (!wrote) return;  // peer gone; the handler notices on its read side
+      notifications_pushed_.fetch_add(j - i, std::memory_order_relaxed);
+      i = j;
+    }
+  }
+}
+
 bool RpcServer::Dispatch(const uint8_t* payload, size_t len, IClient& client,
-                         std::vector<uint8_t>& response, uint64_t* corr_out) {
+                         uint16_t version, std::vector<uint8_t>& response,
+                         uint64_t* corr_out, bool* subscribed_out) {
   rpc::Reader r(payload, len);
   uint64_t corr = r.U64();
   uint8_t op_raw = r.U8();
   *corr_out = r.ok() ? corr : 0;
-  if (!r.ok() || op_raw > static_cast<uint8_t>(rpc::Op::kFlush)) {
+  *subscribed_out = false;
+  // A plain-v2 peer's opcode space ends at kFlush: the v2.1 opcodes must be
+  // exactly as unparseable as they are on an old server (kBadRequest), not
+  // a new soft-error surface the peer never negotiated.
+  uint8_t max_op = version >= rpc::kSubscriptionVersion
+                       ? static_cast<uint8_t>(rpc::Op::kUnsubscribe)
+                       : static_cast<uint8_t>(rpc::Op::kFlush);
+  if (!r.ok() || op_raw > max_op) {
     return false;
   }
   auto op = static_cast<rpc::Op>(op_raw);
@@ -427,10 +510,48 @@ bool RpcServer::Dispatch(const uint8_t* payload, size_t len, IClient& client,
       return true;
     }
     case rpc::Op::kReleaseHistory: {
-      uint64_t version = r.U64();
+      uint64_t ver = r.U64();
       if (!r.ok() || !r.AtEnd()) return false;
-      head(client.ReleaseHistory(version) ? rpc::Status::kOk
-                                          : rpc::Status::kError);
+      head(client.ReleaseHistory(ver) ? rpc::Status::kOk
+                                      : rpc::Status::kError);
+      return true;
+    }
+    case rpc::Op::kSubscribe: {
+      SubscriptionFilter filter;
+      filter.algo = r.U64();
+      uint8_t watch_all = r.U8();
+      uint8_t predicate = r.U8();
+      filter.threshold = r.U64();
+      uint32_t count = r.U32();
+      if (!r.ok() || watch_all > 1 || predicate > kMaxNotifyPredicate ||
+          count > rpc::kMaxSubscribeVertices) {
+        return false;
+      }
+      // A watch-all subscription carrying a vertex list is malformed (the
+      // list would be dead weight the server silently ignored).
+      if (watch_all != 0 && count != 0) return false;
+      filter.watch_all = watch_all != 0;
+      filter.predicate = static_cast<NotifyPredicate>(predicate);
+      filter.vertices.resize(count);
+      for (uint32_t i = 0; i < count; ++i) filter.vertices[i] = r.U64();
+      if (!r.ok() || !r.AtEnd()) return false;
+      // Semantic validation (algo exists, vertices in range, publisher
+      // attached) lives in SessionClient::Subscribe — shared with the
+      // in-process surface.
+      uint64_t id = client.Subscribe(filter);
+      if (id == 0) {
+        head(rpc::Status::kError);
+        return true;
+      }
+      head(rpc::Status::kOk);
+      w.U64(id);
+      *subscribed_out = true;
+      return true;
+    }
+    case rpc::Op::kUnsubscribe: {
+      uint64_t id = r.U64();
+      if (!r.ok() || !r.AtEnd()) return false;
+      head(client.Unsubscribe(id) ? rpc::Status::kOk : rpc::Status::kError);
       return true;
     }
   }

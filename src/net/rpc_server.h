@@ -24,13 +24,26 @@ namespace risgraph {
 /// itself is a thin wire adapter: decode protocol-v2 frames, call IClient,
 /// encode responses.
 ///
-/// Protocol v2 (net/rpc_protocol.h): connections start with a Hello
+/// Protocol v2 / v2.1 (net/rpc_protocol.h): connections start with a Hello
 /// version-negotiation handshake; every request carries a correlation ID the
 /// server echoes. Besides the closed-loop ops, the pipelined lane
 /// (kSubmitPipelined / kUpdateBatch / kFlush) maps straight onto the
 /// session's SubmitAsync rings; when the ring is full the behavior follows
 /// ServiceOptions::overload_policy — block (backpressure) or answer kBusy
 /// without ever parking the handler thread (shedding).
+///
+/// v2.1 subscriptions: when the pipeline has a ChangePublisher attached
+/// (EpochPipeline::AttachPublisher) and the peer negotiated wire version 3,
+/// kSubscribe registers standing queries through the connection's
+/// SessionClient — the same validation and registry path in-process
+/// subscribers use. The first successful subscription starts a
+/// per-connection pusher thread that parks on the registry's wakeup channel
+/// and streams kNotify frames; a per-connection write mutex interleaves
+/// pushes with responses frame-atomically. A slow peer backs up only its
+/// own socket + bounded delivery queues (latest-value coalescing), never
+/// the pipeline. Peers that negotiated plain v2 get exactly the old
+/// surface: the v2.1 opcodes stay unparseable (kBadRequest) and no kNotify
+/// is ever pushed at them.
 ///
 /// Each accepted connection gets its own Session (preserving the paper's
 /// session semantics: per-session FIFO order) and a dedicated handler thread
@@ -78,20 +91,36 @@ class RpcServer {
   uint64_t handshakes_rejected() const {
     return handshakes_rejected_.load(std::memory_order_relaxed);
   }
+  /// Notifications streamed out in kNotify frames (lifetime, all
+  /// connections).
+  uint64_t notifications_pushed() const {
+    return notifications_pushed_.load(std::memory_order_relaxed);
+  }
 
  private:
   void AcceptLoop();
   void HandleConnection(int fd, Session* session);
   /// Reads and answers the Hello frame; false when the peer is not a
-  /// compatible v2 client (a one-byte kUnsupportedVersion frame has been
-  /// sent and the connection must close).
-  bool Handshake(int fd);
+  /// compatible client (a one-byte kUnsupportedVersion frame has been
+  /// sent and the connection must close). On success `*version_out` holds
+  /// the negotiated wire version (2 = plain v2, 3 = v2.1).
+  bool Handshake(int fd, uint16_t* version_out);
   /// Decodes and executes one request against the connection's client;
-  /// appends the response payload. Returns false when the frame is
-  /// unparseable (`*corr_out` holds the correlation ID when one could be
-  /// read; the caller answers kBadRequest and drops the connection).
+  /// appends the response payload. `version` gates the v2.1 opcodes (a
+  /// plain-v2 peer must see them as unparseable, like an old server).
+  /// Returns false when the frame is unparseable (`*corr_out` holds the
+  /// correlation ID when one could be read; the caller answers kBadRequest
+  /// and drops the connection). Sets `*subscribed_out` when a kSubscribe
+  /// succeeded, so the caller can start the connection's pusher.
   bool Dispatch(const uint8_t* payload, size_t len, IClient& client,
-                std::vector<uint8_t>& response, uint64_t* corr_out);
+                uint16_t version, std::vector<uint8_t>& response,
+                uint64_t* corr_out, bool* subscribed_out);
+  /// Per-connection notification pusher: parks on the client's registry
+  /// wakeup, drains its delivery queues, and writes kNotify frames under
+  /// `write_mu`. Exits when the connection winds down (`conn_done`), the
+  /// server stops, or the peer's socket dies.
+  void PushLoop(int fd, IClient& client, std::mutex& write_mu,
+                std::atomic<bool>& conn_done);
 
   bool ValidUpdate(const Update& u) const;
 
@@ -110,6 +139,7 @@ class RpcServer {
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> handshakes_rejected_{0};
+  std::atomic<uint64_t> notifications_pushed_{0};
 };
 
 }  // namespace risgraph

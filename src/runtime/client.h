@@ -11,6 +11,8 @@
 #include "ingest/epoch_pipeline.h"
 #include "ingest/session.h"
 #include "runtime/risgraph.h"
+#include "subscribe/registry.h"
+#include "subscribe/subscription.h"
 
 namespace risgraph {
 
@@ -123,6 +125,43 @@ class IClient {
   /// consult it after WaitAcks(), like shed_count().
   virtual uint32_t retry_after_micros() const { return 0; }
 
+  //===--- Subscriptions (continuous queries) -----------------------------===//
+  //
+  // Push-based consumption: a subscription is a standing query over one
+  // maintained algorithm's results (subscribe/subscription.h); committed
+  // changes matching its filter are pushed to this client and drained with
+  // PollNotifications. Default implementations are the subscription-unaware
+  // transport (Subscribe fails with 0): a server without an attached
+  // ChangePublisher, or an RPC peer that negotiated plain v2, degrades to
+  // exactly this — callers must handle id 0 and fall back to polling reads.
+
+  /// Registers a standing query; returns its subscription id, 0 on failure
+  /// (unknown algorithm, out-of-range vertex, unsupported transport/server).
+  virtual uint64_t Subscribe(const SubscriptionFilter& filter) {
+    (void)filter;
+    return 0;
+  }
+  /// Cancels a subscription. Notifications already in flight may still be
+  /// delivered (and must be tolerated); false when the id is not live.
+  virtual bool Unsubscribe(uint64_t subscription_id) {
+    (void)subscription_id;
+    return false;
+  }
+  /// Drains up to `max` pending notifications (appending to *out, in
+  /// deterministic per-subscription order); returns how many were moved.
+  virtual size_t PollNotifications(std::vector<Notification>* out,
+                                   size_t max = SIZE_MAX) {
+    (void)out;
+    (void)max;
+    return 0;
+  }
+  /// Blocks until at least one notification is pending (or `timeout_micros`
+  /// elapses); false on timeout or unsupported transport.
+  virtual bool WaitNotification(int64_t timeout_micros) {
+    (void)timeout_micros;
+    return false;
+  }
+
   //===--- Reads ----------------------------------------------------------===//
 
   /// Liveness check; false on a broken transport.
@@ -169,6 +208,10 @@ class SessionClient final : public IClient {
   SessionClient(RisGraph<Store>& system, EpochPipeline<Store>& pipeline,
                 Options options = {})
       : SessionClient(system, pipeline, pipeline.OpenSession(), options) {}
+
+  ~SessionClient() override {
+    if (subscriber_ != nullptr) subs_registry_->CloseSubscriber(subscriber_);
+  }
 
   Session* session() { return session_; }
 
@@ -262,6 +305,55 @@ class SessionClient final : public IClient {
     return pipeline_.SuggestRetryAfterMicros();
   }
 
+  //===--- Subscriptions --------------------------------------------------===//
+  //
+  // The in-process delivery path: SessionClient holds one registry
+  // Subscriber; the RPC server dispatches kSubscribe/kUnsubscribe onto this
+  // same implementation and its pusher thread drains via WaitNotification +
+  // PollNotifications — remote and in-process subscribers share one
+  // semantic code path, including this validation.
+
+  uint64_t Subscribe(const SubscriptionFilter& filter) override {
+    ChangePublisher* pub = pipeline_.publisher();
+    if (pub == nullptr) return 0;  // no publisher stage attached
+    if (!ValidAlgo(filter.algo)) return 0;
+    for (VertexId v : filter.vertices) {
+      if (v >= system_.store().NumVertices()) return 0;
+    }
+    if (!filter.watch_all && filter.vertices.empty()) return 0;
+    if (subscriber_ == nullptr) {
+      // Pin the registry here: once subscribed, consumption and teardown
+      // must keep working even if the pipeline later detaches the publisher
+      // (AttachPublisher(nullptr)) — the registry outlives that.
+      subs_registry_ = &pub->registry();
+      subscriber_ = subs_registry_->OpenSubscriber();
+    }
+    return subs_registry_->Subscribe(subscriber_, filter);
+  }
+
+  bool Unsubscribe(uint64_t subscription_id) override {
+    if (subscriber_ == nullptr) return false;
+    return subs_registry_->Unsubscribe(subscriber_, subscription_id);
+  }
+
+  size_t PollNotifications(std::vector<Notification>* out,
+                           size_t max = SIZE_MAX) override {
+    if (subscriber_ == nullptr) return 0;
+    return subs_registry_->Poll(subscriber_, out, max);
+  }
+
+  bool WaitNotification(int64_t timeout_micros) override {
+    if (subscriber_ == nullptr) return false;
+    return subs_registry_->WaitNotification(subscriber_, timeout_micros);
+  }
+
+  /// Wakes this client's WaitNotification waiters without delivering
+  /// anything (they re-check their own exit condition). The RPC server's
+  /// connection teardown uses this so its pusher can park on long waits.
+  void WakeNotificationWaiters() {
+    if (subscriber_ != nullptr) subs_registry_->Wake(subscriber_);
+  }
+
   //===--- Reads ----------------------------------------------------------===//
 
   bool Ping() override { return true; }
@@ -325,6 +417,13 @@ class SessionClient final : public IClient {
   Options options_;
   uint64_t shed_ = 0;
   std::vector<Update> rejected_;
+  /// Lazily opened on first Subscribe; owned by subs_registry_ (closed in
+  /// the destructor). The registry pointer is pinned at first use so a
+  /// later AttachPublisher(nullptr) detach cannot strand it; the registry
+  /// must outlive this client once a subscription exists — same lifetime
+  /// rule as pipeline_.
+  SubscriptionRegistry* subs_registry_ = nullptr;
+  SubscriptionRegistry::Subscriber* subscriber_ = nullptr;
 };
 
 }  // namespace risgraph

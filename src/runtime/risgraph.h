@@ -16,6 +16,7 @@
 #include "core/incremental_engine.h"
 #include "history/history_store.h"
 #include "storage/graph_store.h"
+#include "subscribe/change_sink.h"
 #include "wal/wal.h"
 
 namespace risgraph {
@@ -271,6 +272,16 @@ class RisGraph {
       algo->SyncVertexCount();
       algo->RecordVertexInit(version_, v);
     }
+    if (change_sink_ != nullptr) {
+      // Vertex birth: mirror RecordVertexInit for subscribers — a watch-all
+      // subscription sees the fresh vertex appear at its init value (old ==
+      // new, like the history store's synthesized record).
+      for (size_t i = 0; i < algorithms_.size(); ++i) {
+        uint64_t value = algorithms_[i]->Value(v);
+        ModifiedRecord r{v, value, kInvalidVertex, 0};
+        change_sink_->OnResultsCommitted(i, version_, {&r, 1}, {&value, 1});
+      }
+    }
     WalFlush();
     return version_;
   }
@@ -344,6 +355,7 @@ class RisGraph {
     if (any) {
       version_++;
       RecordHistoryAll();
+      PublishCommittedAll();
     }
     WalFlush();
     return version_;
@@ -482,6 +494,7 @@ class RisGraph {
     if (changed) {
       version_++;
       RecordHistoryAll();
+      PublishCommittedAll();
     }
     return version_;
   }
@@ -499,6 +512,7 @@ class RisGraph {
     if (any) {
       version_++;
       RecordHistoryAll();
+      PublishCommittedAll();
     }
     return version_;
   }
@@ -524,6 +538,13 @@ class RisGraph {
       wal_.Flush();
     }
   }
+
+  /// Installs (or clears, with nullptr) the result-change sink the commit
+  /// points call — the subscription subsystem's tap (subscribe/change_sink.h;
+  /// EpochPipeline::AttachPublisher wires it). Single-writer like the
+  /// mutation entry points themselves: install before concurrent use.
+  void SetChangeSink(ResultChangeSink* sink) { change_sink_ = sink; }
+  ResultChangeSink* change_sink() const { return change_sink_; }
 
   /// Component wall-time accounting (Figure 11b).
   ComponentTimer& upd_eng_timer() { return upd_eng_timer_; }
@@ -619,11 +640,34 @@ class RisGraph {
     for (auto& algo : algorithms_) algo->RecordHistory(version_);
   }
 
+  // Feeds the change sink right after a result version commits: one call per
+  // algorithm whose results changed, with the committed values captured HERE
+  // (still on the single-writer lane) — reading them any later would race
+  // the next mutation and break notification determinism. Runs with or
+  // without keep_history; subscriptions do not require the history store.
+  void PublishCommittedAll() {
+    if (change_sink_ == nullptr) return;
+    for (size_t i = 0; i < algorithms_.size(); ++i) {
+      const std::vector<ModifiedRecord>& recs = algorithms_[i]->LastModified();
+      if (recs.empty()) continue;
+      sink_values_.clear();
+      sink_values_.reserve(recs.size());
+      for (const ModifiedRecord& r : recs) {
+        sink_values_.push_back(algorithms_[i]->Value(r.vertex));
+      }
+      change_sink_->OnResultsCommitted(i, version_, recs, sink_values_);
+    }
+  }
+
   RisGraphOptions options_;
   Store store_;
   std::vector<std::unique_ptr<AlgorithmInstance>> algorithms_;
   VersionId version_ = 0;
   WriteAheadLog wal_;
+  /// Commit tap for the subscription subsystem (nullptr = disabled).
+  ResultChangeSink* change_sink_ = nullptr;
+  /// Scratch for PublishCommittedAll's committed-value capture (reused).
+  std::vector<uint64_t> sink_values_;
 #ifndef NDEBUG
   mutable std::atomic<int> classification_readers_{0};
 #endif

@@ -39,6 +39,12 @@ class RisGraphService {
   /// all sessions before Start().
   Session* OpenSession() { return pipeline_.OpenSession(); }
 
+  /// Appends the continuous-query publisher stage to the commit path (see
+  /// EpochPipeline::AttachPublisher); wire before Start().
+  void AttachPublisher(ChangePublisher* publisher) {
+    pipeline_.AttachPublisher(publisher);
+  }
+
   void Start() { pipeline_.Start(); }
 
   /// Stops after draining every in-flight request (join client threads

@@ -1,0 +1,37 @@
+#ifndef RISGRAPH_SUBSCRIBE_CHANGE_SINK_H_
+#define RISGRAPH_SUBSCRIBE_CHANGE_SINK_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/incremental_engine.h"  // ModifiedRecord
+
+namespace risgraph {
+
+/// The hook the subscription subsystem plants at RisGraph's commit points.
+///
+/// RisGraph calls the installed sink on the single-writer lane immediately
+/// after a result version commits (unsafe updates, unsafe/read-write
+/// transactions, vertex initialization) — once per algorithm whose results
+/// changed, with that algorithm's modification set. Safe updates never reach
+/// the sink: by definition they change no result (paper Section 4), so there
+/// is nothing to notify.
+///
+/// Contract for implementations: the call happens on the coordinator's
+/// critical path, so it must be cheap (stage/copy, no matching, no locks
+/// shared with slow consumers — see ChangePublisher). `records` is sorted by
+/// vertex id (IncrementalEngine::EndTracking pins this) and `new_values[i]`
+/// is the committed value of `records[i].vertex` at `version`; both spans
+/// are only valid for the duration of the call.
+class ResultChangeSink {
+ public:
+  virtual ~ResultChangeSink() = default;
+
+  virtual void OnResultsCommitted(uint64_t algo, VersionId version,
+                                  std::span<const ModifiedRecord> records,
+                                  std::span<const uint64_t> new_values) = 0;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_SUBSCRIBE_CHANGE_SINK_H_

@@ -1,0 +1,93 @@
+#ifndef RISGRAPH_SUBSCRIBE_DELIVERY_QUEUE_H_
+#define RISGRAPH_SUBSCRIBE_DELIVERY_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "subscribe/subscription.h"
+
+namespace risgraph {
+
+/// Bounded per-subscription delivery buffer with latest-value coalescing —
+/// the mechanism that lets a slow subscriber fall arbitrarily far behind
+/// without unbounded memory and without ever blocking the ingest pipeline.
+///
+/// Two regimes:
+///  * In-order (fast subscriber): up to `capacity` notifications buffer FIFO
+///    and are delivered exactly as published.
+///  * Coalesced (overloaded subscriber): once the FIFO is full, the queue
+///    stops growing per-notification and keeps only the LATEST notification
+///    per (algo, vertex) key — the semantics of a standing query under
+///    overload ("what is the value now"), borrowed from log-compaction /
+///    changefeed designs. Memory is bounded by capacity + the number of
+///    distinct watched keys (<= the subscription's watch set; <= |V| per
+///    algorithm for watch-all), never by the backlog length.
+///
+/// Draining is deterministic: FIFO first, then the coalesced survivors in
+/// (algo, vertex) key order. Once both are empty the queue is back in the
+/// in-order regime. Not thread-safe; the owner (SubscriptionRegistry
+/// server-side, RpcClient client-side) brings its own lock.
+class DeliveryQueue {
+ public:
+  explicit DeliveryQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueue one notification, coalescing when the FIFO is full (or while a
+  /// previous overload's coalesced survivors are still undrained — delivery
+  /// order must stay monotone in version, so nothing may re-enter the FIFO
+  /// behind them).
+  void Push(const Notification& n) {
+    if (coalesced_.empty() && fifo_.size() < capacity_) {
+      fifo_.push_back(n);
+      return;
+    }
+    auto [it, inserted] = coalesced_.try_emplace(Key{n.algo, n.vertex}, n);
+    if (!inserted) {
+      it->second = n;  // latest value wins
+      overwritten_++;
+    }
+  }
+
+  /// Moves up to `max` notifications into `out` (appending); returns how
+  /// many moved.
+  size_t PopInto(std::vector<Notification>* out, size_t max) {
+    size_t moved = 0;
+    while (moved < max && !fifo_.empty()) {
+      out->push_back(fifo_.front());
+      fifo_.pop_front();
+      moved++;
+    }
+    while (moved < max && fifo_.empty() && !coalesced_.empty()) {
+      out->push_back(coalesced_.begin()->second);
+      coalesced_.erase(coalesced_.begin());
+      moved++;
+    }
+    popped_ += moved;
+    return moved;
+  }
+
+  bool Empty() const { return fifo_.empty() && coalesced_.empty(); }
+  size_t Size() const { return fifo_.size() + coalesced_.size(); }
+  size_t capacity() const { return capacity_; }
+  /// Notifications superseded by a newer value for the same key while
+  /// coalescing (the subscriber never sees these — by design).
+  uint64_t overwritten() const { return overwritten_; }
+  uint64_t popped() const { return popped_; }
+
+ private:
+  using Key = std::pair<uint64_t, VertexId>;  // (algo, vertex)
+
+  size_t capacity_;
+  std::deque<Notification> fifo_;
+  /// Latest notification per key while overloaded; std::map so the drain
+  /// order is deterministic.
+  std::map<Key, Notification> coalesced_;
+  uint64_t overwritten_ = 0;
+  uint64_t popped_ = 0;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_SUBSCRIBE_DELIVERY_QUEUE_H_

@@ -1,0 +1,211 @@
+#ifndef RISGRAPH_SUBSCRIBE_REGISTRY_H_
+#define RISGRAPH_SUBSCRIBE_REGISTRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "subscribe/delivery_queue.h"
+#include "subscribe/subscription.h"
+
+namespace risgraph {
+
+/// The subscription table of the continuous-query subsystem: subscription
+/// IDs -> filters, grouped under per-session Subscriber handles that own the
+/// bounded delivery queues.
+///
+/// Roles and threading:
+///  * Consumers (one SessionClient in-process, one RPC connection's pusher
+///    thread remotely) hold a Subscriber handle and call Subscribe /
+///    Unsubscribe / Poll / WaitNotification on it.
+///  * The ChangePublisher's matcher thread calls Publish with each sealed
+///    epoch's committed changes; matching hits are pushed into the
+///    subscribers' DeliveryQueues (bounded, latest-value coalescing under
+///    overload — a slow consumer can never grow server memory without bound
+///    and never back-pressures the ingest pipeline, which by then has long
+///    moved on).
+///
+/// One mutex guards the whole table; Subscriber handles carry their own
+/// condition variable so Publish wakes exactly the sessions it delivered
+/// to. Matching is O(changes x live subscriptions) per batch under that
+/// mutex — subscriptions are per-session standing queries (tens, not
+/// millions), and the matcher runs off the coordinator's critical path, so
+/// simplicity wins over an algo-keyed index until profiles say otherwise.
+///
+/// Determinism: Publish processes changes in staged (version) order and
+/// delivers to each matching subscription in that order; DeliveryQueue
+/// drains deterministically. Same committed versions => same per-
+/// subscription notification streams, at any ingest shard count.
+class SubscriptionRegistry {
+ public:
+  struct Options {
+    /// Per-subscription in-order buffer depth before latest-value
+    /// coalescing engages (see DeliveryQueue).
+    size_t queue_capacity = 4096;
+  };
+
+  /// One consuming session's handle: its subscriptions, their delivery
+  /// queues, and the wakeup channel. Obtain via OpenSubscriber; all access
+  /// goes through the registry. A handle must not be Closed while another
+  /// thread still Polls/Waits on it (the owners — SessionClient and the RPC
+  /// connection teardown — serialize this by construction).
+  class Subscriber {
+   private:
+    friend class SubscriptionRegistry;
+    struct Entry {
+      SubscriptionFilter filter;
+      DeliveryQueue queue;
+      Entry(SubscriptionFilter f, size_t capacity)
+          : filter(std::move(f)), queue(capacity) {}
+    };
+    /// std::map: Poll drains subscriptions in id order — deterministic.
+    std::map<uint64_t, Entry> subs_;
+    std::condition_variable cv_;
+    uint64_t pending_ = 0;  // total undelivered notifications, for Wait
+  };
+
+  SubscriptionRegistry() = default;
+  explicit SubscriptionRegistry(Options options) : options_(options) {}
+
+  SubscriptionRegistry(const SubscriptionRegistry&) = delete;
+  SubscriptionRegistry& operator=(const SubscriptionRegistry&) = delete;
+
+  Subscriber* OpenSubscriber() {
+    std::lock_guard<std::mutex> lk(mu_);
+    subscribers_.push_back(std::make_unique<Subscriber>());
+    return subscribers_.back().get();
+  }
+
+  /// Drops the handle and every subscription under it. Undelivered
+  /// notifications are discarded.
+  void CloseSubscriber(Subscriber* s) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < subscribers_.size(); ++i) {
+      if (subscribers_[i].get() == s) {
+        subscribers_[i] = std::move(subscribers_.back());
+        subscribers_.pop_back();
+        return;
+      }
+    }
+  }
+
+  /// Registers a standing query under `s`; returns the fresh subscription
+  /// id (never 0 — 0 is the error value across the client surface).
+  /// Semantic validation (algo exists, vertices in range) belongs to the
+  /// client tier (SessionClient), which both transports dispatch through.
+  uint64_t Subscribe(Subscriber* s, SubscriptionFilter filter) {
+    filter.Normalize();
+    std::lock_guard<std::mutex> lk(mu_);
+    uint64_t id = next_id_++;
+    s->subs_.emplace(id, Subscriber::Entry(std::move(filter),
+                                           options_.queue_capacity));
+    return id;
+  }
+
+  /// Unregisters; false when the id is not live under this subscriber (a
+  /// double-unsubscribe or a stale id — harmless either way).
+  bool Unsubscribe(Subscriber* s, uint64_t id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = s->subs_.find(id);
+    if (it == s->subs_.end()) return false;
+    s->pending_ -= it->second.queue.Size();
+    s->subs_.erase(it);
+    return true;
+  }
+
+  /// Matches one sealed batch of committed changes against every live
+  /// subscription and enqueues the hits. Called by the ChangePublisher's
+  /// matcher thread only.
+  void Publish(std::span<const CommittedChange> changes) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& sub : subscribers_) {
+      uint64_t before = sub->pending_;
+      for (auto& [id, entry] : sub->subs_) {
+        for (const CommittedChange& c : changes) {
+          if (entry.filter.algo != c.algo ||
+              !entry.filter.Matches(c.vertex, c.old_value, c.new_value)) {
+            continue;
+          }
+          size_t size_before = entry.queue.Size();
+          entry.queue.Push(Notification{id, c.algo, c.version, c.vertex,
+                                        c.old_value, c.new_value});
+          sub->pending_ += entry.queue.Size() - size_before;  // 0 if coalesced
+          matched_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (sub->pending_ != before) sub->cv_.notify_all();
+    }
+  }
+
+  /// Moves up to `max` pending notifications into `out` (appending),
+  /// draining subscriptions in id order. Returns how many moved.
+  size_t Poll(Subscriber* s, std::vector<Notification>* out, size_t max) {
+    std::lock_guard<std::mutex> lk(mu_);
+    size_t moved = 0;
+    for (auto& [id, entry] : s->subs_) {
+      if (moved >= max) break;
+      moved += entry.queue.PopInto(out, max - moved);
+    }
+    s->pending_ -= moved;
+    delivered_.fetch_add(moved, std::memory_order_relaxed);
+    return moved;
+  }
+
+  /// Blocks until `s` has at least one pending notification; false on
+  /// timeout. The RPC pusher's wait loop and latency-sensitive in-process
+  /// consumers sit here instead of spinning on Poll.
+  bool WaitNotification(Subscriber* s, int64_t timeout_micros) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return s->cv_.wait_for(lk, std::chrono::microseconds(timeout_micros),
+                           [&] { return s->pending_ > 0; });
+  }
+
+  /// Wakes every WaitNotification waiter on `s` without delivering anything
+  /// (they observe their own shutdown condition and leave). Lets consumers
+  /// park on long waits instead of polling short timeouts for teardown.
+  void Wake(Subscriber* s) {
+    std::lock_guard<std::mutex> lk(mu_);
+    s->cv_.notify_all();
+  }
+
+  size_t NumSubscriptions() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    size_t n = 0;
+    for (const auto& sub : subscribers_) n += sub->subs_.size();
+    return n;
+  }
+  /// Notifications that matched a filter (before coalescing).
+  uint64_t matched() const { return matched_.load(std::memory_order_relaxed); }
+  /// Notifications handed to consumers via Poll.
+  uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  /// Matched-but-superseded notifications (latest-value coalescing).
+  uint64_t coalesced() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    uint64_t n = 0;
+    for (const auto& sub : subscribers_) {
+      for (const auto& [id, entry] : sub->subs_) n += entry.queue.overwritten();
+    }
+    return n;
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_{};
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Subscriber>> subscribers_;
+  uint64_t next_id_ = 1;
+  std::atomic<uint64_t> matched_{0};
+  std::atomic<uint64_t> delivered_{0};
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_SUBSCRIBE_REGISTRY_H_

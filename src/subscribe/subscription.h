@@ -1,0 +1,139 @@
+#ifndef RISGRAPH_SUBSCRIBE_SUBSCRIPTION_H_
+#define RISGRAPH_SUBSCRIBE_SUBSCRIPTION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace risgraph {
+
+/// The continuous-query subsystem's vocabulary (src/subscribe/).
+///
+/// RisGraph maintains per-update incremental results, but until this layer
+/// every front end was pull-based: clients had to poll Query* to notice that
+/// a result changed. A *subscription* is a standing query over one
+/// maintained algorithm's results: "tell me whenever the value of these
+/// vertices (or any vertex) changes, optionally filtered by a predicate".
+/// Each committed result version's modification set is matched against the
+/// live subscriptions and the hits are pushed to the subscriber as
+/// Notifications — over the in-process client and the RPC tier alike
+/// (protocol v2.1 kNotify frames).
+
+/// Value predicate applied to a candidate change before it is delivered.
+/// Predicates see the committed (new) value and the pre-update (old) value.
+enum class NotifyPredicate : uint8_t {
+  /// Every change of the watched vertices is delivered.
+  kAnyChange = 0,
+  /// Deliver only when the committed value is <= threshold (e.g. "a vertex
+  /// came within distance T of the root").
+  kValueAtMost = 1,
+  /// Deliver only when the committed value is >= threshold (e.g. "a vertex
+  /// fell out of reach": BFS/SSSP report kInfWeight-based values).
+  kValueAtLeast = 2,
+  /// Deliver only when |new - old| >= threshold (value-delta trigger).
+  kMinDelta = 3,
+};
+
+inline constexpr uint8_t kMaxNotifyPredicate =
+    static_cast<uint8_t>(NotifyPredicate::kMinDelta);
+
+/// A standing query: which algorithm, which vertices, which changes.
+struct SubscriptionFilter {
+  /// Index of the maintained algorithm (RisGraph::AddAlgorithm order).
+  uint64_t algo = 0;
+  /// Watch every vertex of the algorithm (the "watch-all" form).
+  bool watch_all = false;
+  /// Watched vertex set when !watch_all. Normalize() sorts + dedups so
+  /// matching can binary-search; callers may pass any order.
+  std::vector<VertexId> vertices;
+  NotifyPredicate predicate = NotifyPredicate::kAnyChange;
+  /// Threshold for kValueAtMost / kValueAtLeast / kMinDelta (ignored by
+  /// kAnyChange).
+  uint64_t threshold = 0;
+
+  static SubscriptionFilter WatchAll(
+      uint64_t algo, NotifyPredicate pred = NotifyPredicate::kAnyChange,
+      uint64_t threshold = 0) {
+    SubscriptionFilter f;
+    f.algo = algo;
+    f.watch_all = true;
+    f.predicate = pred;
+    f.threshold = threshold;
+    return f;
+  }
+  static SubscriptionFilter WatchVertices(
+      uint64_t algo, std::vector<VertexId> vertices,
+      NotifyPredicate pred = NotifyPredicate::kAnyChange,
+      uint64_t threshold = 0) {
+    SubscriptionFilter f;
+    f.algo = algo;
+    f.vertices = std::move(vertices);
+    f.predicate = pred;
+    f.threshold = threshold;
+    return f;
+  }
+
+  void Normalize() {
+    std::sort(vertices.begin(), vertices.end());
+    vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                   vertices.end());
+  }
+
+  /// True when a committed change of (vertex, old -> new) passes this filter.
+  /// Requires Normalize() to have run (the registry does it at Subscribe).
+  bool Matches(VertexId vertex, uint64_t old_value, uint64_t new_value) const {
+    if (!watch_all &&
+        !std::binary_search(vertices.begin(), vertices.end(), vertex)) {
+      return false;
+    }
+    switch (predicate) {
+      case NotifyPredicate::kAnyChange:
+        return true;
+      case NotifyPredicate::kValueAtMost:
+        return new_value <= threshold;
+      case NotifyPredicate::kValueAtLeast:
+        return new_value >= threshold;
+      case NotifyPredicate::kMinDelta: {
+        uint64_t delta = new_value >= old_value ? new_value - old_value
+                                                : old_value - new_value;
+        return delta >= threshold;
+      }
+    }
+    return false;
+  }
+};
+
+/// One pushed change: vertex `vertex` of algorithm `algo` moved from
+/// `old_value` to `new_value` at result version `version`. Notification
+/// streams are deterministic: same committed versions => same notifications
+/// in the same order, at any ingest shard count and over either transport
+/// (the invariance contract of tests/test_subscribe.cc).
+struct Notification {
+  uint64_t subscription_id = 0;
+  uint64_t algo = 0;
+  VersionId version = 0;
+  VertexId vertex = kInvalidVertex;
+  uint64_t old_value = 0;
+  uint64_t new_value = 0;
+
+  friend bool operator==(const Notification&, const Notification&) = default;
+};
+
+/// One committed per-vertex result change, staged by the ChangePublisher on
+/// the coordinator thread and matched against the registry off the critical
+/// path. `new_value` is captured at commit time (not at match time) so the
+/// notification content cannot depend on how far the engine has advanced by
+/// the time the matcher runs — the determinism contract hinges on this.
+struct CommittedChange {
+  uint64_t algo = 0;
+  VersionId version = 0;
+  VertexId vertex = kInvalidVertex;
+  uint64_t old_value = 0;
+  uint64_t new_value = 0;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_SUBSCRIBE_SUBSCRIPTION_H_

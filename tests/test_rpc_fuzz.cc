@@ -15,6 +15,10 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "common/random.h"
 #include "core/algorithm_api.h"
 #include "net/rpc_client.h"
@@ -22,6 +26,8 @@
 #include "rpc_test_util.h"
 #include "runtime/risgraph.h"
 #include "runtime/service.h"
+#include "subscribe/publisher.h"
+#include "subscribe/registry.h"
 
 namespace risgraph {
 namespace {
@@ -42,6 +48,10 @@ class RpcFuzzTest : public ::testing::Test {
     bfs_ = sys_->AddAlgorithm<Bfs>(0);
     sys_->InitializeResults();
     service_ = std::make_unique<RisGraphService<>>(*sys_);
+    // Subscriptions live so the v2.1 opcodes are fully reachable under fuzz.
+    registry_ = std::make_unique<SubscriptionRegistry>();
+    publisher_ = std::make_unique<ChangePublisher>(*registry_);
+    service_->AttachPublisher(publisher_.get());
     server_ = std::make_unique<RpcServer>(*sys_, *service_, socket_path_);
     ASSERT_TRUE(server_->Start(/*max_clients=*/512));
     service_->Start();
@@ -70,6 +80,8 @@ class RpcFuzzTest : public ::testing::Test {
   std::unique_ptr<RisGraph<>> sys_;
   size_t bfs_ = 0;
   std::unique_ptr<RisGraphService<>> service_;
+  std::unique_ptr<SubscriptionRegistry> registry_;
+  std::unique_ptr<ChangePublisher> publisher_;
   std::unique_ptr<RpcServer> server_;
 };
 
@@ -144,7 +156,7 @@ TEST_F(RpcFuzzTest, MalformedFramesAfterHandshakeEndWithBadRequest) {
     std::vector<uint8_t> frame;
     rpc::Writer w(frame);
     uint64_t expect_corr = corr;
-    switch (rng.NextBounded(7)) {
+    switch (rng.NextBounded(10)) {
       case 0: {  // invalid opcode
         w.U64(corr);
         w.U8(16 + static_cast<uint8_t>(rng.NextBounded(240)));
@@ -186,6 +198,53 @@ TEST_F(RpcFuzzTest, MalformedFramesAfterHandshakeEndWithBadRequest) {
         w.U64(0);
         w.U64(1);
         w.U64(1);
+        break;
+      }
+      case 6: {  // kSubscribe truncated mid-header or mid-vertex-list
+        w.U64(corr);
+        w.U8(static_cast<uint8_t>(rpc::Op::kSubscribe));
+        size_t n = rng.NextBounded(22);  // header alone needs exactly 22
+        for (size_t i = 0; i < n; ++i) w.U8(0x33);
+        break;
+      }
+      case 7: {  // kSubscribe whose vertex count disagrees with the body
+        w.U64(corr);
+        w.U8(static_cast<uint8_t>(rpc::Op::kSubscribe));
+        w.U64(0);                  // algo
+        w.U8(0);                   // watch_all = false
+        w.U8(0);                   // predicate
+        w.U64(0);                  // threshold
+        w.U32(7);                  // promises 7 vertices...
+        w.U64(1);                  // ...delivers one
+        break;
+      }
+      case 8: {  // kSubscribe with an absurd count / bad predicate /
+                 // watch-all carrying a dead-weight vertex list
+        w.U64(corr);
+        w.U8(static_cast<uint8_t>(rpc::Op::kSubscribe));
+        w.U64(0);
+        switch (rng.NextBounded(3)) {
+          case 0:
+            w.U8(0);
+            w.U8(0);
+            w.U64(0);
+            w.U32(rpc::kMaxSubscribeVertices + 1 + rng.NextBounded(1 << 16));
+            break;
+          case 1:
+            w.U8(0);
+            w.U8(kMaxNotifyPredicate + 1 +
+                 static_cast<uint8_t>(rng.NextBounded(200)));
+            w.U64(0);
+            w.U32(0);
+            break;
+          default:
+            w.U8(1);  // watch_all...
+            w.U8(0);
+            w.U64(0);
+            w.U32(1);  // ...with a vertex list
+            w.U64(3);
+            break;
+        }
         break;
       }
       default: {  // header too short to carry [corr][opcode]
@@ -242,6 +301,150 @@ TEST_F(RpcFuzzTest, TruncatedAndOversizedFramesCloseCleanly) {
   RpcClient client;
   ASSERT_TRUE(client.Connect(socket_path_));
   EXPECT_TRUE(client.Ping());
+}
+
+TEST_F(RpcFuzzTest, UnknownAndRandomUnsubscribeIdsAreSoftErrors) {
+  // kUnsubscribe with ids that were never issued (or already retired) is a
+  // well-formed request: kError, connection stays usable — a fuzzing
+  // client must not be able to wedge the server by guessing ids.
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+  Rng rng(99);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(client.Unsubscribe(rng.Next()));
+  }
+  uint64_t sub = client.Subscribe(SubscriptionFilter::WatchAll(bfs_));
+  ASSERT_NE(sub, 0u);
+  EXPECT_TRUE(client.Unsubscribe(sub));
+  EXPECT_FALSE(client.Unsubscribe(sub));  // double-unsubscribe: soft error
+  EXPECT_TRUE(client.Ping());
+}
+
+TEST_F(RpcFuzzTest, SubscribeUnsubscribeChurnUnderUpdateLoadNeverWedges) {
+  // The unsubscribed-id race, fuzz-flavored: subscriptions churn (some
+  // unsubscribes targeting random never-issued ids) while updates stream
+  // and pushes are in flight. Neither side may hang, crash, or desync.
+  RpcClient subscriber;
+  ASSERT_TRUE(subscriber.Connect(socket_path_));
+  RpcClient writer;
+  ASSERT_TRUE(writer.Connect(socket_path_));
+  std::atomic<bool> done{false};
+  std::thread stream([&] {
+    uint64_t i = 1;
+    while (!done.load(std::memory_order_acquire)) {
+      writer.InsEdge(0, i % kVertices);
+      writer.DelEdge(0, i % kVertices);
+      ++i;
+    }
+  });
+  Rng rng(7);
+  std::vector<Notification> drain;
+  for (int round = 0; round < 64; ++round) {
+    uint64_t sub = subscriber.Subscribe(
+        rng.NextBounded(2) == 0
+            ? SubscriptionFilter::WatchAll(bfs_)
+            : SubscriptionFilter::WatchVertices(
+                  bfs_, {rng.NextBounded(kVertices)}));
+    ASSERT_NE(sub, 0u);
+    if (rng.NextBounded(2) == 0) subscriber.WaitNotification(1000);
+    if (rng.NextBounded(4) == 0) subscriber.Unsubscribe(rng.Next());
+    drain.clear();
+    subscriber.PollNotifications(&drain);
+    ASSERT_TRUE(subscriber.Unsubscribe(sub));
+  }
+  done.store(true, std::memory_order_release);
+  stream.join();
+  EXPECT_TRUE(subscriber.Ping());
+  EXPECT_TRUE(writer.Ping());
+}
+
+// Client-side robustness: a (hostile or buggy) server pushing kNotify
+// frames for subscription ids the client never registered must not hang,
+// crash, or leak unbounded memory; a structurally malformed kNotify is a
+// framing desync and must end in a clean close, not a wedge.
+TEST(RpcClientNotifyFuzzTest, UnknownIdAndMalformedNotifyFrames) {
+  using namespace testutil;
+  std::string path =
+      "/tmp/risgraph_fake_notify_" + std::to_string(::getpid()) + ".sock";
+  int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+
+  std::thread fake_server([&] {
+    int cfd = ::accept(lfd, nullptr, nullptr);
+    ASSERT_GE(cfd, 0);
+    // Hello -> negotiate v2.1.
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(ReadFrameRaw(cfd, &frame));
+    std::vector<uint8_t> resp;
+    rpc::Writer hw(resp);
+    rpc::WriteResponseHeader(hw, 0, rpc::Status::kOk);
+    hw.U16(rpc::kSubscriptionVersion);
+    ASSERT_TRUE(SendFrameRaw(cfd, resp));
+    // Storm of well-formed kNotify frames for ids the client never
+    // subscribed — enough to overflow the client's bounded orphan stash.
+    for (uint64_t f = 0; f < 10; ++f) {
+      resp.clear();
+      rpc::Writer nw(resp);
+      nw.U64(1000 + f);  // unknown subscription id
+      nw.U8(static_cast<uint8_t>(rpc::Status::kNotify));
+      constexpr uint32_t kEntries = 600;
+      nw.U32(kEntries);
+      for (uint32_t e = 0; e < kEntries; ++e) {
+        nw.U64(f + 1);  // version
+        nw.U64(e);      // vertex
+        nw.U64(0);
+        nw.U64(e);
+      }
+      ASSERT_TRUE(SendFrameRaw(cfd, resp));
+    }
+    // Serve one real request so the client provably survived the storm.
+    ASSERT_TRUE(ReadFrameRaw(cfd, &frame));
+    ASSERT_GE(frame.size(), rpc::kRequestHeaderBytes);
+    uint64_t corr = 0;
+    std::memcpy(&corr, frame.data(), 8);
+    resp.clear();
+    rpc::Writer pw(resp);
+    rpc::WriteResponseHeader(pw, corr, rpc::Status::kOk);
+    ASSERT_TRUE(SendFrameRaw(cfd, resp));
+    // Finally a malformed kNotify: the count promises entries the frame
+    // does not carry. The client must drop the connection cleanly.
+    resp.clear();
+    rpc::Writer mw(resp);
+    mw.U64(77);
+    mw.U8(static_cast<uint8_t>(rpc::Status::kNotify));
+    mw.U32(5);
+    mw.U64(1);  // 8 bytes instead of 5 * 32
+    ASSERT_TRUE(SendFrameRaw(cfd, resp));
+    uint8_t byte;
+    ::read(cfd, &byte, 1);  // wait for the client's close
+    ::close(cfd);
+  });
+
+  RpcClient client;
+  ASSERT_TRUE(client.Connect(path));
+  EXPECT_TRUE(client.Ping());  // answered mid-storm
+  // Nothing was delivered (the ids are unknown) and the overflow beyond the
+  // orphan stash was counted stray, not buffered without bound.
+  std::vector<Notification> out;
+  EXPECT_EQ(client.PollNotifications(&out), 0u);
+  EXPECT_GT(client.stray_notification_count(), 0u);
+  // After the malformed push the reader must shut the connection down —
+  // bounded wait, then every call fails fast instead of hanging.
+  for (int spin = 0; spin < 5000 && client.IsConnected(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(client.IsConnected());
+  EXPECT_FALSE(client.Ping());
+  client.Close();
+  fake_server.join();
+  ::close(lfd);
+  ::unlink(path.c_str());
 }
 
 TEST_F(RpcFuzzTest, HelloAfterHandshakeIsAProtocolViolation) {

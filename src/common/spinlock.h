@@ -49,6 +49,25 @@ class SpinLockGuard {
   SpinLock& lock_;
 };
 
+/// Guard that may hold nothing: pass nullptr to skip locking entirely. Used
+/// by the graph store's lock-free partition-apply mode, where the execution
+/// plan (one worker per partition) already guarantees exclusivity.
+class OptionalSpinLockGuard {
+ public:
+  explicit OptionalSpinLockGuard(SpinLock* lock) : lock_(lock) {
+    if (lock_ != nullptr) lock_->lock();
+  }
+  ~OptionalSpinLockGuard() {
+    if (lock_ != nullptr) lock_->unlock();
+  }
+
+  OptionalSpinLockGuard(const OptionalSpinLockGuard&) = delete;
+  OptionalSpinLockGuard& operator=(const OptionalSpinLockGuard&) = delete;
+
+ private:
+  SpinLock* lock_;
+};
+
 }  // namespace risgraph
 
 #endif  // RISGRAPH_COMMON_SPINLOCK_H_

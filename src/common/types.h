@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <string>
+#include <vector>
 
 namespace risgraph {
 
@@ -46,20 +49,51 @@ struct EdgeKey {
   friend auto operator<=>(const EdgeKey&, const EdgeKey&) = default;
 };
 
+/// Pluggable vertex→shard ownership function. The default (a null map) is
+/// the hash-style `v % num_shards` assignment; installing a concrete map —
+/// e.g. the greedy locality assigner in shard/partition_map.h — replaces it
+/// everywhere at once, because every layer resolves ownership through the
+/// same VertexPartition value (see below). Implementations must be pure
+/// functions of (v, num_shards): immutable after construction, callable
+/// concurrently from any thread without synchronization.
+class PartitionMap {
+ public:
+  virtual ~PartitionMap() = default;
+
+  /// Returns the owning shard in [0, num_shards). Must be total: any vertex
+  /// id — including ones never seen when the map was built — must resolve.
+  virtual uint32_t OwnerOf(VertexId v, uint32_t num_shards) const = 0;
+
+  /// Short identifier for stats/bench output, e.g. "modulo" or "locality".
+  virtual std::string Name() const = 0;
+
+  /// Dense per-vertex table for durability (wal/recovery persists it next to
+  /// the log). Empty means "not table-backed": the map is a pure function of
+  /// the vertex id (like modulo) and needs no persistence.
+  virtual std::vector<uint32_t> Table() const { return {}; }
+};
+
 /// Vertex-ownership predicate for the partitioned graph store (src/shard/):
-/// vertex v is owned by partition `v % num_shards`. `num_shards <= 1` means
-/// unpartitioned — everything resolves to shard 0, which keeps the predicate
-/// free on the default single-store configuration. One definition is injected
-/// everywhere a layer needs the ownership map (StoreOptions::partition for
-/// the storage halves, EngineOptions::ownership for the engine's
-/// locality-grouped frontiers, ShardRouter for update routing), so the
-/// layers can never disagree about who owns a vertex.
+/// vertex v is owned by `map->OwnerOf(v, num_shards)`, or `v % num_shards`
+/// when no map is installed. `num_shards <= 1` means unpartitioned —
+/// everything resolves to shard 0, which keeps the predicate free on the
+/// default single-store configuration. One definition is injected everywhere
+/// a layer needs the ownership map (StoreOptions::partition for the storage
+/// halves, EngineOptions::ownership for the engine's locality-grouped
+/// frontiers, ShardRouter for update routing), so the layers can never
+/// disagree about who owns a vertex.
 struct VertexPartition {
   uint32_t shard = 0;       // which partition this handle speaks for
   uint32_t num_shards = 1;  // total partitions (<=1: unpartitioned)
+  /// Optional ownership override, shared by every copy of this partition
+  /// value. Comparing VertexPartitions compares map identity (same object),
+  /// which is the correct notion for "same ownership regime".
+  std::shared_ptr<const PartitionMap> map;
 
   uint32_t OwnerOf(VertexId v) const {
-    return num_shards <= 1 ? 0u : static_cast<uint32_t>(v % num_shards);
+    if (num_shards <= 1) return 0u;
+    if (map) return map->OwnerOf(v, num_shards);
+    return static_cast<uint32_t>(v % num_shards);
   }
   bool Owns(VertexId v) const { return OwnerOf(v) == shard; }
   bool Partitioned() const { return num_shards > 1; }

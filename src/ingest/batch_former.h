@@ -161,7 +161,18 @@ class BatchFormer {
   /// a pass that only parks must not keep the packing loop spinning — ending
   /// the epoch sooner executes the unsafe update that froze the session, and
   /// ring backpressure re-engages while the coordinator is off executing.
-  uint64_t PackOnce(std::vector<Update>& wal_batch) {
+  ///
+  /// `unsafe_claim_limit` (0 = unlimited) is the packer-side backpressure
+  /// valve: once the unsafe queue holds that many claims, the rest of the
+  /// stage is parked wholesale — in claim order, so per-session FIFO holds —
+  /// instead of claimed. Without it an all-unsafe pipelined writer can stuff
+  /// a whole ring drain into the sequential lane in one pass, and the epoch
+  /// that executes it runs tens of thousands of updates while every other
+  /// session waits (the mega-epoch anomaly). Parked items carry no epoch
+  /// state yet (no verdict, no dup-delta fold, no WAL copy), so parking is
+  /// side-effect-free.
+  uint64_t PackOnce(std::vector<Update>& wal_batch,
+                    uint64_t unsafe_claim_limit = 0) {
     staging_.clear();
 
     // --- Stage 1a: deferred lane. Sessions frozen in an *earlier* epoch are
@@ -212,7 +223,7 @@ class BatchFormer {
     int64_t now = WallTimer::NowNanos();
 
     // --- Stage 3: sequential reconciliation in claim order.
-    return Reconcile(now, wal_batch, speculative);
+    return Reconcile(now, wal_batch, speculative, unsafe_claim_limit);
   }
 
   std::vector<Claimed>& safe_batch() { return safe_batch_; }
@@ -314,9 +325,22 @@ class BatchFormer {
   }
 
   uint64_t Reconcile(int64_t now, std::vector<Update>& wal_batch,
-                     bool speculative) {
+                     bool speculative, uint64_t unsafe_claim_limit) {
     uint64_t found = 0;
     for (size_t i = 0; i < staging_.size(); ++i) {
+      // Backpressure valve: with the unsafe queue at its limit, park the
+      // rest of the stage wholesale. The cut must be positional, not
+      // per-item — claiming later safe items past parked earlier ones would
+      // break claim order (WAL order, dup-delta order, per-session FIFO).
+      // Parked items re-stage ahead of the rings next pass; the caller's
+      // drain check fires first (limit >= scheduler threshold), so the
+      // epoch turns over and the sequential lane catches up.
+      if (unsafe_claim_limit != 0 &&
+          unsafe_queue_.size() >= unsafe_claim_limit) {
+        deferred_.insert(deferred_.end(), staging_.begin() + i,
+                         staging_.end());
+        break;
+      }
       const IngestItem& item = staging_[i];
       Session* s = item.session;
 
@@ -324,8 +348,9 @@ class BatchFormer {
         // Behind an unsafe update: park it so per-session order survives
         // into the next epoch. Not counted as claimed work — a frozen
         // session implies the unsafe queue is non-empty, so the caller
-        // already holds work. (Invariant: a session has parked items only
-        // while frozen this epoch, so this is the complete parking test.)
+        // already holds work. (A backpressure park above may also leave
+        // non-frozen sessions with parked items; both kinds re-stage in
+        // park order, which is claim order.)
         deferred_.push_back(item);
         continue;
       }

@@ -77,6 +77,14 @@ struct ServiceOptions {
   /// Consulted by the pipelined client lane (SessionClient, RPC server);
   /// the blocking lane always blocks.
   OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// Packer backpressure: stop claiming once the unsafe queue exceeds this
+  /// multiple of the scheduler's current drain threshold (the rest of the
+  /// staged pass parks for the next epoch, in claim order). Bounds how far
+  /// an all-unsafe pipelined writer can run the sequential lane ahead —
+  /// without it one ring drain can stuff tens of thousands of updates into
+  /// a single mega-epoch while every blocking session waits behind it.
+  /// 0 disables the valve.
+  uint64_t unsafe_backlog_multiple = 8;
 };
 
 /// The epoch pipeline: RisGraph's multi-session concurrency-control core
@@ -227,7 +235,14 @@ class EpochPipeline {
         uint64_t found;
         {
           ScopedTimer t(network_timer_);
-          found = former_.PackOnce(wal_batch);
+          // The claim limit tracks the adaptive threshold so the valve
+          // scales with the scheduler's own notion of a full epoch.
+          uint64_t claim_limit =
+              options_.unsafe_backlog_multiple == 0
+                  ? 0
+                  : options_.unsafe_backlog_multiple *
+                        scheduler_.unsafe_threshold();
+          found = former_.PackOnce(wal_batch, claim_limit);
         }
         claimed_this_epoch += found;
         {

@@ -15,6 +15,7 @@
 #include "core/algorithm_api.h"
 #include "core/incremental_engine.h"
 #include "history/history_store.h"
+#include "shard/partition_map.h"
 #include "storage/graph_store.h"
 #include "subscribe/change_sink.h"
 #include "wal/wal.h"
@@ -202,6 +203,20 @@ class RisGraph {
       : options_(options), store_(num_vertices, options.store) {
     if (!options_.wal_path.empty()) {
       wal_.Open(options_.wal_path, WalOptions{options_.wal_fsync});
+      // Durability for pluggable ownership: a table-backed PartitionMap must
+      // survive with the log — recovery has to replay half-streams under the
+      // ownership that wrote them. The log itself is headerless fixed-size
+      // records, so the map rides in a CRC'd sidecar (the logical WAL
+      // header; see partition_map.h). A store without a table map writes
+      // nothing, which leaves an existing sidecar intact for recovery to
+      // find and install.
+      if constexpr (requires { store_.router(); }) {
+        const auto& map = store_.router().map();
+        if (map != nullptr) {
+          SavePartitionMap(*map, store_.router().num_shards(),
+                           PartitionMapSidecarPath(options_.wal_path));
+        }
+      }
     }
   }
 
@@ -218,8 +233,9 @@ class RisGraph {
     // parallel frontiers by owning partition (see EngineOptions::ownership).
     if constexpr (requires { store_.router(); }) {
       if (!engine_options.ownership.Partitioned()) {
-        engine_options.ownership =
-            VertexPartition{0, store_.router().num_shards()};
+        // OwnershipOf carries the store's installed PartitionMap, so the
+        // engine groups by the same ownership the shards place halves by.
+        engine_options.ownership = store_.router().OwnershipOf(0);
       }
     }
     algorithms_.push_back(

@@ -1,0 +1,310 @@
+#ifndef RISGRAPH_SHARD_PARTITION_MAP_H_
+#define RISGRAPH_SHARD_PARTITION_MAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "wal/wal.h"  // Crc32c
+
+namespace risgraph {
+
+/// Concrete PartitionMap implementations (see common/types.h for the
+/// contract). The default ownership needs no map at all — a null
+/// VertexPartition::map means `v % num_shards` — but an explicit object is
+/// useful when a caller wants to name the regime in stats output.
+class ModuloPartitionMap final : public PartitionMap {
+ public:
+  uint32_t OwnerOf(VertexId v, uint32_t num_shards) const override {
+    return num_shards <= 1 ? 0u : static_cast<uint32_t>(v % num_shards);
+  }
+  std::string Name() const override { return "modulo"; }
+};
+
+/// Dense per-vertex ownership table. Vertices beyond the table (allocated
+/// after the map was built) fall back to modulo, so the map stays total and
+/// agrees with the default regime for unseen ids. Entries that name a shard
+/// outside [0, num_shards) — possible only if a table built for N shards is
+/// (incorrectly) consulted at a smaller N — also fall back to modulo, which
+/// keeps OwnerOf in range no matter what.
+class TablePartitionMap final : public PartitionMap {
+ public:
+  TablePartitionMap(std::vector<uint32_t> table, uint32_t built_for_shards)
+      : table_(std::move(table)), built_for_shards_(built_for_shards) {}
+
+  uint32_t OwnerOf(VertexId v, uint32_t num_shards) const override {
+    if (v < table_.size() && table_[v] < num_shards) return table_[v];
+    return num_shards <= 1 ? 0u : static_cast<uint32_t>(v % num_shards);
+  }
+  std::string Name() const override { return "locality"; }
+  std::vector<uint32_t> Table() const override { return table_; }
+
+  uint32_t built_for_shards() const { return built_for_shards_; }
+  size_t table_size() const { return table_.size(); }
+
+ private:
+  std::vector<uint32_t> table_;
+  uint32_t built_for_shards_;
+};
+
+struct LocalityMapOptions {
+  /// Per-shard vertex capacity = slack * ceil(seen_vertices / num_shards).
+  /// Slack > 1 lets the assigner trade a little vertex imbalance for a much
+  /// smaller edge cut (LDG's balance knob).
+  double capacity_slack = 1.10;
+  /// Local-refinement sweeps after the placement pass. Each sweep revisits
+  /// vertices in placement order and moves any vertex whose neighbors
+  /// majority-vote for another (non-full) shard.
+  int refine_passes = 2;
+};
+
+/// Greedy streaming edge-cut assigner (LDG/Fennel-style, Stanton & Kliot /
+/// Tsourakakis et al.): visit the warmup prefix's vertices heaviest-degree
+/// first and place each on the shard holding most of its already-placed
+/// neighbors, discounted by how full that shard is. A few refinement sweeps
+/// then fix the early vertices that were placed before their neighborhoods
+/// existed. Deterministic: same (num_vertices, num_shards, warmup edge
+/// multiset, options) always yields the same table.
+inline std::shared_ptr<const TablePartitionMap> BuildLocalityMap(
+    uint64_t num_vertices, uint32_t num_shards,
+    const std::vector<Edge>& warmup, const LocalityMapOptions& options = {}) {
+  const uint32_t n = std::max<uint32_t>(num_shards, 1);
+  // Default every vertex to modulo so ids never seen in the warmup agree
+  // with the fallback regime (they carry no edges, so they don't affect cut).
+  std::vector<uint32_t> table(num_vertices);
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    table[v] = static_cast<uint32_t>(v % n);
+  }
+  if (n <= 1 || warmup.empty()) {
+    return std::make_shared<TablePartitionMap>(std::move(table), n);
+  }
+
+  // Undirected adjacency over the warmup prefix in CSR form (cut is
+  // symmetric: a directed edge costs one cross-shard half either way).
+  std::vector<uint64_t> degree(num_vertices + 1, 0);
+  for (const Edge& e : warmup) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) continue;
+    degree[e.src + 1]++;
+    degree[e.dst + 1]++;
+  }
+  for (uint64_t v = 0; v < num_vertices; ++v) degree[v + 1] += degree[v];
+  std::vector<VertexId> adj(degree[num_vertices]);
+  {
+    std::vector<uint64_t> fill(degree.begin(), degree.end() - 1);
+    for (const Edge& e : warmup) {
+      if (e.src >= num_vertices || e.dst >= num_vertices) continue;
+      adj[fill[e.src]++] = e.dst;
+      adj[fill[e.dst]++] = e.src;
+    }
+  }
+
+  // Placement order: seen vertices by warmup degree, heaviest first (ties by
+  // id — deterministic). On skewed graphs the dense hub core is placed
+  // before any leaf, so mutually connected hubs cluster instead of being
+  // scattered by the zero-information ties a stream order starts with; each
+  // leaf then follows whichever hubs it attaches to. Degree counts edge
+  // multiplicity, which is exactly the cut metric's weighting.
+  std::vector<VertexId> order;
+  {
+    order.reserve(num_vertices);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      if (degree[v + 1] != degree[v]) order.push_back(v);
+    }
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      uint64_t da = degree[a + 1] - degree[a];
+      uint64_t db = degree[b + 1] - degree[b];
+      return da != db ? da > db : a < b;
+    });
+  }
+
+  const uint64_t seen_count = order.size();
+  const double capacity =
+      std::max(1.0, options.capacity_slack *
+                        static_cast<double>((seen_count + n - 1) / n));
+  constexpr uint32_t kUnassigned = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> assign(num_vertices, kUnassigned);
+  std::vector<uint64_t> load(n, 0);
+  std::vector<uint64_t> nbr_count(n, 0);
+
+  auto count_neighbors = [&](VertexId v) {
+    std::fill(nbr_count.begin(), nbr_count.end(), 0);
+    for (uint64_t i = degree[v]; i < degree[v + 1]; ++i) {
+      uint32_t s = assign[adj[i]];
+      if (s != kUnassigned) nbr_count[s]++;
+    }
+  };
+
+  // Streaming pass: LDG score = |placed neighbors on s| * (1 - load/cap).
+  // Ties break toward the lighter shard, then the lower id (deterministic).
+  for (VertexId v : order) {
+    count_neighbors(v);
+    int best = -1;
+    double best_score = -1.0;
+    for (uint32_t s = 0; s < n; ++s) {
+      if (static_cast<double>(load[s]) >= capacity) continue;
+      double score = static_cast<double>(nbr_count[s]) *
+                     (1.0 - static_cast<double>(load[s]) / capacity);
+      if (score > best_score ||
+          (score == best_score && best >= 0 &&
+           load[s] < load[static_cast<uint32_t>(best)])) {
+        best = static_cast<int>(s);
+        best_score = score;
+      }
+    }
+    if (best < 0) {  // every shard at capacity (can't happen with slack > 1)
+      best = static_cast<int>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    assign[v] = static_cast<uint32_t>(best);
+    load[static_cast<uint32_t>(best)]++;
+  }
+
+  // Refinement sweeps: move a vertex to the shard where it has strictly more
+  // neighbors than where it sits, capacity permitting.
+  for (int pass = 0; pass < options.refine_passes; ++pass) {
+    for (VertexId v : order) {
+      count_neighbors(v);
+      uint32_t cur = assign[v];
+      uint32_t best = cur;
+      for (uint32_t s = 0; s < n; ++s) {
+        if (s == cur) continue;
+        if (static_cast<double>(load[s] + 1) > capacity) continue;
+        if (nbr_count[s] > nbr_count[best] ||
+            (nbr_count[s] == nbr_count[best] && best != cur &&
+             load[s] < load[best])) {
+          best = s;
+        }
+      }
+      if (best != cur) {
+        assign[v] = best;
+        load[cur]--;
+        load[best]++;
+      }
+    }
+  }
+
+  for (VertexId v : order) table[v] = assign[v];
+  return std::make_shared<TablePartitionMap>(std::move(table), n);
+}
+
+/// ---- Durability ------------------------------------------------------------
+///
+/// The WAL is a headerless stream of fixed-size records (torn-tail detection
+/// in wal.cc divides the file size by the record size), so the ownership map
+/// cannot ride inside the log itself. Instead it is persisted as a CRC'd
+/// sidecar next to the log — the logical "WAL header". runtime/risgraph.h
+/// writes `<wal_path>.pmap` whenever a WAL opens over a table-backed map, and
+/// wal/recovery.h installs the sidecar map into the store before replaying,
+/// so half-streams replay under exactly the ownership that produced them.
+///
+/// Format (little-endian):
+///   header : magic(8) version(4) num_shards(4) num_entries(8)
+///   entries: owner(4) per vertex id
+///   trailer: crc32c over everything above (4)
+namespace partition_map_internal {
+inline constexpr uint64_t kMagic = 0x52495347504D31ULL;  // "RISGPM1"
+inline constexpr uint32_t kFormatVersion = 1;
+}  // namespace partition_map_internal
+
+/// Conventional sidecar path for a WAL at `wal_path`.
+inline std::string PartitionMapSidecarPath(const std::string& wal_path) {
+  return wal_path + ".pmap";
+}
+
+/// Writes a table-backed map. Returns false on I/O failure; a map with an
+/// empty table (pure-function maps like modulo) writes nothing and returns
+/// true — there is nothing to persist.
+inline bool SavePartitionMap(const PartitionMap& map, uint32_t num_shards,
+                             const std::string& path) {
+  std::vector<uint32_t> table = map.Table();
+  if (table.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  uint32_t crc = 0;
+  auto put = [&](const void* data, size_t len) {
+    crc = Crc32c(data, len, crc);
+    return std::fwrite(data, 1, len, f) == len;
+  };
+  uint64_t magic = partition_map_internal::kMagic;
+  uint32_t version = partition_map_internal::kFormatVersion;
+  uint64_t num_entries = table.size();
+  bool ok = put(&magic, 8) && put(&version, 4) && put(&num_shards, 4) &&
+            put(&num_entries, 8);
+  if (ok && num_entries > 0) {
+    ok = put(table.data(), num_entries * sizeof(uint32_t));
+  }
+  ok &= std::fwrite(&crc, 1, 4, f) == 4;
+  ok &= std::fclose(f) == 0;
+  return ok;
+}
+
+/// Result of loading a persisted map.
+struct PartitionMapFile {
+  bool ok = false;           // file present, well-formed, CRC-clean
+  uint32_t num_shards = 0;   // shard count the map was built for
+  std::shared_ptr<const TablePartitionMap> map;
+};
+
+/// Loads a sidecar written by SavePartitionMap. A missing file is a normal
+/// condition (the system ran under modulo ownership) and returns ok=false;
+/// so does any corruption — recovery then proceeds under the default map,
+/// which is only correct if the writer also used the default, hence writers
+/// with a table map must persist it (RisGraph's constructor does).
+inline PartitionMapFile LoadPartitionMap(const std::string& path) {
+  PartitionMapFile out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  uint32_t crc = 0;
+  auto get = [&](void* data, size_t len) {
+    if (std::fread(data, 1, len, f) != len) return false;
+    crc = Crc32c(data, len, crc);
+    return true;
+  };
+  // The entry count must be validated against the physical file size before
+  // it sizes an allocation — a bit flip inside the header would otherwise
+  // ask for terabytes long before the CRC check could reject it.
+  uint64_t file_size = 0;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    long pos = std::ftell(f);
+    if (pos > 0) file_size = static_cast<uint64_t>(pos);
+  }
+  std::rewind(f);
+  constexpr uint64_t kHeaderBytes = 8 + 4 + 4 + 8;
+  constexpr uint64_t kTrailerBytes = 4;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint64_t num_entries = 0;
+  bool ok = get(&magic, 8) && get(&version, 4) && get(&out.num_shards, 4) &&
+            get(&num_entries, 8);
+  if (!ok || magic != partition_map_internal::kMagic ||
+      version != partition_map_internal::kFormatVersion ||
+      file_size < kHeaderBytes + kTrailerBytes ||
+      num_entries !=
+          (file_size - kHeaderBytes - kTrailerBytes) / sizeof(uint32_t)) {
+    std::fclose(f);
+    return out;
+  }
+  std::vector<uint32_t> table(num_entries);
+  if (num_entries > 0 && !get(table.data(), num_entries * sizeof(uint32_t))) {
+    std::fclose(f);
+    return out;
+  }
+  uint32_t stored_crc = 0;
+  bool tail_ok = std::fread(&stored_crc, 1, 4, f) == 4;
+  std::fclose(f);
+  if (!tail_ok || stored_crc != crc) return out;
+  out.map = std::make_shared<TablePartitionMap>(std::move(table),
+                                                out.num_shards);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_SHARD_PARTITION_MAP_H_

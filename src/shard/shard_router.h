@@ -2,6 +2,8 @@
 #define RISGRAPH_SHARD_SHARD_ROUTER_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "common/types.h"
 
@@ -17,13 +19,14 @@ namespace risgraph {
 ///
 /// ## Ownership map
 ///
-/// Vertex v is owned by shard `v % N` (VertexPartition in common/types.h —
-/// the one definition every layer injects). A vertex's *entire* out-list and
-/// its entire in-list (transpose) live on its owning shard, so per-vertex
-/// adjacency iteration order is identical at every shard count — the
-/// property the bit-identical shard-count-invariance guarantee rests on.
-/// An edge (src, dst) therefore has its out-half on OwnerOf(src) and its
-/// in-half on OwnerOf(dst):
+/// Vertex v is owned by shard `OwnerOf(v)` (VertexPartition in
+/// common/types.h — the one definition every layer injects): `v % N` by
+/// default, or whatever a pluggable PartitionMap (partition_map.h) says when
+/// one is installed. A vertex's *entire* out-list and its entire in-list
+/// (transpose) live on its owning shard, so per-vertex adjacency iteration
+/// order is identical at every shard count — the property the bit-identical
+/// shard-count-invariance guarantee rests on. An edge (src, dst) therefore
+/// has its out-half on OwnerOf(src) and its in-half on OwnerOf(dst):
 ///
 ///   * shard-local  — both halves resolve to the same partition for the
 ///     active dependency direction (OwnerOf(src) == OwnerOf(dst), or the
@@ -76,6 +79,34 @@ namespace risgraph {
 ///             ownership and replays the per-shard half-streams in
 ///             parallel, with vertex operations as ordering barriers.
 ///
+/// ## PartitionMap contract
+///
+/// Ownership is pluggable: a PartitionMap (common/types.h; implementations
+/// in partition_map.h) installed on the VertexPartition replaces the modulo
+/// assignment everywhere at once, because every layer resolves ownership
+/// through copies of the same VertexPartition value. Rules:
+///
+///   * who may call OwnerOf, when — any thread, any time after the map is
+///     constructed. Maps are immutable pure functions of (v, num_shards);
+///     they must resolve every vertex id, including ids allocated after the
+///     map was built (TablePartitionMap falls back to modulo past its
+///     table). No layer may cache OwnerOf results across a map change.
+///   * when the map may change — only while the store is empty, via
+///     ShardedGraphStore::InstallPartitionMap (recovery does this before
+///     replay). Once any edge half has been placed, the placement *is* the
+///     map; swapping maps on a populated store would orphan halves.
+///   * durability — a table-backed map must outlive the process: the WAL is
+///     a headerless fixed-record stream, so runtime/risgraph.h persists the
+///     map as a CRC'd `<wal_path>.pmap` sidecar (the logical WAL header)
+///     and wal/recovery.h installs it before replaying half-streams. A
+///     sidecar built for a different shard count than the recovering store
+///     is ignored: the recovered *state* is ownership-invariant (that is
+///     the shard-invariance guarantee), only the half placement moves.
+///   * invariance anchor — the bit-identical shard-count-invariance tests
+///     (tests/test_shard.cc) must hold under any map. A map only decides
+///     *where* halves live, never *what* they contain or the claim order
+///     they apply in.
+///
 /// N comes from the same `ServiceOptions::ingest_shards` knob that sizes the
 /// ingest rings (the store is built first, via StoreOptions::partition; the
 /// pipeline aligns its ring default to the store's shard count). N = 1
@@ -96,18 +127,23 @@ class ShardRouter {
   /// Route verdict for updates whose mutation spans two partitions.
   static constexpr uint32_t kCrossShard = UINT32_MAX;
 
-  explicit ShardRouter(uint32_t num_shards = 1, bool keep_transpose = true)
-      : partition_{0, num_shards < 1 ? 1u : num_shards},
+  explicit ShardRouter(uint32_t num_shards = 1, bool keep_transpose = true,
+                       std::shared_ptr<const PartitionMap> map = nullptr)
+      : partition_{0, num_shards < 1 ? 1u : num_shards, std::move(map)},
         keep_transpose_(keep_transpose) {}
 
   uint32_t num_shards() const { return partition_.num_shards; }
   bool Partitioned() const { return partition_.Partitioned(); }
   uint32_t shard_of(VertexId v) const { return partition_.OwnerOf(v); }
+  const std::shared_ptr<const PartitionMap>& map() const {
+    return partition_.map;
+  }
 
   /// The ownership predicate for partition `shard` — what gets injected into
-  /// StoreOptions::partition / EngineOptions::ownership.
+  /// StoreOptions::partition / EngineOptions::ownership. Carries the
+  /// installed map so every consumer resolves the same ownership.
   VertexPartition OwnershipOf(uint32_t shard) const {
-    return VertexPartition{shard, partition_.num_shards};
+    return VertexPartition{shard, partition_.num_shards, partition_.map};
   }
 
   /// Routes one update: the owning shard when every half the update mutates

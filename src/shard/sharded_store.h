@@ -53,7 +53,7 @@ class ShardedGraphStore {
         router_(options.partition.num_shards < 1
                     ? 1u
                     : options.partition.num_shards,
-                options.keep_transpose) {
+                options.keep_transpose, options.partition.map) {
     shards_.reserve(router_.num_shards());
     for (uint32_t s = 0; s < router_.num_shards(); ++s) {
       StoreOptions shard_options = options;
@@ -71,6 +71,20 @@ class ShardedGraphStore {
   uint32_t num_shards() const { return router_.num_shards(); }
   Store& shard(uint32_t s) { return *shards_[s]; }
   const Store& shard(uint32_t s) const { return *shards_[s]; }
+
+  /// Swaps the ownership map. Legal only while the store holds no edges —
+  /// placed halves embody the old map (see the PartitionMap contract in
+  /// shard_router.h). Recovery uses this to install the persisted map before
+  /// replaying; returns false (and changes nothing) if edges exist already.
+  bool InstallPartitionMap(std::shared_ptr<const PartitionMap> map) {
+    if (NumEdges() != 0) return false;
+    router_ = ShardRouter(router_.num_shards(), options_.keep_transpose, map);
+    options_.partition.map = map;
+    for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+      shards_[s]->SetPartition(router_.OwnershipOf(s));
+    }
+    return true;
+  }
 
   //===------------------------------------------------------------------===//
   // Vertex management (centralized: partitions move in lock step)

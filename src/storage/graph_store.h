@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/spinlock.h"
@@ -30,6 +31,14 @@ struct StoreOptions {
   /// a ShardedGraphStore sum to exactly the unsharded store. The default
   /// (num_shards = 1) owns everything: today's behavior, unchanged.
   VertexPartition partition;
+  /// Skip the per-vertex spinlocks on edge mutations. Safe only when every
+  /// mutation path is partition-exclusive — the epoch pipeline's sharded
+  /// safe phase hands each partition to exactly one worker, and every other
+  /// mutation (unsafe lane, vertex ops, recovery's per-shard replay, bulk
+  /// load) is sequential per partition. Honored only when the partition is
+  /// actually partitioned (num_shards > 1): the unsharded safe phase is
+  /// item-parallel over one shared store and still needs the locks.
+  bool lock_free_apply = false;
 };
 
 /// The in-memory graph store: one Indexed Adjacency List per vertex for
@@ -50,7 +59,8 @@ class GraphStore {
   using Adjacency = AdjacencyList<IndexT, kIndexOnly, EdgeArray>;
 
   explicit GraphStore(uint64_t num_vertices = 0, StoreOptions options = {})
-      : options_(options) {
+      : options_(options),
+        lock_free_(options.lock_free_apply && options.partition.Partitioned()) {
     EnsureVertices(num_vertices);
   }
 
@@ -59,6 +69,15 @@ class GraphStore {
 
   const StoreOptions& options() const { return options_; }
   const VertexPartition& partition() const { return options_.partition; }
+
+  /// Re-points this handle at a (possibly map-carrying) ownership slice.
+  /// Only ShardedGraphStore::InstallPartitionMap calls this, and only while
+  /// the store is empty (see the PartitionMap contract in shard_router.h).
+  void SetPartition(VertexPartition partition) {
+    options_.partition = std::move(partition);
+    lock_free_ =
+        options_.lock_free_apply && options_.partition.Partitioned();
+  }
 
   //===------------------------------------------------------------------===//
   // Vertex management
@@ -118,12 +137,12 @@ class GraphStore {
   bool InsertEdge(const Edge& e) {
     bool fresh = false;
     if (options_.partition.Owns(e.src)) {
-      SpinLockGuard g(out_[e.src].lock);
+      OptionalSpinLockGuard g(lock_free_ ? nullptr : &out_[e.src].lock);
       fresh = out_[e.src].adj.Insert(EdgeKey{e.dst, e.weight});
       num_edges_.fetch_add(1, std::memory_order_relaxed);
     }
     if (options_.keep_transpose && options_.partition.Owns(e.dst)) {
-      SpinLockGuard g(in_[e.dst].lock);
+      OptionalSpinLockGuard g(lock_free_ ? nullptr : &in_[e.dst].lock);
       in_[e.dst].adj.Insert(EdgeKey{e.src, e.weight});
     }
     return fresh;
@@ -138,13 +157,13 @@ class GraphStore {
     DeleteResult r = DeleteResult::kNotFound;
     bool owns_src = options_.partition.Owns(e.src);
     if (owns_src) {
-      SpinLockGuard g(out_[e.src].lock);
+      OptionalSpinLockGuard g(lock_free_ ? nullptr : &out_[e.src].lock);
       r = out_[e.src].adj.Delete(EdgeKey{e.dst, e.weight});
       if (r == DeleteResult::kNotFound) return r;
       num_edges_.fetch_sub(1, std::memory_order_relaxed);
     }
     if (options_.keep_transpose && options_.partition.Owns(e.dst)) {
-      SpinLockGuard g(in_[e.dst].lock);
+      OptionalSpinLockGuard g(lock_free_ ? nullptr : &in_[e.dst].lock);
       DeleteResult in_r = in_[e.dst].adj.Delete(EdgeKey{e.src, e.weight});
       if (!owns_src) r = in_r;  // in-half-only handle: report the in side
     }
@@ -210,6 +229,7 @@ class GraphStore {
   };
 
   StoreOptions options_;
+  bool lock_free_ = false;  // lock_free_apply && Partitioned(), precomputed
   StableVector<VertexSlot> out_;
   StableVector<VertexSlot> in_;
   std::atomic<uint64_t> num_edges_{0};

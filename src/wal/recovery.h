@@ -8,6 +8,7 @@
 
 #include "parallel/thread_pool.h"
 #include "runtime/risgraph.h"
+#include "shard/partition_map.h"
 #include "shard/shard_router.h"
 #include "wal/checkpoint.h"
 #include "wal/wal.h"
@@ -60,6 +61,23 @@ RecoveryResult RecoverRisGraph(RisGraph<Store>& sys,
                                ThreadPool* pool = nullptr) {
   constexpr bool kSharded = kIsShardedStore<Store>;  // shard/shard_router.h
   RecoveryResult result;
+
+  // Pluggable ownership: if the pre-crash system ran under a table-backed
+  // PartitionMap, its sidecar (the logical WAL header, partition_map.h) must
+  // be installed *before* any half is placed — the checkpoint entries and the
+  // replayed half-streams embody that ownership. A sidecar built for a
+  // different shard count is ignored: recovered state is ownership-invariant
+  // (the shard-invariance guarantee), so replay under the default map is
+  // still correct — only the half placement moves.
+  if constexpr (kSharded) {
+    PartitionMapFile pmap =
+        LoadPartitionMap(PartitionMapSidecarPath(wal_path));
+    if (pmap.ok && pmap.num_shards == sys.store().num_shards() &&
+        sys.store().router().map() == nullptr) {
+      sys.store().InstallPartitionMap(pmap.map);
+    }
+  }
+
   uint64_t floor_lsn = 0;
   CheckpointInfo info = LoadCheckpoint(sys.store(), checkpoint_path);
   if (info.ok) {

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -581,6 +582,85 @@ TEST(IngestPack, PipelineWithParallelPackerMatchesSerialReplay) {
   for (VertexId v = 0; v < kVertices; ++v) {
     ASSERT_EQ(sys.GetValue(bfs, v), ref[v]) << v;
   }
+}
+
+//===--------------------------------------------------------------------===//
+// Packer backpressure
+//===--------------------------------------------------------------------===//
+
+// Many all-unsafe pipelined writers pre-pushed into the ring before the
+// coordinator starts are the mega-epoch worst case: session freezing caps
+// each session at one unsafe claim per epoch, but one ring drain still
+// claims one unsafe from EVERY session — with enough sessions the epoch's
+// sequential lane runs arbitrarily long. With unsafe_backlog_multiple set,
+// no epoch may claim more than multiple x threshold unsafe updates — the
+// rest of the stage parks, in claim order, for later epochs. Either way
+// the end state (FIFO effects, counters, results) must be identical.
+//
+// Each session grows its own chain off a preloaded reachable base, so
+// every claimed insert extends the BFS tree (=> unsafe) and sessions
+// cannot interfere with each other's verdicts.
+TEST(IngestPack, BackpressureBoundsUnsafeClaimsPerEpoch) {
+  constexpr int kSessions = 64;
+  constexpr uint64_t kBlock = 33;  // chain base + kPerSession extensions
+  constexpr uint64_t kPerSession = 32;
+  constexpr uint64_t kVertices = 1 + kSessions * kBlock;
+  constexpr uint64_t kOps = kSessions * kPerSession;
+
+  ThreadPool pool(2);
+  auto run = [&](uint64_t multiple) {
+    RisGraph<> sys(kVertices);
+    size_t bfs = sys.AddAlgorithm<Bfs>(0);
+    std::vector<Edge> preload;
+    for (int c = 0; c < kSessions; ++c) {
+      preload.push_back(Edge{0, 1 + static_cast<uint64_t>(c) * kBlock, 1});
+    }
+    sys.LoadGraph(preload);
+    sys.InitializeResults();
+
+    ServiceOptions opt;
+    opt.ingest_shards = 1;
+    opt.ingest_shard_capacity = 4096;  // the whole stream fits one ring
+    opt.record_epoch_stats = true;
+    opt.scheduler.initial_threshold = 8;
+    opt.scheduler.adjust_every_epochs = 1 << 30;  // freeze the threshold
+    opt.unsafe_backlog_multiple = multiple;
+    RisGraphService<> service(sys, opt, &pool);
+    std::vector<Session*> sessions;
+    for (int c = 0; c < kSessions; ++c) {
+      sessions.push_back(service.OpenSession());
+    }
+    for (uint64_t i = 0; i < kPerSession; ++i) {
+      for (int c = 0; c < kSessions; ++c) {
+        VertexId base = 1 + static_cast<uint64_t>(c) * kBlock;
+        sessions[c]->SubmitAsync(
+            Update::InsertEdge(base + i, base + i + 1, 1));
+      }
+    }
+    service.Start();
+    for (Session* s : sessions) s->DrainAsync();
+    service.Stop();
+
+    EXPECT_EQ(service.completed_ops(), kOps);
+    EXPECT_EQ(service.unsafe_ops(), kOps);
+    EXPECT_EQ(service.safe_ops(), 0u);
+    auto ref = ReferenceCompute<Bfs>(sys.store(), 0);
+    for (VertexId v = 0; v < kVertices; ++v) {
+      EXPECT_EQ(sys.GetValue(bfs, v), ref[v]) << v;
+    }
+
+    uint64_t max_epoch_unsafe = 0;
+    for (const EpochStat& e : service.epoch_stats()) {
+      max_epoch_unsafe = std::max(max_epoch_unsafe, e.unsafe_ops);
+    }
+    return max_epoch_unsafe;
+  };
+
+  // Valve at 4x a frozen threshold of 8: no epoch claims more than 32.
+  EXPECT_LE(run(4), 32u);
+  // Control (valve off): one ring drain claims one unsafe from all 64
+  // sessions, so some epoch runs well past the valve's bound.
+  EXPECT_GT(run(0), 32u);
 }
 
 //===--------------------------------------------------------------------===//

@@ -14,6 +14,7 @@
 #include "common/random.h"
 #include "core/algorithm_api.h"
 #include "core/reference.h"
+#include "shard/partition_map.h"
 #include "shard/sharded_store.h"
 #include "workload/rmat.h"
 #include "workload/update_stream.h"
@@ -30,10 +31,12 @@ class RecoveryTest : public ::testing::Test {
     ckpt_ = base_ + ".ckpt";
     std::remove(wal_.c_str());
     std::remove(ckpt_.c_str());
+    std::remove(PartitionMapSidecarPath(wal_).c_str());
   }
   void TearDown() override {
     std::remove(wal_.c_str());
     std::remove(ckpt_.c_str());
+    std::remove(PartitionMapSidecarPath(wal_).c_str());
   }
 
   long FileSize(const std::string& path) {
@@ -404,6 +407,104 @@ TEST_F(RecoveryTest, ShardedCompactionRoundTripsAcrossShardCounts) {
   rec.InitializeResults();
   for (VertexId v = 0; v < wl.num_vertices; ++v) {
     ASSERT_EQ(rec.GetValue(bfs, v), expected[v]) << v;
+  }
+}
+
+// Pluggable ownership must be durable: a system running under a locality
+// PartitionMap persists it as the WAL's `.pmap` sidecar; recovery installs
+// it before replay, so half-streams replay under the ownership that wrote
+// them — and the recovered state still matches the unsharded oracle bit for
+// bit (content AND iteration order), because ownership only moves halves.
+TEST_F(RecoveryTest, LocalityMapPersistsAndRecoveryReplaysUnderIt) {
+  StreamWorkload wl = SmallWorkload(45);
+  // A non-trivial map built from the stream's own edges (SmallWorkload has
+  // no preload, so the update stream is the warmup here).
+  std::vector<Edge> warmup;
+  for (const Update& u : wl.updates) warmup.push_back(u.edge);
+  auto map = BuildLocalityMap(wl.num_vertices, 4, warmup);
+  {
+    bool differs = false;
+    std::vector<uint32_t> table = map->Table();
+    for (VertexId v = 0; v < table.size() && !differs; ++v) {
+      differs = table[v] != static_cast<uint32_t>(v % 4);
+    }
+    ASSERT_TRUE(differs) << "locality map degenerated to modulo";
+  }
+
+  std::vector<uint64_t> expected;
+  {
+    RisGraphOptions opt;
+    opt.wal_path = wal_;
+    opt.store.partition.num_shards = 4;
+    opt.store.partition.map = map;
+    RisGraph<ShardedGraphStore<>> sys(wl.num_vertices, opt);
+    size_t bfs = sys.AddAlgorithm<Bfs>(0);
+    sys.InitializeResults();
+    for (const Update& u : wl.updates) {
+      u.kind == UpdateKind::kInsertEdge
+          ? sys.InsEdge(u.edge.src, u.edge.dst, u.edge.weight)
+          : sys.DelEdge(u.edge.src, u.edge.dst, u.edge.weight);
+    }
+    for (VertexId v = 0; v < wl.num_vertices; ++v) {
+      expected.push_back(sys.GetValue(bfs, v));
+    }
+  }  // crash
+  ASSERT_GT(FileSize(PartitionMapSidecarPath(wal_)), 0)
+      << "table-backed map must persist beside the log";
+
+  // Unsharded oracle for adjacency content and order.
+  std::vector<std::tuple<VertexId, VertexId, Weight, uint64_t>> expect_adj;
+  {
+    RisGraph<> oracle(wl.num_vertices, {});
+    RecoverRisGraph(oracle, ckpt_, wal_);
+    for (VertexId v = 0; v < wl.num_vertices; ++v) {
+      oracle.store().ForEachOut(v, [&](VertexId d, Weight w, uint64_t c) {
+        expect_adj.emplace_back(v, d, w, c);
+      });
+    }
+  }
+
+  // Recover at the writer's shard count, with NO map configured: the
+  // sidecar must be found and installed before replay.
+  {
+    RisGraphOptions opt;
+    opt.wal_path = wal_;
+    opt.store.partition.num_shards = 4;
+    RisGraph<ShardedGraphStore<>> rec(wl.num_vertices, opt);
+    ASSERT_EQ(rec.store().router().map(), nullptr);
+    RecoveryResult r = RecoverRisGraph(rec, ckpt_, wal_);
+    EXPECT_GT(r.replayed_records, 0u);
+    ASSERT_NE(rec.store().router().map(), nullptr);
+    EXPECT_EQ(rec.store().router().map()->Table(), map->Table());
+    for (VertexId v = 0; v < 32; ++v) {
+      ASSERT_EQ(rec.store().router().shard_of(v), map->OwnerOf(v, 4)) << v;
+    }
+    size_t bfs = rec.AddAlgorithm<Bfs>(0);
+    rec.InitializeResults();
+    std::vector<std::tuple<VertexId, VertexId, Weight, uint64_t>> adj;
+    for (VertexId v = 0; v < wl.num_vertices; ++v) {
+      ASSERT_EQ(rec.GetValue(bfs, v), expected[v]) << v;
+      rec.store().ForEachOut(v, [&](VertexId d, Weight w, uint64_t c) {
+        adj.emplace_back(v, d, w, c);
+      });
+    }
+    ASSERT_EQ(adj, expect_adj) << "replayed adjacency under locality map";
+  }
+
+  // Recover at a DIFFERENT shard count: the sidecar is for 4 shards, so it
+  // must be ignored — recovered state is ownership-invariant either way.
+  {
+    RisGraphOptions opt;
+    opt.store.partition.num_shards = 2;
+    RisGraph<ShardedGraphStore<>> rec(wl.num_vertices, opt);
+    RecoverRisGraph(rec, ckpt_, wal_);
+    EXPECT_EQ(rec.store().router().map(), nullptr)
+        << "mismatched-shard-count sidecar must not install";
+    size_t bfs = rec.AddAlgorithm<Bfs>(0);
+    rec.InitializeResults();
+    for (VertexId v = 0; v < wl.num_vertices; ++v) {
+      ASSERT_EQ(rec.GetValue(bfs, v), expected[v]) << v;
+    }
   }
 }
 

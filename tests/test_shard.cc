@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -14,6 +17,7 @@
 #include "core/reference.h"
 #include "ingest/epoch_pipeline.h"
 #include "runtime/client.h"
+#include "shard/partition_map.h"
 #include "shard/shard_router.h"
 #include "shard/sharded_store.h"
 #include "workload/rmat.h"
@@ -46,6 +50,144 @@ TEST(ShardRouterTest, OwnershipAndRouting) {
   ShardRouter single(1, true);
   EXPECT_FALSE(single.Partitioned());
   EXPECT_EQ(single.Route(Update::InsertEdge(123, 456)), 0u);
+}
+
+TEST(PartitionMapTest, TableMapResolvesAndFallsBackToModulo) {
+  // Table covering vertices 0..5 with a deliberately non-modulo layout.
+  TablePartitionMap map({0, 0, 1, 1, 0, 1}, /*built_for_shards=*/2);
+  EXPECT_EQ(map.OwnerOf(0, 2), 0u);
+  EXPECT_EQ(map.OwnerOf(1, 2), 0u);  // modulo would say 1
+  EXPECT_EQ(map.OwnerOf(2, 2), 1u);  // modulo would say 0
+  EXPECT_EQ(map.OwnerOf(5, 2), 1u);
+  // Past the table: modulo fallback keeps the map total.
+  EXPECT_EQ(map.OwnerOf(7, 2), 1u);
+  EXPECT_EQ(map.OwnerOf(100, 2), 0u);
+  // Consulted at a smaller shard count than built for: entries naming an
+  // out-of-range shard fall back to modulo, so OwnerOf stays in range.
+  TablePartitionMap wide({3, 3, 3}, 4);
+  EXPECT_EQ(wide.OwnerOf(0, 2), 0u);
+  EXPECT_EQ(wide.OwnerOf(1, 2), 1u);
+
+  // A VertexPartition carrying the map resolves through it.
+  auto shared = std::make_shared<TablePartitionMap>(
+      std::vector<uint32_t>{0, 0, 1, 1, 0, 1}, 2u);
+  VertexPartition p{1, 2, shared};
+  EXPECT_TRUE(p.Owns(2));
+  EXPECT_FALSE(p.Owns(1));
+  // num_shards <= 1 short-circuits before the map (unpartitioned is free).
+  VertexPartition single{0, 1, shared};
+  EXPECT_EQ(single.OwnerOf(2), 0u);
+}
+
+TEST(PartitionMapTest, RouterHonorsInstalledMap) {
+  // Map that puts 0..3 on shard 0 and 4..7 on shard 1 (range partitioning —
+  // the opposite of modulo's round-robin).
+  auto map = std::make_shared<TablePartitionMap>(
+      std::vector<uint32_t>{0, 0, 0, 0, 1, 1, 1, 1}, 2u);
+  ShardRouter router(2, /*keep_transpose=*/true, map);
+  EXPECT_EQ(router.shard_of(1), 0u);
+  EXPECT_EQ(router.shard_of(5), 1u);
+  // 0 -> 1 is modulo-cross but map-local; 3 -> 4 straddles the range split.
+  EXPECT_EQ(router.Route(Update::InsertEdge(0, 1)), 0u);
+  EXPECT_EQ(router.Route(Update::InsertEdge(3, 4)), ShardRouter::kCrossShard);
+  // OwnershipOf must carry the map so stores and engines agree with routing.
+  VertexPartition owned = router.OwnershipOf(1);
+  EXPECT_EQ(owned.map, map);
+  EXPECT_TRUE(owned.Owns(6));
+  EXPECT_FALSE(owned.Owns(2));
+  // Half placement follows the map too.
+  std::vector<uint32_t> owners;
+  router.ForEachOwningShard(Edge{3, 4, 1}, [&](uint32_t s) {
+    owners.push_back(s);
+  });
+  EXPECT_EQ(owners, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(PartitionMapTest, GreedyAssignerCutsEdgesDeterministicallyAndBalances) {
+  RmatParams rmat;
+  rmat.scale = 10;
+  rmat.num_edges = 16000;
+  rmat.seed = 5;
+  std::vector<Edge> warmup = GenerateRmat(rmat);
+  const uint64_t n_vertices = uint64_t{1} << rmat.scale;
+  const uint32_t n_shards = 4;
+
+  LocalityMapOptions lopt;
+  auto map = BuildLocalityMap(n_vertices, n_shards, warmup, lopt);
+  ASSERT_EQ(map->built_for_shards(), n_shards);
+  ASSERT_EQ(map->table_size(), n_vertices);
+
+  // Deterministic: same inputs, same table.
+  auto again = BuildLocalityMap(n_vertices, n_shards, warmup, lopt);
+  EXPECT_EQ(map->Table(), again->Table());
+
+  auto cut_fraction = [&](auto owner_of) {
+    uint64_t cut = 0;
+    for (const Edge& e : warmup) {
+      if (owner_of(e.src) != owner_of(e.dst)) cut++;
+    }
+    return static_cast<double>(cut) / static_cast<double>(warmup.size());
+  };
+  double modulo_cut = cut_fraction(
+      [&](VertexId v) { return static_cast<uint32_t>(v % n_shards); });
+  double locality_cut =
+      cut_fraction([&](VertexId v) { return map->OwnerOf(v, n_shards); });
+  // Power-law + modulo is the worst case (~(N-1)/N); the greedy assigner
+  // must beat it by a wide margin on its own warmup.
+  EXPECT_GT(modulo_cut, 0.6);
+  EXPECT_LT(locality_cut, modulo_cut / 2);
+
+  // Balance: no shard exceeds the slack-scaled fair share of seen vertices.
+  std::vector<uint64_t> load(n_shards, 0);
+  std::vector<uint8_t> seen(n_vertices, 0);
+  for (const Edge& e : warmup) {
+    seen[e.src] = 1;
+    seen[e.dst] = 1;
+  }
+  uint64_t n_seen = 0;
+  for (VertexId v = 0; v < n_vertices; ++v) {
+    if (seen[v]) {
+      n_seen++;
+      load[map->OwnerOf(v, n_shards)]++;
+    }
+  }
+  double capacity = lopt.capacity_slack *
+                    static_cast<double>((n_seen + n_shards - 1) / n_shards);
+  for (uint32_t s = 0; s < n_shards; ++s) {
+    EXPECT_LE(static_cast<double>(load[s]), capacity + 1.0) << "shard " << s;
+  }
+}
+
+TEST(PartitionMapTest, SidecarRoundTripsAndRejectsCorruption) {
+  std::string path = testing::TempDir() + "/pmap_roundtrip.pmap";
+  auto map = std::make_shared<TablePartitionMap>(
+      std::vector<uint32_t>{2, 0, 1, 2, 1, 0, 0, 3}, 4u);
+  ASSERT_TRUE(SavePartitionMap(*map, 4, path));
+
+  PartitionMapFile loaded = LoadPartitionMap(path);
+  ASSERT_TRUE(loaded.ok);
+  EXPECT_EQ(loaded.num_shards, 4u);
+  ASSERT_NE(loaded.map, nullptr);
+  EXPECT_EQ(loaded.map->Table(), map->Table());
+
+  // Pure-function maps persist nothing (and must not clobber a sidecar).
+  ModuloPartitionMap modulo;
+  std::string none = testing::TempDir() + "/pmap_none.pmap";
+  EXPECT_TRUE(SavePartitionMap(modulo, 4, none));
+  EXPECT_FALSE(LoadPartitionMap(none).ok);
+
+  // Flip one payload byte: the CRC must reject the file.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 20, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, 20, SEEK_SET);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadPartitionMap(path).ok);
+  EXPECT_FALSE(LoadPartitionMap(path + ".missing").ok);
 }
 
 TEST(ShardRouterTest, RouteManyIsCrossUnlessOneCommonShard) {
@@ -185,9 +327,13 @@ struct DriveOutcome {
 /// one-at-a-time classification — so with a 1-thread pool the outcome is a
 /// pure function of the workload, and must not depend on the shard count.
 template <typename Store>
-DriveOutcome DriveWorkload(const StreamWorkload& wl, uint32_t num_shards) {
+DriveOutcome DriveWorkload(const StreamWorkload& wl, uint32_t num_shards,
+                           std::shared_ptr<const PartitionMap> map = nullptr,
+                           bool lock_free = false) {
   RisGraphOptions opt;
   opt.store.partition.num_shards = num_shards;
+  opt.store.partition.map = std::move(map);
+  opt.store.lock_free_apply = lock_free;
   RisGraph<Store> sys(wl.num_vertices, opt);
   size_t algos[2] = {sys.template AddAlgorithm<Bfs>(0),
                      sys.template AddAlgorithm<Sssp>(0)};
@@ -263,6 +409,72 @@ TEST(ShardCountInvarianceTest, IdenticalResultsVerdictsAndVersionsAt124) {
     EXPECT_EQ(got.unsafe_ops, base.unsafe_ops);  // are shard-count-invariant
     EXPECT_EQ(got.completed_ops, base.completed_ops);
     EXPECT_EQ(got.num_edges, base.num_edges);
+  }
+
+  ThreadPool::ResetGlobal(0);
+}
+
+// The same anchor under a non-trivial locality map and under the lock-free
+// apply mode: ownership decides only WHERE halves live, never what they
+// contain or the order they apply in, and the lock-free fan is
+// partition-exclusive by construction — so every combination must reproduce
+// the unsharded baseline bit for bit.
+TEST(ShardCountInvarianceTest, IdenticalUnderLocalityMapAndLockFreeApply) {
+  ThreadPool::ResetGlobal(1);
+
+  RmatParams rmat;
+  rmat.scale = 8;
+  rmat.num_edges = 3000;
+  rmat.max_weight = 4;
+  rmat.seed = 7;
+  StreamOptions so;
+  so.preload_fraction = 0.5;
+  so.insert_fraction = 0.6;
+  so.seed = 11;
+  StreamWorkload wl =
+      BuildStream(uint64_t{1} << rmat.scale, GenerateRmat(rmat), so);
+
+  DriveOutcome base = DriveWorkload<DefaultGraphStore>(wl, 1);
+  ASSERT_GT(base.unsafe_ops, 0u);
+  ASSERT_GT(base.safe_ops, 0u);
+
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    auto map = BuildLocalityMap(wl.num_vertices, shards, wl.preload);
+    // Sanity: at N > 1 the map must differ from modulo somewhere, or the
+    // run would not exercise non-trivial ownership at all.
+    if (shards > 1) {
+      bool differs = false;
+      std::vector<uint32_t> table = map->Table();
+      for (VertexId v = 0; v < table.size() && !differs; ++v) {
+        differs = table[v] != static_cast<uint32_t>(v % shards);
+      }
+      ASSERT_TRUE(differs) << "locality map degenerated to modulo";
+    }
+    struct Config {
+      std::shared_ptr<const PartitionMap> map;
+      bool lock_free;
+      const char* name;
+    } configs[] = {
+        {map, false, "locality+locked"},
+        {map, true, "locality+lockfree"},
+        {nullptr, true, "modulo+lockfree"},
+    };
+    for (const Config& cfg : configs) {
+      SCOPED_TRACE(std::string(cfg.name) +
+                   " shards=" + std::to_string(shards));
+      DriveOutcome got =
+          DriveWorkload<ShardedGraphStore<>>(wl, shards, cfg.map,
+                                             cfg.lock_free);
+      for (int k = 0; k < 2; ++k) {
+        ASSERT_EQ(got.values[k], base.values[k]) << "algorithm " << k;
+        ASSERT_EQ(got.parents[k], base.parents[k]) << "algorithm " << k;
+      }
+      EXPECT_EQ(got.version, base.version);
+      EXPECT_EQ(got.safe_ops, base.safe_ops);
+      EXPECT_EQ(got.unsafe_ops, base.unsafe_ops);
+      EXPECT_EQ(got.completed_ops, base.completed_ops);
+      EXPECT_EQ(got.num_edges, base.num_edges);
+    }
   }
 
   ThreadPool::ResetGlobal(0);

@@ -1,0 +1,251 @@
+// Decoupled durability (src/wal/ + async group commit): the latency split
+// between the two acks a client can wait for — *execution* (the update's
+// results are computed and visible; blocking Submit returns) and
+// *durability* (its WAL record reached stable storage; WaitDurable
+// returns) — under the coupled policy (synchronous flush + fsync at every
+// epoch end) and the decoupled policy (background flusher, group commit on
+// a time/byte trigger).
+//
+// The point of the split: under async durability the execution ack never
+// waits on fsync — its latency tracks the in-memory epoch pipeline — while
+// the durability ack absorbs the full group-commit cadence. The coupled
+// policy pays the device on the coordinator's critical path instead, which
+// shows up as flush/sync counts per record, not as exec-ack latency (the
+// blocking response fires before the epoch-end flush in both policies).
+//
+// Writes BENCH_durability.json next to the binary for the perf trajectory
+// (CI bench-smoke gate). hardware_concurrency is recorded so 1-core smoke
+// runs read as box size, not regression.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/latency.h"
+#include "common/timer.h"
+#include "core/algorithm_api.h"
+#include "runtime/client.h"
+#include "runtime/risgraph.h"
+#include "runtime/service.h"
+#include "wal/wal.h"
+
+namespace risgraph {
+namespace {
+
+constexpr uint64_t kVertices = 1 << 12;
+
+struct Row {
+  const char* policy = "";
+  uint64_t updates = 0;
+  LatencyRecorder exec;     // t(Submit returns) - t0
+  LatencyRecorder durable;  // t(WaitDurable returns) - t0
+  WalFlushStats wal;
+  uint64_t flush_interval_us = 0;
+};
+
+/// Closed loop on the blocking lane: one update at a time, stamping both
+/// acks for the same submission. Alternating insert/delete of (0, v) keeps
+/// every update result-modifying (unsafe) without growing the graph.
+Row Measure(bool async_durability, double seconds) {
+  std::string wal_path = "/tmp/risgraph_bench_dur_" +
+                         std::to_string(static_cast<long>(::getpid())) +
+                         ".wal";
+  std::remove(wal_path.c_str());
+
+  Row row;
+  row.policy = async_durability ? "async" : "coupled";
+  {
+    RisGraphOptions opt;
+    opt.wal_path = wal_path;
+    opt.wal_fsync = true;  // "durable" means fsynced, in both policies
+    RisGraph<> sys(kVertices, opt);
+    sys.AddAlgorithm<Bfs>(0);
+    sys.InitializeResults();
+    ServiceOptions so;
+    so.async_durability = async_durability;
+    row.flush_interval_us = async_durability ? so.wal_flush_interval_micros : 0;
+    RisGraphService<> service(sys, so);
+    service.Start();
+    {
+      SessionClient<> client(sys, service.pipeline());
+      WallTimer window;
+      uint64_t i = 0;
+      while (window.ElapsedSeconds() < seconds) {
+        VertexId v = 1 + (i % (kVertices - 1));
+        Update u = (i / (kVertices - 1)) % 2 == 0
+                       ? Update::InsertEdge(0, v, 1)
+                       : Update::DeleteEdge(0, v, 1);
+        int64_t t0 = WallTimer::NowNanos();
+        VersionId ver = client.Submit(u);
+        int64_t t1 = WallTimer::NowNanos();
+        if (ver == kInvalidVersion || !client.WaitDurable(ver)) {
+          std::fprintf(stderr, "FATAL: update %llu rejected or not durable\n",
+                       (unsigned long long)i);
+          std::exit(1);
+        }
+        int64_t t2 = WallTimer::NowNanos();
+        row.exec.RecordNanos(t1 - t0);
+        row.durable.RecordNanos(t2 - t0);
+        ++i;
+      }
+      row.updates = i;
+    }
+    row.wal = sys.wal().stats();
+    service.Stop();
+  }
+  std::remove(wal_path.c_str());
+  return row;
+}
+
+struct GroupCommitRow {
+  uint64_t updates = 0;
+  uint64_t flushes = 0;
+  uint64_t syncs = 0;
+  double records_per_flush = 0;
+  double wait_durable_ms = 0;  // draining the tail after the burst
+};
+
+/// Open loop: stream the pipelined lane as fast as it accepts, then one
+/// WaitDurable over the whole burst. This is where group commit shows —
+/// many records amortize each flush+fsync, unlike the closed loop above
+/// (which by construction lands one record per flush).
+GroupCommitRow MeasureGroupCommit(double seconds) {
+  std::string wal_path = "/tmp/risgraph_bench_dur_" +
+                         std::to_string(static_cast<long>(::getpid())) +
+                         ".gc.wal";
+  std::remove(wal_path.c_str());
+  GroupCommitRow row;
+  {
+    RisGraphOptions opt;
+    opt.wal_path = wal_path;
+    opt.wal_fsync = true;
+    RisGraph<> sys(kVertices, opt);
+    sys.AddAlgorithm<Bfs>(0);
+    sys.InitializeResults();
+    ServiceOptions so;
+    so.async_durability = true;
+    RisGraphService<> service(sys, so);
+    service.Start();
+    {
+      typename SessionClient<>::Options wopt;
+      wopt.window = 2048;
+      SessionClient<> client(sys, service.pipeline(), wopt);
+      WallTimer window;
+      uint64_t i = 0;
+      while (window.ElapsedSeconds() < seconds) {
+        VertexId v = 1 + (i % (kVertices - 1));
+        bool insert = (i / (kVertices - 1)) % 2 == 0;
+        client.SubmitAsync(insert ? Update::InsertEdge(0, v, 1)
+                                  : Update::DeleteEdge(0, v, 1));
+        ++i;
+      }
+      client.Flush();
+      int64_t t0 = WallTimer::NowNanos();
+      if (!client.WaitDurable(0)) {
+        std::fprintf(stderr, "FATAL: burst never became durable\n");
+        std::exit(1);
+      }
+      row.wait_durable_ms = (WallTimer::NowNanos() - t0) / 1e6;
+      row.updates = i;
+    }
+    WalFlushStats stats = sys.wal().stats();
+    row.flushes = stats.flushes;
+    row.syncs = stats.syncs;
+    row.records_per_flush =
+        stats.flushes > 0 ? static_cast<double>(row.updates) / stats.flushes
+                          : 0;
+    service.Stop();
+  }
+  std::remove(wal_path.c_str());
+  return row;
+}
+
+}  // namespace
+}  // namespace risgraph
+
+int main() {
+  using namespace risgraph;
+  auto env = bench::Env::Get();
+  bench::PrintTitle(
+      "Decoupled durability: execution-ack vs durability-ack latency",
+      "async group commit with durability watermarks vs coupled "
+      "flush-per-epoch");
+
+  std::vector<Row> rows;
+  rows.push_back(Measure(/*async_durability=*/false, env.seconds));
+  rows.push_back(Measure(/*async_durability=*/true, env.seconds));
+
+  std::printf("%8s %9s | %10s %10s | %10s %10s | %8s %8s\n", "policy",
+              "updates", "exec p50", "exec p99", "dur p50", "dur p99",
+              "flushes", "syncs");
+  for (const Row& r : rows) {
+    std::printf("%8s %9llu | %8.1fus %8.1fus | %8.1fus %8.1fus | %8llu %8llu\n",
+                r.policy, (unsigned long long)r.updates, r.exec.P50Micros(),
+                r.exec.P99Micros(), r.durable.P50Micros(),
+                r.durable.P99Micros(), (unsigned long long)r.wal.flushes,
+                (unsigned long long)r.wal.syncs);
+  }
+  GroupCommitRow gc = MeasureGroupCommit(env.seconds);
+  std::printf(
+      "\ngroup commit (open loop, pipelined lane): %llu records in %llu "
+      "flushes (%.0f records/flush, %llu syncs), tail drain %.1fms\n",
+      (unsigned long long)gc.updates, (unsigned long long)gc.flushes,
+      gc.records_per_flush, (unsigned long long)gc.syncs, gc.wait_durable_ms);
+  bench::PrintRule();
+  std::printf(
+      "Shape check: under async the exec ack excludes fsync entirely (its\n"
+      "p99 tracks the epoch pipeline) and the durability ack absorbs the\n"
+      "group commit cadence (~flush interval). The closed loop pins one\n"
+      "record per flush by construction; the open-loop burst shows the\n"
+      "amortization — records/flush far above 1, syncs per record far\n"
+      "below the coupled policy's one-per-epoch.\n");
+
+  std::string json = "{\n  \"bench\": \"durability\",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "  \"hardware_concurrency\": %u,\n  \"results\": [\n",
+                std::thread::hardware_concurrency());
+  json += buf;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    double per_flush =
+        r.wal.flushes > 0 ? static_cast<double>(r.updates) / r.wal.flushes : 0;
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"policy\": \"%s\", \"updates\": %llu,\n"
+        "     \"exec_p50_us\": %.2f, \"exec_p99_us\": %.2f,\n"
+        "     \"durable_p50_us\": %.2f, \"durable_p99_us\": %.2f,\n"
+        "     \"flushes\": %llu, \"syncs\": %llu, \"flushed_bytes\": %llu,\n"
+        "     \"records_per_flush\": %.1f, \"flush_interval_us\": %llu}%s\n",
+        r.policy, (unsigned long long)r.updates, r.exec.P50Micros(),
+        r.exec.P99Micros(), r.durable.P50Micros(), r.durable.P99Micros(),
+        (unsigned long long)r.wal.flushes, (unsigned long long)r.wal.syncs,
+        (unsigned long long)r.wal.flushed_bytes, per_flush,
+        (unsigned long long)r.flush_interval_us,
+        i + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"group_commit\": {\"updates\": %llu, \"flushes\": %llu, "
+                "\"syncs\": %llu, \"records_per_flush\": %.1f, "
+                "\"tail_drain_ms\": %.2f}\n}\n",
+                (unsigned long long)gc.updates, (unsigned long long)gc.flushes,
+                (unsigned long long)gc.syncs, gc.records_per_flush,
+                gc.wait_durable_ms);
+  json += buf;
+
+  const char* path = "BENCH_durability.json";
+  if (FILE* f = std::fopen(path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::printf("failed to write %s\n", path);
+    return 1;
+  }
+  return 0;
+}

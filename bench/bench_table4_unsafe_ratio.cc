@@ -4,6 +4,9 @@
 // Expected shape (paper Section 4): under 20% almost everywhere, under 10%
 // for most cells; WCC on sparse preloads is the outlier (unstable
 // components). This observation is what justifies inter-update parallelism.
+//
+// Writes BENCH_table4.json next to the binary for the perf trajectory (CI
+// bench-smoke gate).
 
 #include <cstdio>
 #include <string>
@@ -69,9 +72,11 @@ int main() {
   }
   std::printf("\n");
 
+  const char* algo_names[] = {"bfs", "sssp", "sswp", "wcc"};
   uint64_t cells = 0;
   uint64_t under20 = 0;
   uint64_t under10 = 0;
+  std::string cells_json;
   for (const std::string& name : bench::BenchDatasets(env)) {
     Dataset d = LoadDataset(name);
     std::printf("%-18s", name.c_str());
@@ -88,6 +93,13 @@ int main() {
         if (r < 0.20) under20++;
         if (r < 0.10) under10++;
         std::printf("  %8.2f", r);
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s    {\"dataset\": \"%s\", \"algo\": \"%s\", "
+                      "\"preload\": %.1f, \"unsafe_ratio\": %.4f}",
+                      cells_json.empty() ? "" : ",\n", name.c_str(),
+                      algo_names[algo], frac, r);
+        cells_json += buf;
       }
     }
     std::printf("\n");
@@ -100,5 +112,24 @@ int main() {
       static_cast<unsigned long long>(cells),
       static_cast<unsigned long long>(under10),
       static_cast<unsigned long long>(cells));
+
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\n  \"bench\": \"table4_unsafe_ratio\",\n"
+                "  \"cells\": %llu, \"under20\": %llu, \"under10\": %llu,\n"
+                "  \"results\": [\n",
+                static_cast<unsigned long long>(cells),
+                static_cast<unsigned long long>(under20),
+                static_cast<unsigned long long>(under10));
+  std::string json = std::string(head) + cells_json + "\n  ]\n}\n";
+  const char* path = "BENCH_table4.json";
+  if (FILE* f = std::fopen(path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::printf("failed to write %s\n", path);
+    return 1;
+  }
   return 0;
 }

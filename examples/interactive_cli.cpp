@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -57,6 +58,9 @@ void PrintHelp() {
       "                          distance changes (watch all: every vertex)\n"
       "  unwatch <id>            cancel a standing query\n"
       "  release <version>       allow GC of history before a version\n"
+      "  durable [version]       durability watermark vs executed version;\n"
+      "                          with a version, block until it is on disk\n"
+      "                          (needs RISGRAPH_CLI_WAL=<path> at startup)\n"
       "  stats                   store/engine counters\n"
       "  help | quit\n"
       "Pending notifications from watched vertices print before each "
@@ -75,7 +79,13 @@ void PrintValue(VertexId v, uint64_t value) {
 }  // namespace
 
 int main() {
-  RisGraph<> sys(kNumVertices);
+  // RISGRAPH_CLI_WAL=<path> turns on write-ahead logging with decoupled
+  // durability: commands ack at execution, the background flusher group-
+  // commits, and `durable` reads/waits on the watermark.
+  const char* wal_env = std::getenv("RISGRAPH_CLI_WAL");
+  RisGraphOptions sys_options;
+  if (wal_env != nullptr) sys_options.wal_path = wal_env;
+  RisGraph<> sys(kNumVertices, sys_options);
   size_t sssp = sys.AddAlgorithm<Sssp>(/*root=*/0);
   sys.InitializeResults();
 
@@ -84,6 +94,7 @@ int main() {
   // answers (which the load loop resubmits) instead of parking the REPL.
   ServiceOptions options;
   options.overload_policy = OverloadPolicy::kShed;
+  options.async_durability = wal_env != nullptr;
   RisGraphService<> service(sys, options);
   // Continuous queries for `watch`: committed changes are pushed into the
   // client's delivery queue and printed before the next prompt.
@@ -283,6 +294,34 @@ int main() {
     } else if (std::strcmp(cmd, "release") == 0 && n >= 2) {
       client.ReleaseHistory(a);
       std::printf("history before v%llu released\n", a);
+    } else if (std::strcmp(cmd, "durable") == 0) {
+      if (wal_env == nullptr) {
+        std::printf(
+            "no WAL (start with RISGRAPH_CLI_WAL=<path>): nothing is "
+            "persisted, \"durable\" degenerates to \"executed\"\n");
+        continue;
+      }
+      if (client.wal_failed()) {
+        std::printf("WAL failed: the log is fail-stop, updates are rejected\n");
+        continue;
+      }
+      if (n >= 2) {
+        // `durable <version>`: block until that version's group commit lands.
+        std::printf(client.WaitDurable(a, /*timeout_micros=*/5'000'000)
+                        ? "v%llu durable\n"
+                        : "timed out waiting for v%llu\n",
+                    a);
+        continue;
+      }
+      VersionId cur = 0;
+      client.GetCurrentVersion(&cur);
+      WalFlushStats ws = sys.wal().stats();
+      std::printf(
+          "executed v%llu, durable through v%llu (%llu records on disk, "
+          "%llu flushes, %llu fsyncs)\n",
+          (unsigned long long)cur, (unsigned long long)client.DurableThrough(),
+          (unsigned long long)sys.wal().DurableUpto(),
+          (unsigned long long)ws.flushes, (unsigned long long)ws.syncs);
     } else if (std::strcmp(cmd, "stats") == 0) {
       VersionId cur = 0;
       client.GetCurrentVersion(&cur);

@@ -1,0 +1,36 @@
+#ifndef RISGRAPH_COMMON_STATUS_H_
+#define RISGRAPH_COMMON_STATUS_H_
+
+#include <cstdint>
+
+namespace risgraph {
+
+/// Durability-plane status codes. `kOk` is zero so `status == Status::kOk`
+/// and `static_cast<bool>` conventions never collide: callers must compare
+/// explicitly (the WAL layer returns Status, never bool, exactly so a
+/// forgotten check fails to compile rather than silently inverting).
+///
+/// `kWalError` is *sticky* fail-stop: once a write or fsync fails, the log
+/// refuses further work and the coordinator halts ingest instead of acking
+/// updates whose records may never reach the device.
+enum class Status : uint8_t {
+  kOk = 0,
+  kWalError = 1,    // write/fsync/open failure; fail-stop, sticky
+  kCorruption = 2,  // CRC mismatch / torn frame found where none may be
+};
+
+inline const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kWalError:
+      return "wal-error";
+    case Status::kCorruption:
+      return "corruption";
+  }
+  return "unknown";
+}
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_COMMON_STATUS_H_

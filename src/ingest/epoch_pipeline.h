@@ -85,6 +85,24 @@ struct ServiceOptions {
   /// a single mega-epoch while every blocking session waits behind it.
   /// 0 disables the valve.
   uint64_t unsafe_backlog_multiple = 8;
+
+  // --- Decoupled durability (async group commit; ROADMAP item 3) ---
+  /// When true (and the system has a WAL), Start() spins up the WAL's
+  /// background flusher: the coordinator acks *execution* at epoch seal
+  /// with an O(1) buffer handoff, and the flusher writes + fsyncs on its
+  /// own adaptive cadence, advancing the durability watermarks
+  /// (DurableThrough / WaitDurable; kDurable frames over RPC). When false,
+  /// the legacy coupled mode: one synchronous write (+ optional fsync) per
+  /// epoch on the coordinator thread.
+  bool async_durability = false;
+  /// Adaptive flush cadence, time trigger: the flusher lands pending bytes
+  /// at least this often (microseconds) — bounds durability-ack latency
+  /// under light load.
+  uint64_t wal_flush_interval_micros = 2000;
+  /// Adaptive flush cadence, byte trigger: once this many sealed bytes are
+  /// pending the flusher goes immediately — bounds replay loss and memory
+  /// under heavy load, and batches fsyncs across epochs in between.
+  uint64_t wal_flush_bytes = 256 * 1024;
 };
 
 /// The epoch pipeline: RisGraph's multi-session concurrency-control core
@@ -159,6 +177,10 @@ class EpochPipeline {
   void Start() {
     if (running_.exchange(true)) return;
     stop_.store(false);
+    if (options_.async_durability && system_.wal().IsOpen()) {
+      system_.wal().StartFlusher({options_.wal_flush_interval_micros,
+                                  options_.wal_flush_bytes});
+    }
     coordinator_ = std::thread([this] { CoordinatorMain(); });
   }
 
@@ -168,6 +190,7 @@ class EpochPipeline {
     if (!running_.load()) return;
     stop_.store(true);
     coordinator_.join();
+    system_.wal().StopFlusher();  // drains; no-op in coupled mode
     running_.store(false);
   }
 
@@ -195,6 +218,73 @@ class EpochPipeline {
         per_op * static_cast<int64_t>(ring_capacity_) / 1000;
     return static_cast<uint32_t>(std::clamp<int64_t>(drain_us, 50, 20000));
   }
+  // --- Durability watermark plumbing (IClient::DurableThrough/WaitDurable
+  //     and the RPC server's kDurable pusher) -------------------------------
+
+  /// Sticky WAL failure (fail-stop): once true, every submission is
+  /// rejected (blocking lanes see kInvalidVersion; transports surface
+  /// kWalError) and the durability watermark is frozen.
+  bool wal_failed() const { return system_.WalStatus() != Status::kOk; }
+
+  /// Monotonic result-version durability watermark: every update whose
+  /// epoch sealed at a version <= this is durable. Reporting-grade — safe
+  /// updates do not bump the version, so per-request precision needs the
+  /// LSN machinery below (which WaitDurable and the RPC kDurable
+  /// correlation ranges use). Without a WAL: the last committed version
+  /// (execution == durability, degenerately).
+  uint64_t DurableThrough() const {
+    const WriteAheadLog& wal = system_.wal();
+    if (wal.IsOpen()) return wal.DurableVersion();
+    return sealed_version_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until everything submitted-and-answered before this call is
+  /// durable (timeout in micros, <0 = forever). The LSN marker taken at
+  /// call time covers every record of every already-acked update — a
+  /// superset of "result version `version` is durable", which is the only
+  /// sound per-caller contract when safe updates share versions. False on
+  /// timeout or a dead WAL.
+  bool WaitDurable(uint64_t version, int64_t timeout_micros = -1) {
+    WriteAheadLog& wal = system_.wal();
+    if (!wal.IsOpen()) {
+      // No WAL: execution is the only commit there is; wait for the
+      // version to seal (covers callers handing us a just-acked version).
+      int64_t waited = 0;
+      while (sealed_version_.load(std::memory_order_acquire) < version) {
+        if (!running_.load(std::memory_order_acquire)) return false;
+        if (timeout_micros >= 0 && waited >= timeout_micros) return false;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        waited += 50;
+      }
+      return true;
+    }
+    return wal.WaitDurableLsn(wal.NextLsn(), timeout_micros);
+  }
+
+  /// LSN marker for "everything acked so far" — the RPC server stamps each
+  /// response with this and acks its durability once DurableLsn() passes
+  /// it. 0 without a WAL (everything trivially durable).
+  uint64_t WalMarker() const {
+    const WriteAheadLog& wal = system_.wal();
+    return wal.IsOpen() ? wal.NextLsn() : 0;
+  }
+  /// Records with lsn < this are on stable storage. 0 without a WAL.
+  uint64_t DurableLsn() const {
+    const WriteAheadLog& wal = system_.wal();
+    return wal.IsOpen() ? wal.DurableUpto() : 0;
+  }
+  /// Push-loop park: waits until DurableLsn() advances past `seen`, the
+  /// WAL dies, or the timeout expires. True iff it advanced.
+  bool WaitDurablePast(uint64_t seen, int64_t timeout_micros) {
+    WriteAheadLog& wal = system_.wal();
+    if (!wal.IsOpen()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          std::min<int64_t>(timeout_micros, 1000)));
+      return false;
+    }
+    return wal.WaitDurablePast(seen, timeout_micros);
+  }
+
   const ShardRouter& router() const { return router_; }
   uint64_t safe_ops() const { return safe_ops_.load(std::memory_order_relaxed); }
   uint64_t unsafe_ops() const {
@@ -272,6 +362,23 @@ class EpochPipeline {
         if (should_stop) break;
       }
 
+      // --- Fail-stop gate: a dead WAL (sticky kWalError from a failed
+      //     write or fsync) must never ack work it can no longer persist.
+      //     Everything claimed this epoch is rejected — blocking sessions
+      //     get kInvalidVersion, pipelined completions are error-counted —
+      //     without executing, logging, or touching the scheduler.
+      if (system_.WalStatus() != Status::kOk) {
+        RejectEpoch();
+        // Mirror the normal stop exit: leave only after an empty pass with
+        // nothing parked, so in-flight submissions drain (rejected, but
+        // answered) before the coordinator disappears.
+        if (should_stop && claimed_this_epoch == 0 &&
+            !former_.HasDeferred()) {
+          return;
+        }
+        continue;
+      }
+
       // --- Group commit (buffered): one WAL append for the whole epoch, in
       //     claim order, before anything executes. The physical flush (and
       //     optional fsync) stays at epoch end, as before.
@@ -314,15 +421,26 @@ class EpochPipeline {
         RecordStats(c, /*safe=*/false);
       }
 
-      // --- Epoch end: group commit flush, history GC, scheduler adaptation.
-      system_.WalFlush();
+      // --- Epoch end: group commit boundary, history GC, scheduler
+      //     adaptation. Coupled mode: a synchronous write (+ optional
+      //     fsync) lands here, on the coordinator. Decoupled mode
+      //     (async_durability): an O(1) Seal handoff tagged with the
+      //     committed version; the flusher syncs on its own cadence and
+      //     advances the durability watermark. A failure either way
+      //     latches kWalError and the next epoch's gate rejects ingest.
+      (void)system_.WalFlush();
       // Continuous queries: hand the epoch's committed changes to the
-      // publisher's matcher thread. After the flush — a pushed notification
-      // must never describe a change a crash could un-commit — and before
-      // history GC, O(1) handoff (buffer swap), off the critical path from
-      // here on.
+      // publisher's matcher thread. In coupled mode this stays after the
+      // physical flush, so a pushed notification never describes a change
+      // a crash could un-commit. Under async durability notifications are
+      // read-your-*execution* by design — subscribers who need the
+      // stronger contract gate on the kDurable watermark (DurableThrough /
+      // WaitDurable), which is the whole point of the split.
       if (publisher_ != nullptr) publisher_->SealEpoch();
       VersionId cur = system_.GetCurrentVersion();
+      // Client-thread-readable commit watermark (DurableThrough's no-WAL
+      // fallback; version_ itself is coordinator-private and non-atomic).
+      sealed_version_.store(cur, std::memory_order_release);
       if (cur > options_.history_window) {
         system_.ReleaseHistory(cur - options_.history_window);
       }
@@ -481,6 +599,32 @@ class EpochPipeline {
     }
   }
 
+  /// Fail-stop rejection of one epoch's claimed work: every blocking
+  /// session is answered kInvalidVersion (the transports map it to
+  /// kWalError via wal_failed()), pipelined completions are counted so
+  /// DrainAsync never hangs — nothing executes, nothing reaches the WAL,
+  /// and the scheduler/stat state is untouched. Claim order is preserved
+  /// so per-session FIFO semantics survive the shutdown.
+  void RejectEpoch() {
+    VersionId cur = system_.GetCurrentVersion();
+    for (Claimed& c : former_.safe_batch()) {
+      RespondOnly(*c.session, kInvalidVersion);
+    }
+    for (AsyncGroup& g : former_.async_safe()) {
+      AsyncComplete(*g.session, cur, g.updates.size());
+    }
+    auto& unsafe_queue = former_.unsafe_queue();
+    while (!unsafe_queue.empty()) {
+      Claimed c = unsafe_queue.front();
+      unsafe_queue.pop_front();
+      if (c.is_async) {
+        AsyncComplete(*c.session, cur, 1);
+      } else {
+        RespondOnly(*c.session, kInvalidVersion);
+      }
+    }
+  }
+
   void ApplySafe(const Update& u) { system_.ApplySafeToStore(u); }
 
   VersionId ApplyUnsafeOne(const Update& u) {
@@ -592,6 +736,9 @@ class EpochPipeline {
   /// EWMA of per-update processing cost over claiming epochs; with the
   /// ring capacity it prices a full-ring drain for the kBusy retry hint.
   std::atomic<int64_t> avg_op_ns_{0};
+  /// Last version a completed epoch committed (client-thread readable;
+  /// DurableThrough's no-WAL fallback).
+  std::atomic<VersionId> sealed_version_{0};
   size_t ring_capacity_ = 0;
   uint64_t epoch_qualified_ = 0;
   uint64_t epoch_missed_ = 0;

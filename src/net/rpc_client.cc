@@ -133,6 +133,10 @@ bool RpcClient::Connect(const std::string& socket_path) {
     orphan_count_ = 0;
     notify_pending_ = 0;
     stray_notifications_ = 0;
+    durable_version_ = 0;
+    durable_corr_ = 0;
+    durable_frames_ = 0;
+    wal_failed_ = false;
   }
   closed_.store(false, std::memory_order_release);
   reader_ = std::thread([this] { ReaderLoop(); });
@@ -169,13 +173,23 @@ void RpcClient::ReaderLoop() {
 
     // Server-initiated pushes demux on the STATUS byte, before any
     // correlation-ID matching: the corr field of a kNotify frame is a
-    // subscription id and may collide with an in-flight call's corr id.
+    // subscription id (and a kDurable frame's is 0) — either may collide
+    // with an in-flight call's corr id.
     if (status == rpc::Status::kNotify) {
       if (!HandleNotifyFrame(payload)) break;  // malformed push: desync
       continue;
     }
+    if (status == rpc::Status::kDurable) {
+      if (!HandleDurableFrame(payload)) break;  // malformed push: desync
+      continue;
+    }
 
     std::unique_lock<std::mutex> lk(mu_);
+    if (status == rpc::Status::kWalError) {
+      // The server's log fail-stopped; latch it before completing the call
+      // so the caller that wakes to this rejection already sees the flag.
+      wal_failed_ = true;
+    }
     auto pit = pending_.find(corr);
     if (pit != pending_.end()) {
       PendingCall* pc = pit->second;
@@ -273,6 +287,25 @@ bool RpcClient::HandleNotifyFrame(const std::vector<uint8_t>& payload) {
     }
   }
   if (it != subs_.end()) cv_.notify_all();
+  return true;
+}
+
+bool RpcClient::HandleDurableFrame(const std::vector<uint8_t>& payload) {
+  rpc::Reader r(payload.data() + 9, payload.size() - 9);
+  uint64_t durable_version = r.U64();
+  uint32_t count = r.U32();
+  if (!r.ok() || count > rpc::kMaxDurableRanges ||
+      payload.size() != 21 + 16ull * count) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  durable_version_ = std::max(durable_version_, durable_version);
+  for (uint32_t i = 0; i < count; ++i) {
+    r.U64();  // first_corr: subsumed by the cumulative-ack high-water mark
+    durable_corr_ = std::max(durable_corr_, r.U64());
+  }
+  ++durable_frames_;
+  cv_.notify_all();
   return true;
 }
 
@@ -584,6 +617,52 @@ bool RpcClient::WaitNotification(int64_t timeout_micros) {
 uint64_t RpcClient::stray_notification_count() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stray_notifications_;
+}
+
+//===--- Durability (v2.2) ---------------------------------------------------//
+
+uint64_t RpcClient::DurableThrough() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return durable_version_;
+}
+
+bool RpcClient::wal_failed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return wal_failed_;
+}
+
+uint64_t RpcClient::durable_frames_received() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return durable_frames_;
+}
+
+bool RpcClient::WaitDurable(uint64_t version, int64_t timeout_micros) {
+  (void)version;  // best effort; the anchor ack is the per-update guarantee
+  if (protocol_version_ < rpc::kDurabilityVersion) return false;
+  // Plant a kFlush anchor. Frames already sent on this connection are
+  // dispatched before it (the socket and the handler are FIFO), so its
+  // durability ack covers every update submitted before this call —
+  // including the pipelined lane, which kFlush drains before answering.
+  PendingCall pc;
+  uint64_t corr = 0;
+  if (!BeginCall(&pc, &corr)) return false;
+  std::vector<uint8_t> req;
+  rpc::Writer w(req);
+  rpc::WriteRequestHeader(w, corr, rpc::Op::kFlush);
+  if (!FinishCall(&pc, corr, req) || pc.status != rpc::Status::kOk) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  auto settled = [&] {
+    return durable_corr_ >= corr || wal_failed_ ||
+           closed_.load(std::memory_order_acquire);
+  };
+  if (timeout_micros < 0) {
+    cv_.wait(lk, settled);
+  } else {
+    cv_.wait_for(lk, std::chrono::microseconds(timeout_micros), settled);
+  }
+  return durable_corr_ >= corr;
 }
 
 //===--- Reads ---------------------------------------------------------------//

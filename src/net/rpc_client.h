@@ -22,8 +22,8 @@
 
 namespace risgraph {
 
-/// Protocol-v2 / v2.1 client stub for the RPC tier, implementing the same
-/// IClient surface as the in-process SessionClient.
+/// Protocol-v2 / v2.1 / v2.2 client stub for the RPC tier, implementing the
+/// same IClient surface as the in-process SessionClient.
 ///
 /// Connect() performs the Hello version-negotiation handshake, then starts a
 /// reader thread that demultiplexes responses by correlation ID — so the
@@ -54,6 +54,17 @@ namespace risgraph {
 /// unsupported (0). kNotify frames whose id is unknown or already
 /// unsubscribed (the in-flight race) are counted and dropped, never treated
 /// as a desync.
+///
+/// Durability (v2.2): the reader also demuxes server-initiated kDurable
+/// frames — again by status byte — which ack ranges of anchor correlation
+/// IDs (blocking mutations and kFlush) whose WAL records reached stable
+/// storage. Acks are cumulative and correlation IDs here are allocated
+/// monotonically, so the client keeps one high-water corr; WaitDurable
+/// sends a kFlush anchor (draining the pipelined lane server-side) and
+/// parks until that anchor's durability ack arrives. Against a < v2.2
+/// server DurableThrough stays 0 and WaitDurable fails — durability
+/// unknown. A kWalError response latches wal_failed(): the server's log is
+/// fail-stopped and no later mutation will succeed.
 ///
 /// If the connection dies, every parked call fails and the updates of
 /// unacknowledged pipelined frames land in TakeRejected() (their fate is
@@ -121,6 +132,14 @@ class RpcClient final : public IClient {
   /// already unsubscribed (in-flight pushes racing kUnsubscribe).
   uint64_t stray_notification_count() const;
 
+  //===--- IClient: durability (v2.2) -------------------------------------===//
+
+  uint64_t DurableThrough() const override;
+  bool WaitDurable(uint64_t version, int64_t timeout_micros = -1) override;
+  bool wal_failed() const override;
+  /// kDurable frames received (lifetime); 0 against a < v2.2 server.
+  uint64_t durable_frames_received() const;
+
   //===--- IClient: reads -------------------------------------------------===//
 
   bool Ping() override;
@@ -170,6 +189,10 @@ class RpcClient final : public IClient {
   /// only on a malformed frame — a framing-level desync, like any other
   /// unparseable server bytes. Unknown ids are NOT malformed.
   bool HandleNotifyFrame(const std::vector<uint8_t>& payload);
+  /// Routes one kDurable frame (status byte already checked): advances the
+  /// durable version watermark and the anchor-corr high-water mark. False
+  /// only on a malformed frame.
+  bool HandleDurableFrame(const std::vector<uint8_t>& payload);
 
   int fd_ = -1;
   size_t window_;
@@ -214,6 +237,14 @@ class RpcClient final : public IClient {
   size_t orphan_count_ = 0;
   uint64_t notify_pending_ = 0;  // undelivered across subs_, for Wait
   uint64_t stray_notifications_ = 0;
+
+  /// v2.2 durability state (guarded by mu_). Correlation IDs are allocated
+  /// monotonically and durability acks are cumulative, so a single
+  /// high-water corr captures everything acked so far.
+  uint64_t durable_version_ = 0;
+  uint64_t durable_corr_ = 0;
+  uint64_t durable_frames_ = 0;
+  bool wal_failed_ = false;  // latched on the first kWalError response
 };
 
 }  // namespace risgraph

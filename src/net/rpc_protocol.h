@@ -9,7 +9,7 @@
 
 namespace risgraph {
 
-/// Wire protocol v2 / v2.1 for RisGraph's interactive RPC tier.
+/// Wire protocol v2 / v2.1 / v2.2 for RisGraph's interactive RPC tier.
 ///
 /// The paper's evaluation drives RisGraph from a second machine over an
 /// Infiniband RPC framework (Section 6.2); this repository's analog runs the
@@ -23,6 +23,11 @@ namespace risgraph {
 /// adds continuous-query subscriptions: kSubscribe / kUnsubscribe requests
 /// and server-initiated kNotify frames that push committed result changes
 /// (src/subscribe/) — the first server-initiated traffic in the protocol.
+/// v2.2 (wire version 4) decouples durability from execution: when the
+/// server group-commits asynchronously, a mutating response's version means
+/// "executed", and a later server-initiated kDurable frame acks the range
+/// of correlation IDs whose WAL records have reached stable storage
+/// (src/wal/) — plus a kWalError status for the fail-stopped log.
 ///
 /// ## Framing
 ///
@@ -110,6 +115,48 @@ namespace risgraph {
 /// A plain-v2 peer never sees kNotify: the server only pushes after a
 /// successful kSubscribe, which v2 cannot express (below).
 ///
+/// ## Durability frames (v2.2, server-initiated)
+///
+/// On a v2.2 connection the server tracks, per anchor request it answers
+/// kOk — the blocking mutating opcodes (kInsEdge, kDelEdge, kInsVertex,
+/// kDelVertex, kTxn) plus kFlush — the WAL position the request's records
+/// occupy at dispatch completion, and MAY at any time interleave
+/// durability frames with responses:
+///
+///   [u64 0][u8 status = kDurable][u64 durable_version]
+///   [u32 n][n x (u64 first_corr, u64 last_corr)]
+///
+/// Each (first_corr, last_corr) pair acks the inclusive range of anchor
+/// correlation IDs whose updates are now durable: their WAL records have
+/// been written and (when the server syncs) fsynced, so they will be
+/// replayed after a crash. The pipelined lane is covered by its group
+/// anchor, not per update: a kSubmitPipelined / kUpdateBatch ack only
+/// means "queued" (its records may not exist yet), and the durability ack
+/// of a later kFlush — which drains the lane before answering — covers
+/// every pipelined update accepted before it. Ranges are coalesced
+/// server-side; with monotonically increasing client correlation IDs a
+/// frame usually carries exactly one pair. Durability acks are cumulative
+/// and arrive in dispatch order: acking anchor corr C implies every
+/// earlier-dispatched anchor on this connection is durable too.
+/// `durable_version` is the server's durable version watermark —
+/// reporting-grade, because safe updates execute without bumping the
+/// version; per-request guarantees come from the corr ranges. The
+/// correlation-ID field of the frame itself is 0 and meaningless; like
+/// kNotify, the status byte is what distinguishes the push, so clients
+/// MUST demux on it before matching correlation IDs.
+///
+/// A server running without a WAL acks durability immediately (the frames
+/// still flow — "durable" degenerates to "executed"); a server running
+/// its WAL in coupled mode (no async group commit) acks right after the
+/// epoch's synchronous flush. Either way a v2.2 client can rely on the
+/// frames arriving; only a < v2.2 server never sends them (matrix below).
+/// A response with status kWalError (body empty) means the WAL has
+/// fail-stopped: the update was NOT applied and NOT logged, and every
+/// subsequent mutating request on any connection will be rejected the same
+/// way. Mutating requests on both lanes of a fail-stopped v2.2 server
+/// answer kWalError instead of kOk (kFlush too, since its durability
+/// promise can no longer be met); read requests keep working.
+///
 /// ## Pipelined lane
 ///
 /// kSubmitPipelined and kUpdateBatch enqueue updates on the session's
@@ -155,31 +202,49 @@ namespace risgraph {
 ///                       server-initiated notification frame (v2.1, above).
 ///   kUnsupportedVersion handshake failed (see above); sent as a one-byte
 ///                       frame, then the connection closes.
+///   kDurable            never appears on a response: the marker byte of a
+///                       server-initiated durability frame (v2.2, above).
+///   kWalError (v2.2)    the server's WAL has fail-stopped; the mutating
+///                       request was neither applied nor logged, and no
+///                       later mutating request will succeed. Body empty.
+///                       The connection stays usable for reads.
 ///
-/// ## Version negotiation across v2 / v2.1
+/// ## Version negotiation across v2 / v2.1 / v2.2
 ///
-/// Versions are consecutive wire integers (2 = v2, 3 = v2.1) and the Hello
-/// negotiates the highest common one, so the mix-and-match matrix is:
-///  * new client (min 2, max 3) x old server (max 2) -> 2. The client's
+/// Versions are consecutive wire integers (2 = v2, 3 = v2.1, 4 = v2.2) and
+/// the Hello negotiates the highest common one, so the mix-and-match matrix
+/// (shown for v2/v2.1; v2.2 downgrades compose the same way) is:
+///  * new client (min 2, max 4) x old server (max 2) -> 2. The client's
 ///    Subscribe surface reports unsupported (id 0); everything else works —
 ///    plain-v2 operation, unaffected.
 ///  * old client (max 2) x new server -> 2. The server treats the v2.1
 ///    opcodes exactly as a v2 server would — an unparseable opcode,
 ///    kBadRequest + close — and never pushes kNotify, so a v2 peer cannot
 ///    observe any v2.1 traffic it would misparse as a desync.
-///  * new x new -> 3: the full subscription surface.
+///  * new x new -> 4: the full subscription + durability surface.
+/// v2.2-specific downgrades:
+///  * client max 4 x server max 3 -> 3: the server never pushes kDurable
+///    and never answers kWalError, so the client's DurableThrough stays 0
+///    and WaitDurable fails — "durability unknown", exactly the
+///    subscription-unaware degradation pattern. Subscriptions still work.
+///  * client max 3 x server max 4 -> 3: the server suppresses kDurable
+///    pushes and maps WAL fail-stop rejections onto plain kError, which a
+///    v2/v2.1 peer already handles. No v2.2 byte ever reaches a peer that
+///    did not negotiate it.
 namespace rpc {
 
 inline constexpr uint32_t kMaxFrameBytes = 1 << 20;
 
 /// Version negotiated by the kHello handshake. v1 (the closed-loop,
-/// correlation-free protocol) is no longer served. Wire version 3 is
-/// protocol v2.1 (subscriptions); 2 is still fully served for plain-v2
-/// peers.
-inline constexpr uint16_t kProtocolVersion = 3;
+/// correlation-free protocol) is no longer served. Wire version 4 is
+/// protocol v2.2 (durability acks), 3 is v2.1 (subscriptions); 2 is still
+/// fully served for plain-v2 peers.
+inline constexpr uint16_t kProtocolVersion = 4;
 inline constexpr uint16_t kMinSupportedVersion = 2;
 /// First wire version that carries kSubscribe / kUnsubscribe / kNotify.
 inline constexpr uint16_t kSubscriptionVersion = 3;
+/// First wire version that carries kDurable / kWalError.
+inline constexpr uint16_t kDurabilityVersion = 4;
 
 /// First field of a Hello body; anything else on a fresh connection is a
 /// pre-v2 (or non-RisGraph) peer.
@@ -205,6 +270,13 @@ static_assert(13 + 32ull * kMaxNotifyBatch <= kMaxFrameBytes);
 /// vertex id).
 inline constexpr uint32_t kMaxSubscribeVertices = (kMaxFrameBytes - 31) / 8;
 static_assert(31 + 8ull * kMaxSubscribeVertices <= kMaxFrameBytes);
+
+/// Correlation-ID ranges per kDurable frame ([u64 0][u8 kDurable]
+/// [u64 durable_version][u32 n] header, 16 bytes per range). In practice a
+/// frame carries one coalesced range; the cap only bounds a pathological
+/// client that interleaves correlation IDs non-monotonically.
+inline constexpr uint32_t kMaxDurableRanges = (kMaxFrameBytes - 21) / 16;
+static_assert(21 + 16ull * kMaxDurableRanges <= kMaxFrameBytes);
 
 enum class Op : uint8_t {
   kPing = 0,
@@ -234,6 +306,9 @@ enum class Status : uint8_t {
   kBusy = 3,                // load shed under OverloadPolicy::kShed
   kUnsupportedVersion = 4,  // handshake failed; one-byte frame, then close
   kNotify = 5,              // v2.1 push-frame marker, never a response status
+  kDurable = 6,             // v2.2 push-frame marker, never a response status
+  kWalError = 7,            // v2.2: WAL fail-stopped; update neither applied
+                            // nor logged, no later mutation will succeed
 };
 
 /// Serialization cursor over a growing byte buffer.

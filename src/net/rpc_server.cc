@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -86,6 +87,7 @@ bool RpcServer::Start(int max_clients) {
   }
 
   stopping_.store(false);
+  accept_exited_.store(false);
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return true;
 }
@@ -93,16 +95,25 @@ bool RpcServer::Start(int max_clients) {
 void RpcServer::Stop() {
   if (listen_fd_ < 0) return;
   stopping_.store(true);
-  // shutdown()/close() on a listening socket does not wake a blocked
-  // accept() on every kernel; poke it with a throwaway connection instead.
-  int poke = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (poke >= 0) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, socket_path_.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    ::connect(poke, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-    ::close(poke);
+  // Wake the acceptor out of accept(). shutdown() on a listening socket
+  // unblocks accept() on Linux but not on every kernel, and a single
+  // throwaway connect() can itself fail (ENFILE, full backlog, lost race)
+  // and leave the join below waiting forever — so do both, and keep poking
+  // until the accept loop confirms it exited.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  for (int attempt = 0; !accept_exited_.load(std::memory_order_acquire);
+       ++attempt) {
+    if (attempt > 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (attempt % 8 != 0) continue;  // re-poke every ~8ms
+    int poke = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (poke >= 0) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, socket_path_.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      ::connect(poke, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      ::close(poke);
+    }
   }
   if (acceptor_.joinable()) acceptor_.join();
   // Wake handlers blocked mid-read on connections the clients never closed.
@@ -126,7 +137,7 @@ void RpcServer::AcceptLoop() {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (stopping_.load(std::memory_order_acquire)) {
       if (fd >= 0) ::close(fd);  // the Stop() poke, or a raced-in client
-      return;
+      break;
     }
     if (fd < 0) continue;
     size_t slot = next_session_.fetch_add(1, std::memory_order_relaxed);
@@ -143,6 +154,7 @@ void RpcServer::AcceptLoop() {
     handlers_.emplace_back(
         [this, fd, session] { HandleConnection(fd, session); });
   }
+  accept_exited_.store(true, std::memory_order_release);
 }
 
 bool RpcServer::Handshake(int fd, uint16_t* version_out) {
@@ -194,10 +206,11 @@ void RpcServer::HandleConnection(int fd, Session* session) {
   // the pusher (which drives it) is always joined first.
   SessionClient<> client(system_, pipeline_, session,
                          {/*window=*/0, /*track_rejected=*/false});
-  // Serializes response writes with kNotify pushes once a pusher exists;
-  // uncontended (and pusher-free) for plain-v2 connections.
+  // Serializes response writes with kNotify / kDurable pushes once a pusher
+  // exists; uncontended (and pusher-free) for plain-v2 connections.
   std::mutex write_mu;
   std::atomic<bool> conn_done{false};
+  DurabilityChannel dur;
   std::thread pusher;
   std::vector<uint8_t> request;
   std::vector<uint8_t> response;
@@ -214,7 +227,7 @@ void RpcServer::HandleConnection(int fd, Session* session) {
     uint64_t corr = 0;
     bool subscribed = false;
     bool parsed = Dispatch(request.data(), len, client, version, response,
-                           &corr, &subscribed);
+                           &corr, &subscribed, dur);
     if (!parsed) {
       // One bad frame poisons the stream (framing may be lost): answer with
       // kBadRequest, then drop the connection.
@@ -234,17 +247,28 @@ void RpcServer::HandleConnection(int fd, Session* session) {
     if (!wrote || !parsed) {
       break;
     }
-    if (subscribed && !pusher.joinable()) {
-      // First standing query on this connection: start the pusher AFTER the
-      // kSubscribe response went out, so the subscription id always reaches
-      // the peer before its first kNotify.
-      pusher = std::thread([this, fd, &client, &write_mu, &conn_done] {
-        PushLoop(fd, client, write_mu, conn_done);
-      });
+    if (!pusher.joinable()) {
+      // Start the pusher lazily, AFTER the triggering response went out: a
+      // kSubscribe's subscription id always reaches the peer before its
+      // first kNotify, and an anchor's kOk always precedes its kDurable.
+      // Before the pusher exists only this thread touches dur.entries, so
+      // the emptiness probe cannot race a concurrent ack.
+      bool dur_pending;
+      {
+        std::lock_guard<std::mutex> g(dur.mu);
+        dur_pending = !dur.entries.empty();
+      }
+      if (subscribed || dur_pending) {
+        pusher = std::thread([this, fd, &client, &write_mu, &conn_done,
+                              &dur] {
+          PushLoop(fd, client, write_mu, conn_done, dur);
+        });
+      }
     }
   }
   conn_done.store(true, std::memory_order_release);
   client.WakeNotificationWaiters();  // unpark the pusher for a prompt join
+  dur.cv.notify_all();
   if (pusher.joinable()) pusher.join();
   {
     std::lock_guard<std::mutex> g(conn_mu_);
@@ -263,43 +287,59 @@ bool RpcServer::ValidUpdate(const Update& u) const {
   return IsValidUpdate(u, system_.store().NumVertices());
 }
 
-void RpcServer::PushLoop(int fd, IClient& client, std::mutex& write_mu,
-                         std::atomic<bool>& conn_done) {
+void RpcServer::PushLoop(int fd, SessionClient<>& client, std::mutex& write_mu,
+                         std::atomic<bool>& conn_done, DurabilityChannel& dur) {
   // Concurrency note: this thread only touches the client's subscription
-  // surface (WaitNotification / PollNotifications), which is backed by the
-  // registry's own lock — safe against the handler thread's concurrent
-  // dispatches on the same SessionClient.
+  // surface (WaitNotification / PollNotifications, backed by the registry's
+  // own lock), the durability channel (its own lock), and the pipeline's
+  // durability watermark (atomics) — safe against the handler thread's
+  // concurrent dispatches on the same SessionClient.
   std::vector<Notification> batch;
   std::vector<uint8_t> frame;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
   while (!conn_done.load(std::memory_order_acquire) &&
          !stopping_.load(std::memory_order_acquire)) {
-    // Parked, not polling: deliveries wake this immediately via the
-    // registry cv, and connection teardown wakes it explicitly
-    // (WakeNotificationWaiters) — the timeout is only a backstop, so idle
-    // subscribed connections cost the shared registry mutex ~4 acquisitions
-    // a second, not hundreds.
-    if (!client.WaitNotification(/*timeout_micros=*/250000)) continue;
-    batch.clear();
-    client.PollNotifications(&batch, rpc::kMaxNotifyBatch);
-    // One kNotify frame per run of same-subscription notifications (Poll
-    // returns them grouped in subscription-id order).
-    size_t i = 0;
-    while (i < batch.size()) {
-      size_t j = i;
-      while (j < batch.size() &&
-             batch[j].subscription_id == batch[i].subscription_id) {
-        ++j;
+    // --- Durability acks: pop the prefix the watermark has passed. -------
+    uint64_t durable_lsn = pipeline_.DurableLsn();
+    uint64_t acked = 0;
+    bool dur_pending;
+    ranges.clear();
+    {
+      std::lock_guard<std::mutex> g(dur.mu);
+      while (!dur.entries.empty() &&
+             dur.entries.front().marker <= durable_lsn) {
+        uint64_t c = dur.entries.front().corr;
+        dur.entries.pop_front();
+        ++acked;
+        // Acks are cumulative, so any ascending run coalesces into one
+        // range; a client reusing correlation IDs non-monotonically just
+        // gets more ranges.
+        if (!ranges.empty() && c > ranges.back().second) {
+          ranges.back().second = c;
+        } else {
+          ranges.push_back({c, c});
+        }
       }
+      if (pipeline_.wal_failed()) {
+        // Fail-stopped log: the remaining markers can never be reached.
+        // Drop them — the peer learns of the failure from kWalError
+        // responses, and its WaitDurable must NOT succeed off a stale ack.
+        dur.entries.clear();
+      }
+      dur_pending = !dur.entries.empty();
+    }
+    for (size_t off = 0; off < ranges.size();) {
+      size_t n = std::min(ranges.size() - off,
+                          static_cast<size_t>(rpc::kMaxDurableRanges));
       frame.clear();
       rpc::Writer w(frame);
-      w.U64(batch[i].subscription_id);  // sub id rides the corr-id field
-      w.U8(static_cast<uint8_t>(rpc::Status::kNotify));
-      w.U32(static_cast<uint32_t>(j - i));
-      for (size_t k = i; k < j; ++k) {
-        w.U64(batch[k].version);
-        w.U64(batch[k].vertex);
-        w.U64(batch[k].old_value);
-        w.U64(batch[k].new_value);
+      w.U64(0);  // no correlation: the status byte marks the push
+      w.U8(static_cast<uint8_t>(rpc::Status::kDurable));
+      w.U64(pipeline_.DurableThrough());
+      w.U32(static_cast<uint32_t>(n));
+      for (size_t k = 0; k < n; ++k) {
+        w.U64(ranges[off + k].first);
+        w.U64(ranges[off + k].second);
       }
       bool wrote;
       {
@@ -307,15 +347,69 @@ void RpcServer::PushLoop(int fd, IClient& client, std::mutex& write_mu,
         wrote = WriteFrame(fd, frame);
       }
       if (!wrote) return;  // peer gone; the handler notices on its read side
-      notifications_pushed_.fetch_add(j - i, std::memory_order_relaxed);
-      i = j;
+      off += n;
+    }
+    durability_acks_pushed_.fetch_add(acked, std::memory_order_relaxed);
+
+    // --- Notifications: drain whatever is pending (non-blocking). --------
+    if (client.HasSubscriber()) {
+      batch.clear();
+      client.PollNotifications(&batch, rpc::kMaxNotifyBatch);
+      // One kNotify frame per run of same-subscription notifications (Poll
+      // returns them grouped in subscription-id order).
+      size_t i = 0;
+      while (i < batch.size()) {
+        size_t j = i;
+        while (j < batch.size() &&
+               batch[j].subscription_id == batch[i].subscription_id) {
+          ++j;
+        }
+        frame.clear();
+        rpc::Writer w(frame);
+        w.U64(batch[i].subscription_id);  // sub id rides the corr-id field
+        w.U8(static_cast<uint8_t>(rpc::Status::kNotify));
+        w.U32(static_cast<uint32_t>(j - i));
+        for (size_t k = i; k < j; ++k) {
+          w.U64(batch[k].version);
+          w.U64(batch[k].vertex);
+          w.U64(batch[k].old_value);
+          w.U64(batch[k].new_value);
+        }
+        bool wrote;
+        {
+          std::lock_guard<std::mutex> g(write_mu);
+          wrote = WriteFrame(fd, frame);
+        }
+        if (!wrote) return;
+        notifications_pushed_.fetch_add(j - i, std::memory_order_relaxed);
+        i = j;
+      }
+    }
+
+    // --- Park on whichever wakeup channel is live (250ms backstops). -----
+    // Parked, not polling: watermark advances and deliveries wake this
+    // promptly, and connection teardown wakes all three primitives — the
+    // timeouts only backstop the channel not being waited on (e.g. a
+    // notification landing while parked on the watermark waits at most one
+    // flush interval or 250ms).
+    if (dur_pending) {
+      pipeline_.WaitDurablePast(durable_lsn, /*timeout_micros=*/250000);
+    } else if (client.HasSubscriber()) {
+      client.WaitNotification(/*timeout_micros=*/250000);
+    } else {
+      std::unique_lock<std::mutex> lk(dur.mu);
+      dur.cv.wait_for(lk, std::chrono::microseconds(250000), [&] {
+        return !dur.entries.empty() ||
+               conn_done.load(std::memory_order_acquire);
+      });
     }
   }
 }
 
-bool RpcServer::Dispatch(const uint8_t* payload, size_t len, IClient& client,
-                         uint16_t version, std::vector<uint8_t>& response,
-                         uint64_t* corr_out, bool* subscribed_out) {
+bool RpcServer::Dispatch(const uint8_t* payload, size_t len,
+                         SessionClient<>& client, uint16_t version,
+                         std::vector<uint8_t>& response, uint64_t* corr_out,
+                         bool* subscribed_out, DurabilityChannel& dur) {
   rpc::Reader r(payload, len);
   uint64_t corr = r.U64();
   uint8_t op_raw = r.U8();
@@ -333,12 +427,30 @@ bool RpcServer::Dispatch(const uint8_t* payload, size_t len, IClient& client,
   auto op = static_cast<rpc::Op>(op_raw);
   rpc::Writer w(response);
   auto head = [&](rpc::Status s) { rpc::WriteResponseHeader(w, corr, s); };
+  // v2.2: a kOk anchor response (blocking mutation / kFlush) promises a
+  // later kDurable ack; the marker is the WAL position at dispatch
+  // completion — by then every record the request produced is appended
+  // (blocking ops executed inside an epoch that logged them first; kFlush
+  // drained the pipelined lane), so watermark >= marker covers them all.
+  auto anchor = [&] {
+    if (version >= rpc::kDurabilityVersion) {
+      dur.Push(corr, pipeline_.WalMarker());
+    }
+  };
+  // Rejection status for a mutating request: a fail-stopped WAL is its own
+  // status for peers that negotiated it, plain kError for the rest.
+  auto reject = [&] {
+    head(version >= rpc::kDurabilityVersion && client.wal_failed()
+             ? rpc::Status::kWalError
+             : rpc::Status::kError);
+  };
   auto version_or_error = [&](VersionId ver) {
     if (ver == kInvalidVersion) {
-      head(rpc::Status::kError);
+      reject();
     } else {
       head(rpc::Status::kOk);
       w.U64(ver);
+      anchor();
     }
   };
 
@@ -367,9 +479,14 @@ bool RpcServer::Dispatch(const uint8_t* payload, size_t len, IClient& client,
       if (!r.AtEnd()) return false;
       VertexId fresh = kInvalidVertex;
       VersionId ver = client.InsVertex(&fresh);
+      if (ver == kInvalidVersion) {
+        reject();  // only the WAL fail-stop rejects a vertex insert
+        return true;
+      }
       head(rpc::Status::kOk);
       w.U64(ver);
       w.U64(fresh);
+      anchor();
       return true;
     }
     case rpc::Op::kDelVertex: {
@@ -398,7 +515,10 @@ bool RpcServer::Dispatch(const uint8_t* payload, size_t len, IClient& client,
       ClientStatus st = client.SubmitAsync(u);
       head(st == ClientStatus::kOk    ? rpc::Status::kOk
            : st == ClientStatus::kBusy ? rpc::Status::kBusy
-                                       : rpc::Status::kError);
+           : st == ClientStatus::kWalError &&
+                   version >= rpc::kDurabilityVersion
+               ? rpc::Status::kWalError
+               : rpc::Status::kError);
       if (st == ClientStatus::kBusy) {
         w.U32(0);  // uniform kBusy body: accepted prefix (nothing queued)
         w.U32(pipeline_.SuggestRetryAfterMicros());
@@ -420,6 +540,12 @@ bool RpcServer::Dispatch(const uint8_t* payload, size_t len, IClient& client,
         }
       }
       size_t accepted = client.SubmitBatch(batch.data(), batch.size());
+      if (accepted != batch.size() && client.wal_failed()) {
+        // Not shed — fail-stopped. The queued prefix (if any) will be
+        // rejected by the coordinator; nothing here is resubmittable.
+        reject();
+        return true;
+      }
       head(accepted == batch.size() ? rpc::Status::kOk : rpc::Status::kBusy);
       w.U32(static_cast<uint32_t>(accepted));
       if (accepted != batch.size()) {
@@ -430,13 +556,16 @@ bool RpcServer::Dispatch(const uint8_t* payload, size_t len, IClient& client,
     case rpc::Op::kFlush: {
       if (!r.AtEnd()) return false;
       FlushResult fr = client.Flush();
-      if (!fr.ok) {
-        head(rpc::Status::kError);
+      if (!fr.ok || client.wal_failed()) {
+        // A fail-stopped WAL voids kFlush's durability promise even though
+        // the lane drained (the coordinator rejected the tail).
+        reject();
         return true;
       }
       head(rpc::Status::kOk);
       w.U64(fr.version);
       w.U64(fr.completed);
+      anchor();
       return true;
     }
     case rpc::Op::kGetValue: {

@@ -2,6 +2,8 @@
 #define RISGRAPH_NET_RPC_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -58,6 +60,17 @@ namespace risgraph {
 ///    is single-writer — they execute as read-only read-write transactions
 ///    in the sequential lane (Section 4's long-term-unsafe treatment).
 ///
+/// v2.2 durability acks: when the peer negotiated wire version 4, every
+/// kOk response to an anchor request (blocking mutation or kFlush) appends
+/// a {correlation id, WAL position} entry to the connection's durability
+/// channel; the same per-connection pusher thread that streams kNotify
+/// watches the pipeline's durability watermark and acks entries the
+/// watermark has passed as coalesced kDurable ranges. With no WAL (or a
+/// coupled one) the entries are ackable immediately / at the next epoch
+/// flush, so the frames flow on every v2.2 connection regardless of server
+/// durability mode. A fail-stopped WAL turns mutating responses into
+/// kWalError (for < v2.2 peers: plain kError).
+///
 /// Lifecycle: construct with a *started* service, then Start(); Stop() (or
 /// destruction) closes the listener and drains the per-client threads.
 class RpcServer {
@@ -96,8 +109,36 @@ class RpcServer {
   uint64_t notifications_pushed() const {
     return notifications_pushed_.load(std::memory_order_relaxed);
   }
+  /// Anchor requests acked durable in kDurable frames (lifetime, all
+  /// connections).
+  uint64_t durability_acks_pushed() const {
+    return durability_acks_pushed_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Per-connection durability channel (v2.2): the handler thread appends
+  /// an entry for every kOk anchor response; the pusher thread acks the
+  /// prefix the WAL's durable watermark has passed. Entries are appended
+  /// in dispatch order and markers are monotonic (WAL positions only
+  /// grow), so the ackable set is always a prefix.
+  struct DurabilityChannel {
+    struct Entry {
+      uint64_t corr;
+      uint64_t marker;  // WAL position (next LSN) at dispatch completion
+    };
+    std::mutex mu;
+    std::condition_variable cv;  // handler -> pusher: new entry appended
+    std::deque<Entry> entries;
+
+    void Push(uint64_t corr, uint64_t marker) {
+      {
+        std::lock_guard<std::mutex> g(mu);
+        entries.push_back({corr, marker});
+      }
+      cv.notify_all();
+    }
+  };
+
   void AcceptLoop();
   void HandleConnection(int fd, Session* session);
   /// Reads and answers the Hello frame; false when the peer is not a
@@ -107,20 +148,26 @@ class RpcServer {
   bool Handshake(int fd, uint16_t* version_out);
   /// Decodes and executes one request against the connection's client;
   /// appends the response payload. `version` gates the v2.1 opcodes (a
-  /// plain-v2 peer must see them as unparseable, like an old server).
-  /// Returns false when the frame is unparseable (`*corr_out` holds the
-  /// correlation ID when one could be read; the caller answers kBadRequest
-  /// and drops the connection). Sets `*subscribed_out` when a kSubscribe
-  /// succeeded, so the caller can start the connection's pusher.
-  bool Dispatch(const uint8_t* payload, size_t len, IClient& client,
+  /// plain-v2 peer must see them as unparseable, like an old server) and
+  /// the v2.2 status mapping. Returns false when the frame is unparseable
+  /// (`*corr_out` holds the correlation ID when one could be read; the
+  /// caller answers kBadRequest and drops the connection). Sets
+  /// `*subscribed_out` when a kSubscribe succeeded, so the caller can
+  /// start the connection's pusher. On a v2.2 connection, kOk anchor
+  /// responses append their durability entry to `dur`.
+  bool Dispatch(const uint8_t* payload, size_t len, SessionClient<>& client,
                 uint16_t version, std::vector<uint8_t>& response,
-                uint64_t* corr_out, bool* subscribed_out);
-  /// Per-connection notification pusher: parks on the client's registry
-  /// wakeup, drains its delivery queues, and writes kNotify frames under
-  /// `write_mu`. Exits when the connection winds down (`conn_done`), the
-  /// server stops, or the peer's socket dies.
-  void PushLoop(int fd, IClient& client, std::mutex& write_mu,
-                std::atomic<bool>& conn_done);
+                uint64_t* corr_out, bool* subscribed_out,
+                DurabilityChannel& dur);
+  /// Per-connection pusher: acks durability entries the WAL watermark has
+  /// passed (kDurable), drains the client's delivery queues (kNotify), and
+  /// writes both under `write_mu`. Parks on whichever wakeup channel is
+  /// live: the durability watermark when entries are pending, the
+  /// subscription registry when subscribed, the durability channel's own
+  /// cv otherwise (250ms backstops each). Exits when the connection winds
+  /// down (`conn_done`), the server stops, or the peer's socket dies.
+  void PushLoop(int fd, SessionClient<>& client, std::mutex& write_mu,
+                std::atomic<bool>& conn_done, DurabilityChannel& dur);
 
   bool ValidUpdate(const Update& u) const;
 
@@ -136,10 +183,12 @@ class RpcServer {
   std::vector<Session*> session_pool_;
   std::atomic<size_t> next_session_{0};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> accept_exited_{false};
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> handshakes_rejected_{0};
   std::atomic<uint64_t> notifications_pushed_{0};
+  std::atomic<uint64_t> durability_acks_pushed_{0};
 };
 
 }  // namespace risgraph

@@ -27,6 +27,13 @@ enum class ClientStatus : uint8_t {
   kError = 2,
   /// The transport is gone (RPC connection closed).
   kClosed = 3,
+  /// The server's write-ahead log failed (disk full, I/O error) and the
+  /// service is fail-stopped: no further update will ever be acked, because
+  /// acking it could promise durability the log cannot deliver. Nothing was
+  /// queued. Blocking-lane calls surface the same condition as
+  /// kInvalidVersion; check wal_failed() to distinguish it from a
+  /// semantically invalid update.
+  kWalError = 4,
 };
 
 /// Result of Flush(): the pipelined lane has fully drained.
@@ -162,6 +169,34 @@ class IClient {
     return false;
   }
 
+  //===--- Durability (decoupled group commit) ----------------------------===//
+  //
+  // When the server runs with async durability (ServiceOptions::
+  // async_durability), an update's result version arrives at execution time
+  // — before its WAL record has been fsynced. These calls expose the
+  // durability watermark separately, so a caller that needs crash-safety
+  // waits for it explicitly instead of paying fsync latency on every ack.
+  // Default implementations are the durability-unaware transport (an RPC
+  // peer that negotiated < v2.2): DurableThrough reports 0 and WaitDurable
+  // fails — callers must treat that as "durability unknown", not "durable".
+
+  /// Highest version known durable (replayable after a crash). Monotonic.
+  /// Reporting-grade: safe updates don't bump versions, so per-update
+  /// guarantees come from WaitDurable, not from comparing versions.
+  virtual uint64_t DurableThrough() const { return 0; }
+  /// Blocks until every update this client submitted *before this call* is
+  /// durable on the server (and, best effort, until the durable watermark
+  /// reaches `version`). Returns false on timeout, transport loss, WAL
+  /// failure, or an unsupported transport. `timeout_micros < 0` = forever.
+  virtual bool WaitDurable(uint64_t version, int64_t timeout_micros = -1) {
+    (void)version;
+    (void)timeout_micros;
+    return false;
+  }
+  /// True once the server's WAL has fail-stopped (every later submission
+  /// will be rejected). Latched; false on transports that cannot know.
+  virtual bool wal_failed() const { return false; }
+
   //===--- Reads ----------------------------------------------------------===//
 
   /// Liveness check; false on a broken transport.
@@ -242,6 +277,10 @@ class SessionClient final : public IClient {
 
   ClientStatus SubmitAsync(const Update& update) override {
     if (!ValidUpdate(update)) return ClientStatus::kError;
+    // Fail-stop fast path: the pipelined lane has no per-update result to
+    // carry a rejection, so once the WAL dies, refuse at the door rather
+    // than queue work the coordinator will only reject anyway.
+    if (pipeline_.wal_failed()) return ClientStatus::kWalError;
     if (options_.window != 0) {
       while (session_->async_submitted() - session_->async_completed() >=
              options_.window) {
@@ -268,7 +307,8 @@ class SessionClient final : public IClient {
       if (!ValidUpdate(updates[i])) return 0;
     }
     for (size_t i = 0; i < count; ++i) {
-      if (SubmitAsync(updates[i]) == ClientStatus::kBusy) {
+      ClientStatus st = SubmitAsync(updates[i]);
+      if (st == ClientStatus::kBusy) {
         // FIFO prefix queued; SubmitAsync recorded updates[i] — the untried
         // tail behind it is equally shed and must come back through
         // TakeRejected() too, or a caller resubmitting rejections would
@@ -279,6 +319,9 @@ class SessionClient final : public IClient {
         }
         return i;
       }
+      if (st != ClientStatus::kOk) return i;  // WAL fail-stop: not queued,
+                                              // not resubmittable — no shed
+                                              // bookkeeping.
     }
     return count;
   }
@@ -353,6 +396,22 @@ class SessionClient final : public IClient {
   void WakeNotificationWaiters() {
     if (subscriber_ != nullptr) subs_registry_->Wake(subscriber_);
   }
+
+  /// Whether this client ever subscribed (the RPC server's pusher uses this
+  /// to pick its park primitive: notification wait vs durability wait).
+  bool HasSubscriber() const { return subscriber_ != nullptr; }
+
+  //===--- Durability -----------------------------------------------------===//
+
+  uint64_t DurableThrough() const override {
+    return pipeline_.DurableThrough();
+  }
+
+  bool WaitDurable(uint64_t version, int64_t timeout_micros = -1) override {
+    return pipeline_.WaitDurable(version, timeout_micros);
+  }
+
+  bool wal_failed() const override { return pipeline_.wal_failed(); }
 
   //===--- Reads ----------------------------------------------------------===//
 

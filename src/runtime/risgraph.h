@@ -29,6 +29,12 @@ struct RisGraphOptions {
   /// Path for the write-ahead log; empty disables durability.
   std::string wal_path;
   bool wal_fsync = false;
+  /// WAL segment rotation threshold (`<wal_path>.000N` chain); 0 keeps the
+  /// single legacy file. See WalOptions::segment_bytes.
+  uint64_t wal_segment_bytes = 0;
+  /// Storage substrate for the WAL (nullptr = real files). Tests inject the
+  /// fault backend here; not owned.
+  WalBackend* wal_backend = nullptr;
   /// Maintain versioned result history (Interactive API's consistent result
   /// views). Benches that only need throughput can disable it.
   bool keep_history = true;
@@ -202,7 +208,9 @@ class RisGraph {
   explicit RisGraph(uint64_t num_vertices, RisGraphOptions options = {})
       : options_(options), store_(num_vertices, options.store) {
     if (!options_.wal_path.empty()) {
-      wal_.Open(options_.wal_path, WalOptions{options_.wal_fsync});
+      wal_.Open(options_.wal_path,
+                WalOptions{options_.wal_fsync, options_.wal_segment_bytes,
+                           options_.wal_backend});
       // Durability for pluggable ownership: a table-backed PartitionMap must
       // survive with the log — recovery has to replay half-streams under the
       // ownership that wrote them. The log itself is headerless fixed-size
@@ -548,11 +556,33 @@ class RisGraph {
       wal_.AppendBatch(updates.data(), updates.size());
     }
   }
-  void WalFlush() {
-    if (wal_.IsOpen()) {
-      ScopedTimer t(wal_timer_);
-      wal_.Flush();
+  /// Epoch commit boundary. Coupled mode (no flusher): synchronous write +
+  /// optional fsync on this thread, then the version watermark advances —
+  /// the legacy per-epoch group commit. Decoupled mode (flusher running):
+  /// O(1) Seal handoff tagged with the committed version; the flusher
+  /// advances the watermarks on its own cadence. Returns the sticky WAL
+  /// status — anything but kOk means the coordinator must stop acking.
+  Status WalFlush() {
+    if (!wal_.IsOpen()) return Status::kOk;
+    ScopedTimer t(wal_timer_);
+    if (wal_.FlusherRunning()) {
+      wal_.Seal(version_);
+      return wal_.status();
     }
+    Status st = wal_.Flush();
+    if (st == Status::kOk) wal_.AdvanceDurableVersion(version_);
+    return st;
+  }
+
+  /// Sticky WAL status (kOk when durability is disabled).
+  Status WalStatus() const {
+    return wal_.IsOpen() ? wal_.status() : Status::kOk;
+  }
+
+  /// Result-version durability watermark (see WriteAheadLog::DurableVersion;
+  /// equals GetCurrentVersion() trivially when durability is disabled).
+  uint64_t DurableVersion() const {
+    return wal_.IsOpen() ? wal_.DurableVersion() : version_;
   }
 
   /// Installs (or clears, with nullptr) the result-change sink the commit

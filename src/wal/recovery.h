@@ -36,6 +36,12 @@ struct RecoveryResult {
   uint64_t replayed_records = 0;
   /// First LSN new appends will use (continues the pre-crash sequence).
   uint64_t next_lsn = 0;
+  /// Torn/corrupt tail accounting (WalReplayStats passthrough): recovery
+  /// truncates the tail away and reports what it dropped — callers that
+  /// tracked a durability watermark can assert nothing durable was lost.
+  uint64_t dropped_bytes = 0;
+  uint64_t dropped_records = 0;
+  bool tail_truncated = false;
 };
 
 /// Rebuilds `sys`'s graph store from the checkpoint (when present and
@@ -112,7 +118,7 @@ RecoveryResult RecoverRisGraph(RisGraph<Store>& sys,
           });
       staged = 0;
     };
-    WriteAheadLog::Replay(wal_path, [&](const WalRecord& r) {
+    WalReplayStats rs = WriteAheadLog::ReplayEx(wal_path, [&](const WalRecord& r) {
       result.next_lsn = std::max(result.next_lsn, r.lsn + 1);
       if (r.lsn < floor_lsn) return;  // already inside the checkpoint
       result.replayed_records++;
@@ -136,11 +142,14 @@ RecoveryResult RecoverRisGraph(RisGraph<Store>& sys,
           store.RemoveVertex(r.update.edge.src);
           break;
       }
-    });
+    }, /*repair=*/true);
     flush();
+    result.dropped_bytes = rs.dropped_bytes;
+    result.dropped_records = rs.dropped_records;
+    result.tail_truncated = rs.torn;
   } else {
     (void)pool;
-    WriteAheadLog::Replay(wal_path, [&](const WalRecord& r) {
+    WalReplayStats rs = WriteAheadLog::ReplayEx(wal_path, [&](const WalRecord& r) {
       result.next_lsn = std::max(result.next_lsn, r.lsn + 1);
       if (r.lsn < floor_lsn) return;  // already inside the checkpoint
       result.replayed_records++;
@@ -158,7 +167,10 @@ RecoveryResult RecoverRisGraph(RisGraph<Store>& sys,
           sys.store().RemoveVertex(r.update.edge.src);
           break;
       }
-    });
+    }, /*repair=*/true);
+    result.dropped_bytes = rs.dropped_bytes;
+    result.dropped_records = rs.dropped_records;
+    result.tail_truncated = rs.torn;
   }
 
   sys.wal().SetNextLsn(result.next_lsn);
@@ -169,14 +181,26 @@ RecoveryResult RecoverRisGraph(RisGraph<Store>& sys,
 /// truncates the WAL. After CompactWal, recovery needs only the (much
 /// shorter) log written since. Call from a quiesced system (no in-flight
 /// updates) — e.g. between service epochs or from the embedded API thread.
+///
+/// With the background flusher running and a segmented log, compaction
+/// switches to *background retirement*: closed segments fully below the
+/// checkpoint floor are truncated by the flusher between passes, and the
+/// active segment keeps appending (no quiesce of the write path beyond the
+/// drain that makes the checkpoint's LSN floor durable).
 template <typename Store>
 bool CompactWal(RisGraph<Store>& sys, const std::string& checkpoint_path) {
-  if (!sys.wal().IsOpen()) return false;
-  sys.wal().Flush();
-  if (!WriteCheckpoint(sys.store(), sys.wal().NextLsn(), checkpoint_path)) {
+  WriteAheadLog& wal = sys.wal();
+  if (!wal.IsOpen()) return false;
+  if (wal.Flush() != Status::kOk) return false;  // drain; fail-stop on error
+  uint64_t floor_lsn = wal.NextLsn();
+  if (!WriteCheckpoint(sys.store(), floor_lsn, checkpoint_path)) {
     return false;
   }
-  return sys.wal().TruncateAfterCheckpoint();
+  if (wal.FlusherRunning()) {
+    wal.RetireSegmentsBefore(floor_lsn);
+    return wal.status() == Status::kOk;
+  }
+  return wal.TruncateAfterCheckpoint() == Status::kOk;
 }
 
 }  // namespace risgraph

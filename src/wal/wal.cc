@@ -1,5 +1,7 @@
 #include "wal/wal.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -10,9 +12,7 @@ namespace risgraph {
 
 namespace {
 
-// 34 bytes on the wire: lsn(8) kind(1) src(8) dst(8) weight(8) crc(4) — but
-// serialized packed, independent of struct layout.
-constexpr size_t kRecordBytes = 8 + 1 + 8 + 8 + 8 + 4;
+constexpr size_t kRecordBytes = WriteAheadLog::kRecordBytes;
 
 void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
 uint64_t GetU64(const uint8_t* p) {
@@ -63,6 +63,32 @@ const uint32_t* Crc32cTable() {
   return table;
 }
 
+uint64_t FileSize(std::FILE* f) {
+  long cur = std::ftell(f);
+  if (cur < 0) return 0;
+  std::fseek(f, 0, SEEK_END);
+  long end = std::ftell(f);
+  std::fseek(f, cur, SEEK_SET);
+  return end < 0 ? 0 : static_cast<uint64_t>(end);
+}
+
+void TruncateFileAt(const std::string& path, uint64_t offset) {
+#if defined(__unix__) || defined(__APPLE__)
+  (void)::truncate(path.c_str(), static_cast<off_t>(offset));
+#else
+  // Portable fallback: rewrite the prefix.
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return;
+  std::vector<uint8_t> keep(offset);
+  size_t n = std::fread(keep.data(), 1, offset, in);
+  std::fclose(in);
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) return;
+  std::fwrite(keep.data(), 1, n, out);
+  std::fclose(out);
+#endif
+}
+
 }  // namespace
 
 uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
@@ -77,77 +103,467 @@ uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
 
 WriteAheadLog::~WriteAheadLog() { Close(); }
 
+std::string WriteAheadLog::SegmentPath(uint32_t index) const {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".%04u", index);
+  return path_ + suffix;
+}
+
 bool WriteAheadLog::Open(const std::string& path, Options options) {
   Close();
   options_ = options;
   path_ = path;
-  file_ = std::fopen(path.c_str(), "ab");
-  return file_ != nullptr;
-}
+  backend_ = options.backend != nullptr ? options.backend : &owned_backend_;
+  status_.store(Status::kOk, std::memory_order_release);
+  buffer_.clear();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.clear();
+    queued_bytes_ = 0;
+    drain_ = false;
+  }
+  closed_segments_.clear();
+  segment_written_ = 0;
+  active_end_lsn_ = next_lsn_.load(std::memory_order_relaxed);
+  durable_upto_.store(active_end_lsn_, std::memory_order_release);
 
-bool WriteAheadLog::TruncateAfterCheckpoint() {
-  if (file_ == nullptr) return false;
-  Flush();
-  std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "wb");  // truncate; LSN sequence continues
-  return file_ != nullptr;
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (options_.segment_bytes > 0) {
+    // Append to the tip of the existing chain (or start one). Earlier
+    // segments' end-LSNs are unknown after reopen, so they are not eligible
+    // for background retirement this incarnation — TruncateAfterCheckpoint
+    // still clears them.
+    uint32_t tip = 0;
+    while (backend_->Exists(SegmentPath(tip + 1))) ++tip;
+    segment_index_ = tip;
+    active_path_ = SegmentPath(tip);
+  } else {
+    segment_index_ = 0;
+    active_path_ = path_;
+  }
+  uint64_t size = 0;
+  if (backend_->Open(active_path_, &size) != Status::kOk) return false;
+  segment_written_ = size;
+  open_ = true;
+  return true;
 }
 
 void WriteAheadLog::Close() {
-  if (file_ != nullptr) {
-    Flush();
-    std::fclose(file_);
-    file_ = nullptr;
-  }
+  if (!open_) return;
+  StopFlusher();
+  (void)Flush();
+  std::lock_guard<std::mutex> lock(io_mu_);
+  (void)backend_->Close();
+  open_ = false;
 }
 
 uint64_t WriteAheadLog::Append(const Update& update) {
-  WalRecord r{next_lsn_++, update};
+  WalRecord r{next_lsn_.load(std::memory_order_relaxed), update};
   size_t off = buffer_.size();
   buffer_.resize(off + kRecordBytes);
   EncodeRecord(buffer_.data() + off, r);
+  next_lsn_.store(r.lsn + 1, std::memory_order_release);
   return r.lsn;
 }
 
 uint64_t WriteAheadLog::AppendBatch(const Update* updates, size_t n) {
-  uint64_t first = next_lsn_;
+  uint64_t first = next_lsn_.load(std::memory_order_relaxed);
   if (n == 0) return first;
   size_t off = buffer_.size();
   buffer_.resize(off + n * kRecordBytes);
   for (size_t i = 0; i < n; ++i) {
-    WalRecord r{next_lsn_++, updates[i]};
+    WalRecord r{first + i, updates[i]};
     EncodeRecord(buffer_.data() + off + i * kRecordBytes, r);
   }
+  next_lsn_.store(first + n, std::memory_order_release);
   return first;
 }
 
-bool WriteAheadLog::Flush() {
-  if (file_ == nullptr || buffer_.empty()) return true;
-  size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
-  bool ok = written == buffer_.size();
+Status WriteAheadLog::WriteChunkLocked(const uint8_t* data, size_t len,
+                                       uint64_t end_lsn) {
+  if (options_.segment_bytes > 0 &&
+      segment_written_ >= options_.segment_bytes) {
+    // Rotate between chunks only: records never straddle segment files.
+    (void)backend_->Close();
+    closed_segments_.push_back(ClosedSegment{segment_index_, active_end_lsn_});
+    ++segment_index_;
+    active_path_ = SegmentPath(segment_index_);
+    uint64_t size = 0;
+    if (backend_->Open(active_path_, &size) != Status::kOk) {
+      return Status::kWalError;
+    }
+    segment_written_ = size;
+    stat_rotations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Status st = backend_->Write(data, len);
+  if (st != Status::kOk) return st;
+  segment_written_ += len;
+  active_end_lsn_ = end_lsn;
+  stat_flushed_bytes_.fetch_add(len, std::memory_order_relaxed);
+  return Status::kOk;
+}
+
+Status WriteAheadLog::SyncLocked() {
+  Status st = backend_->Sync(options_.fsync_on_flush);
+  if (st == Status::kOk) stat_syncs_.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+void WriteAheadLog::Die() {
+  status_.store(Status::kWalError, std::memory_order_release);
+  NotifyDurable();
+  queue_cv_.notify_all();
+}
+
+void WriteAheadLog::NotifyDurable() {
+  { std::lock_guard<std::mutex> lock(wait_mu_); }
+  wait_cv_.notify_all();
+}
+
+Status WriteAheadLog::Flush() {
+  if (!open_) return status();
+  if (FlusherRunning()) {
+    // Quiesce: seal whatever is buffered and wait for the flusher to land
+    // everything appended so far (a no-op version bump; the caller advances
+    // versions through Seal on the epoch path).
+    uint64_t upto = next_lsn_.load(std::memory_order_acquire);
+    Seal(durable_version_.load(std::memory_order_acquire));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      drain_ = true;
+    }
+    queue_cv_.notify_all();
+    (void)WaitDurableLsn(upto, -1);
+    return status();
+  }
+  if (status() != Status::kOk) {
+    buffer_.clear();  // fail-stop: the bytes will never be acked anyway
+    return status();
+  }
+  if (buffer_.empty()) return Status::kOk;
+  uint64_t upto = next_lsn_.load(std::memory_order_acquire);
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    st = WriteChunkLocked(buffer_.data(), buffer_.size(), upto);
+    if (st == Status::kOk) st = SyncLocked();
+  }
   buffer_.clear();
-  std::fflush(file_);
-#if defined(__unix__) || defined(__APPLE__)
-  if (options_.fsync_on_flush) fsync(fileno(file_));
-#endif
-  return ok;
+  if (st != Status::kOk) {
+    Die();
+    return status();
+  }
+  stat_flushes_.fetch_add(1, std::memory_order_relaxed);
+  durable_upto_.store(upto, std::memory_order_release);
+  NotifyDurable();
+  return Status::kOk;
+}
+
+void WriteAheadLog::AdvanceDurableVersion(uint64_t version) {
+  if (status() != Status::kOk) return;
+  uint64_t cur = durable_version_.load(std::memory_order_relaxed);
+  while (version > cur && !durable_version_.compare_exchange_weak(
+                              cur, version, std::memory_order_release,
+                              std::memory_order_relaxed)) {
+  }
+  NotifyDurable();
+}
+
+void WriteAheadLog::Seal(uint64_t version) {
+  if (!open_) return;
+  bool advance = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (buffer_.empty()) {
+      if (queue_.empty()) {
+        // Nothing in flight at all: the epoch is durable by definition.
+        advance = true;
+      } else {
+        // This epoch wrote nothing, but earlier chunks are still pending:
+        // its version becomes durable when they land.
+        if (version > queue_.back().version) queue_.back().version = version;
+      }
+    } else {
+      Chunk c;
+      c.bytes = std::move(buffer_);
+      c.end_lsn = next_lsn_.load(std::memory_order_acquire);
+      c.version = version;
+      queued_bytes_ += c.bytes.size();
+      queue_.push_back(std::move(c));
+      buffer_.clear();  // moved-from: reset to a known empty state
+    }
+  }
+  if (advance) {
+    AdvanceDurableVersion(version);
+  } else {
+    queue_cv_.notify_all();
+  }
+}
+
+bool WriteAheadLog::StartFlusher(FlusherOptions options) {
+  if (!open_ || FlusherRunning()) return false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_flusher_ = false;
+  }
+  flusher_running_.store(true, std::memory_order_release);
+  flusher_ = std::thread([this, options] { FlusherMain(options); });
+  return true;
+}
+
+void WriteAheadLog::StopFlusher() {
+  if (!flusher_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_flusher_ = true;
+  }
+  queue_cv_.notify_all();
+  flusher_.join();
+  flusher_running_.store(false, std::memory_order_release);
+}
+
+void WriteAheadLog::FlusherMain(FlusherOptions options) {
+  const auto interval = std::chrono::microseconds(
+      options.interval_micros == 0 ? 1 : options.interval_micros);
+  std::deque<Chunk> work;
+  for (;;) {
+    bool stopping;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait_for(lk, interval, [&] {
+        return stop_flusher_ || drain_ ||
+               queued_bytes_ >= options.flush_bytes;
+      });
+      stopping = stop_flusher_;
+      work.clear();
+      work.swap(queue_);
+      queued_bytes_ = 0;
+      drain_ = false;
+    }
+    if (!work.empty()) {
+      if (!FlushQueuedChunksFrom(work)) {
+        // Log is dead; park until told to stop so waiters are not left
+        // behind a spinning thread.
+        std::unique_lock<std::mutex> lk(queue_mu_);
+        queue_cv_.wait(lk, [&] { return stop_flusher_; });
+        return;
+      }
+    }
+    uint64_t retire = retire_before_.load(std::memory_order_acquire);
+    if (retire > 0) {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      RetireLocked(retire);
+    }
+    if (stopping) return;
+  }
+}
+
+bool WriteAheadLog::FlushQueuedChunksFrom(std::deque<Chunk>& work) {
+  if (status() != Status::kOk) return false;
+  uint64_t end_lsn = 0;
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    for (const Chunk& c : work) {
+      if (WriteChunkLocked(c.bytes.data(), c.bytes.size(), c.end_lsn) !=
+          Status::kOk) {
+        Die();
+        return false;
+      }
+      end_lsn = c.end_lsn;
+      if (c.version > version) version = c.version;
+    }
+    if (SyncLocked() != Status::kOk) {
+      Die();
+      return false;
+    }
+  }
+  stat_flushes_.fetch_add(1, std::memory_order_relaxed);
+  durable_upto_.store(end_lsn, std::memory_order_release);
+  uint64_t cur = durable_version_.load(std::memory_order_relaxed);
+  while (version > cur && !durable_version_.compare_exchange_weak(
+                              cur, version, std::memory_order_release,
+                              std::memory_order_relaxed)) {
+  }
+  NotifyDurable();
+  return true;
+}
+
+bool WriteAheadLog::WaitDurableLsn(uint64_t lsn_exclusive,
+                                   int64_t timeout_micros) {
+  auto done = [&] {
+    return durable_upto_.load(std::memory_order_acquire) >= lsn_exclusive ||
+           status() != Status::kOk;
+  };
+  if (!done()) {
+    std::unique_lock<std::mutex> lk(wait_mu_);
+    if (timeout_micros < 0) {
+      wait_cv_.wait(lk, done);
+    } else {
+      wait_cv_.wait_for(lk, std::chrono::microseconds(timeout_micros), done);
+    }
+  }
+  return durable_upto_.load(std::memory_order_acquire) >= lsn_exclusive;
+}
+
+bool WriteAheadLog::WaitDurablePast(uint64_t seen, int64_t timeout_micros) {
+  auto done = [&] {
+    return durable_upto_.load(std::memory_order_acquire) > seen ||
+           status() != Status::kOk;
+  };
+  if (!done()) {
+    std::unique_lock<std::mutex> lk(wait_mu_);
+    wait_cv_.wait_for(lk, std::chrono::microseconds(timeout_micros), done);
+  }
+  return durable_upto_.load(std::memory_order_acquire) > seen;
+}
+
+void WriteAheadLog::RetireLocked(uint64_t before_lsn) {
+  size_t kept = 0;
+  for (size_t i = 0; i < closed_segments_.size(); ++i) {
+    const ClosedSegment& seg = closed_segments_[i];
+    if (seg.end_lsn <= before_lsn &&
+        backend_->Truncate(SegmentPath(seg.index)) == Status::kOk) {
+      stat_retired_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // retired: truncated to zero, chain stays contiguous
+    }
+    closed_segments_[kept++] = seg;
+  }
+  closed_segments_.resize(kept);
+}
+
+void WriteAheadLog::RetireSegmentsBefore(uint64_t lsn) {
+  if (options_.segment_bytes == 0 || !open_) return;
+  uint64_t cur = retire_before_.load(std::memory_order_relaxed);
+  while (lsn > cur && !retire_before_.compare_exchange_weak(
+                          cur, lsn, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+  }
+  if (FlusherRunning()) {
+    queue_cv_.notify_all();
+  } else {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    RetireLocked(lsn);
+  }
+}
+
+Status WriteAheadLog::TruncateAfterCheckpoint() {
+  if (!open_) return Status::kWalError;
+  Status st = Flush();  // quiesces the flusher in decoupled mode
+  if (st != Status::kOk) return st;
+  std::lock_guard<std::mutex> lock(io_mu_);
+  (void)backend_->Close();
+  if (options_.segment_bytes > 0) {
+    for (uint32_t i = 0; backend_->Exists(SegmentPath(i)); ++i) {
+      if (backend_->Truncate(SegmentPath(i)) != Status::kOk) {
+        Die();
+        return status();
+      }
+    }
+    closed_segments_.clear();
+    segment_index_ = 0;
+    active_path_ = SegmentPath(0);
+  } else {
+    if (backend_->Truncate(path_) != Status::kOk) {
+      Die();
+      return status();
+    }
+  }
+  uint64_t size = 0;
+  if (backend_->Open(active_path_, &size) != Status::kOk) {
+    Die();
+    return status();
+  }
+  segment_written_ = size;
+  active_end_lsn_ = next_lsn_.load(std::memory_order_acquire);
+  return Status::kOk;
+}
+
+WalFlushStats WriteAheadLog::stats() const {
+  WalFlushStats s;
+  s.flushes = stat_flushes_.load(std::memory_order_relaxed);
+  s.flushed_bytes = stat_flushed_bytes_.load(std::memory_order_relaxed);
+  s.syncs = stat_syncs_.load(std::memory_order_relaxed);
+  s.rotations = stat_rotations_.load(std::memory_order_relaxed);
+  s.retired_segments = stat_retired_.load(std::memory_order_relaxed);
+  return s;
+}
+
+WalReplayStats WriteAheadLog::ReplayEx(
+    const std::string& path, const std::function<void(const WalRecord&)>& fn,
+    bool repair) {
+  WalReplayStats stats;
+  // The chain to scan: the legacy single file (if present), then the
+  // consecutive segment files. Zero-length retired segments keep the chain
+  // alive while contributing nothing.
+  std::vector<std::string> files;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f != nullptr) {
+      std::fclose(f);
+      files.push_back(path);
+    }
+  }
+  for (uint32_t i = 0;; ++i) {
+    char suffix[16];
+    std::snprintf(suffix, sizeof(suffix), ".%04u", i);
+    std::string seg = path + suffix;
+    std::FILE* f = std::fopen(seg.c_str(), "rb");
+    if (f == nullptr) break;
+    std::fclose(f);
+    files.push_back(std::move(seg));
+  }
+
+  size_t tear_index = files.size();  // first file at/after the tear
+  for (size_t fi = 0; fi < files.size() && !stats.torn; ++fi) {
+    std::FILE* f = std::fopen(files[fi].c_str(), "rb");
+    if (f == nullptr) continue;
+    uint64_t size = FileSize(f);
+    uint64_t offset = 0;
+    uint8_t buf[kRecordBytes];
+    while (std::fread(buf, 1, kRecordBytes, f) == kRecordBytes) {
+      WalRecord r;
+      if (!DecodeRecord(buf, r)) {
+        stats.torn = true;
+        break;
+      }
+      fn(r);
+      ++stats.records;
+      if (r.lsn + 1 > stats.next_lsn) stats.next_lsn = r.lsn + 1;
+      offset += kRecordBytes;
+    }
+    if (!stats.torn && offset + kRecordBytes > size && offset < size) {
+      stats.torn = true;  // partial trailing frame
+    }
+    std::fclose(f);
+    if (stats.torn) {
+      stats.dropped_bytes += size - offset;
+      stats.dropped_records += (size - offset) / kRecordBytes;
+      if (repair) TruncateFileAt(files[fi], offset);
+      tear_index = fi + 1;
+    }
+  }
+  // Everything in segments past a tear is unreachable (the intact prefix
+  // ends at the tear): count it dropped and, with repair, zero those files
+  // so the chain is append-clean again.
+  if (stats.torn) {
+    for (size_t fi = tear_index; fi < files.size(); ++fi) {
+      std::FILE* f = std::fopen(files[fi].c_str(), "rb");
+      if (f == nullptr) continue;
+      uint64_t size = FileSize(f);
+      std::fclose(f);
+      stats.dropped_bytes += size;
+      stats.dropped_records += size / kRecordBytes;
+      if (repair && size > 0) TruncateFileAt(files[fi], 0);
+    }
+  }
+  return stats;
 }
 
 uint64_t WriteAheadLog::Replay(
     const std::string& path,
     const std::function<void(const WalRecord&)>& fn) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return 0;
-  uint8_t buf[kRecordBytes];
-  uint64_t count = 0;
-  while (std::fread(buf, 1, kRecordBytes, f) == kRecordBytes) {
-    WalRecord r;
-    if (!DecodeRecord(buf, r)) break;  // torn/corrupt tail: stop replay
-    fn(r);
-    count++;
-  }
-  std::fclose(f);
-  return count;
+  return ReplayEx(path, fn, /*repair=*/false).records;
 }
 
 }  // namespace risgraph

@@ -1,0 +1,253 @@
+#ifndef RISGRAPH_WAL_WAL_BACKEND_H_
+#define RISGRAPH_WAL_WAL_BACKEND_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/status.h"
+
+namespace risgraph {
+
+/// Storage substrate under the write-ahead log. The log keeps at most one
+/// file open for append at a time (the active segment); `Truncate` operates
+/// on closed paths by name. All calls come from one thread at a time (the
+/// WAL serializes I/O under its own mutex), so implementations need locking
+/// only if they keep cross-instance global state (the fault double does).
+///
+/// The production backend is `FileWalBackend`; tests inject
+/// `FaultInjectingWalBackend` to fail writes (ENOSPC/EIO), drop fsyncs, or
+/// simulate a machine crash at an exact byte offset and then `Materialize`
+/// the surviving prefix to the real filesystem for recovery to chew on.
+class WalBackend {
+ public:
+  virtual ~WalBackend() = default;
+
+  /// Opens `path` for append, creating it if absent; reports the existing
+  /// size (append position) through `size_out`.
+  virtual Status Open(const std::string& path, uint64_t* size_out) = 0;
+  /// Appends `len` bytes to the currently open file. On failure nothing or a
+  /// prefix may have reached the medium — the caller must treat the log as
+  /// dead either way (fail-stop).
+  virtual Status Write(const void* data, size_t len) = 0;
+  /// Flushes the open file's buffered bytes to the OS and, when `fsync` is
+  /// set, to the device. A failed sync means the unsynced suffix may vanish
+  /// in a crash; the caller must not advance any durability watermark.
+  virtual Status Sync(bool fsync) = 0;
+  /// Closes the open file (no-op when none is open).
+  virtual Status Close() = 0;
+  /// Truncates the file at `path` to zero length (segment retirement /
+  /// post-checkpoint truncate). The path need not be the open file.
+  virtual Status Truncate(const std::string& path) = 0;
+  /// Whether a file exists at `path` (segment-chain probing on reopen).
+  virtual bool Exists(const std::string& path) = 0;
+};
+
+/// The real thing: stdio append files + fsync.
+class FileWalBackend final : public WalBackend {
+ public:
+  ~FileWalBackend() override { (void)Close(); }
+
+  Status Open(const std::string& path, uint64_t* size_out) override {
+    (void)Close();
+    file_ = std::fopen(path.c_str(), "ab");
+    if (file_ == nullptr) return Status::kWalError;
+    if (size_out != nullptr) {
+      long pos = std::ftell(file_);
+      *size_out = pos < 0 ? 0 : static_cast<uint64_t>(pos);
+    }
+    return Status::kOk;
+  }
+
+  Status Write(const void* data, size_t len) override {
+    if (file_ == nullptr) return Status::kWalError;
+    if (std::fwrite(data, 1, len, file_) != len) return Status::kWalError;
+    return Status::kOk;
+  }
+
+  Status Sync(bool fsync_to_device) override {
+    if (file_ == nullptr) return Status::kWalError;
+    if (std::fflush(file_) != 0) return Status::kWalError;
+#if defined(__unix__) || defined(__APPLE__)
+    if (fsync_to_device && ::fsync(fileno(file_)) != 0) {
+      return Status::kWalError;
+    }
+#else
+    (void)fsync_to_device;
+#endif
+    return Status::kOk;
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::kOk;
+    int rc = std::fclose(file_);
+    file_ = nullptr;
+    return rc == 0 ? Status::kOk : Status::kWalError;
+  }
+
+  Status Truncate(const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::kWalError;
+    std::fclose(f);
+    return Status::kOk;
+  }
+
+  bool Exists(const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Fault-injecting test double: files live in memory, each tracking a
+/// *synced* watermark; global byte counters across all files drive three
+/// independently configurable faults. After "crashing" the backend, tests
+/// call `Materialize` to write each file's surviving prefix to the real
+/// filesystem and run real recovery against it.
+///
+/// Fault semantics (offsets count bytes written across every file, in
+/// order, so a fault point lands at one exact record boundary or mid-record
+/// regardless of segment rotation):
+///   - `crash_at_bytes`: the write that crosses this offset persists only
+///     the bytes up to it (a torn record / torn batch), then fails; every
+///     later write fails. Models power loss mid-write.
+///   - `fail_write_at_bytes`: the write that crosses this offset persists
+///     *nothing* and fails (ENOSPC/EIO style — the kernel rejected it
+///     atomically); later writes fail too (sticky, like a full disk).
+///   - `fail_sync_after`: the Nth sync (0-based) and all later ones fail;
+///     bytes written since the last good sync stay unsynced forever, so a
+///     crash (Materialize with `keep_unsynced=false`) drops them.
+class FaultInjectingWalBackend final : public WalBackend {
+ public:
+  struct Config {
+    static constexpr uint64_t kNever = ~uint64_t{0};
+    uint64_t crash_at_bytes = kNever;
+    uint64_t fail_write_at_bytes = kNever;
+    uint64_t fail_sync_after = kNever;
+  };
+
+  FaultInjectingWalBackend() : FaultInjectingWalBackend(Config{}) {}
+  explicit FaultInjectingWalBackend(Config config) : config_(config) {}
+
+  Status Open(const std::string& path, uint64_t* size_out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = &files_[path];  // append mode: existing bytes survive
+    if (size_out != nullptr) *size_out = open_->bytes.size();
+    return Status::kOk;
+  }
+
+  Status Write(const void* data, size_t len) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (open_ == nullptr || dead_) return Status::kWalError;
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    if (total_written_ + len > config_.fail_write_at_bytes) {
+      dead_ = true;  // rejected atomically: nothing persisted
+      return Status::kWalError;
+    }
+    if (total_written_ + len > config_.crash_at_bytes) {
+      size_t keep = static_cast<size_t>(config_.crash_at_bytes -
+                                        total_written_);
+      open_->bytes.insert(open_->bytes.end(), p, p + keep);
+      total_written_ += keep;
+      dead_ = true;  // torn write, then the machine is gone
+      return Status::kWalError;
+    }
+    open_->bytes.insert(open_->bytes.end(), p, p + len);
+    total_written_ += len;
+    ++writes_;
+    return Status::kOk;
+  }
+
+  Status Sync(bool) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (open_ == nullptr || dead_) return Status::kWalError;
+    if (syncs_ >= config_.fail_sync_after) {
+      ++syncs_;
+      return Status::kWalError;  // watermark must not advance
+    }
+    ++syncs_;
+    open_->synced = open_->bytes.size();
+    return Status::kOk;
+  }
+
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = nullptr;
+    return Status::kOk;
+  }
+
+  Status Truncate(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) return Status::kWalError;
+    File& f = files_[path];
+    f.bytes.clear();
+    f.synced = 0;
+    return Status::kOk;
+  }
+
+  bool Exists(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(path) != 0;
+  }
+
+  /// Writes every in-memory file's surviving prefix to the real filesystem
+  /// under its own path. `keep_unsynced=false` models a crash: only the
+  /// prefix covered by a successful sync survives. Returns false on a real
+  /// filesystem error (test environment problem, not an injected fault).
+  bool Materialize(bool keep_unsynced) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [path, f] : files_) {
+      size_t n = keep_unsynced ? f.bytes.size() : f.synced;
+      std::FILE* out = std::fopen(path.c_str(), "wb");
+      if (out == nullptr) return false;
+      bool ok = n == 0 || std::fwrite(f.bytes.data(), 1, n, out) == n;
+      std::fclose(out);
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  uint64_t total_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_written_;
+  }
+  uint64_t sync_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return syncs_;
+  }
+  uint64_t file_bytes(const std::string& path) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    return it == files_.end() ? 0 : it->second.bytes.size();
+  }
+
+ private:
+  struct File {
+    std::vector<uint8_t> bytes;
+    size_t synced = 0;  // prefix guaranteed to survive a crash
+  };
+
+  const Config config_;
+  mutable std::mutex mu_;
+  std::map<std::string, File> files_;
+  File* open_ = nullptr;  // stable: std::map never moves mapped values
+  uint64_t total_written_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t syncs_ = 0;
+  bool dead_ = false;  // a crossed fault point killed the device
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_WAL_WAL_BACKEND_H_

@@ -508,6 +508,122 @@ TEST_F(RecoveryTest, LocalityMapPersistsAndRecoveryReplaysUnderIt) {
   }
 }
 
+// Compound media failure: a torn WAL tail AND a damaged `.pmap` sidecar in
+// the same recovery. The two faults must be handled independently — the
+// tail is truncated away with the dropped-record count reported, while the
+// sidecar's CRC decides the map's fate: corrupt means fall back to default
+// ownership (state is ownership-invariant, so replay stays correct); intact
+// means keep the map even though the log was torn.
+TEST_F(RecoveryTest, TornTailWithCorruptSidecarRecoversPrefix) {
+  constexpr int kUpdates = 24;
+  constexpr int kTornRecords = 3;
+  std::vector<Update> updates;
+  for (int i = 0; i < kUpdates; ++i) {
+    updates.push_back(Update::InsertEdge(i % 32, (i * 7 + 1) % 32, 1 + i % 3));
+  }
+  std::vector<Edge> warmup;
+  for (const Update& u : updates) warmup.push_back(u.edge);
+  auto map = BuildLocalityMap(64, 4, warmup);
+  {
+    RisGraphOptions opt;
+    opt.wal_path = wal_;
+    opt.store.partition.num_shards = 4;
+    opt.store.partition.map = map;
+    RisGraph<ShardedGraphStore<>> sys(64, opt);
+    sys.AddAlgorithm<Bfs>(0);
+    sys.InitializeResults();
+    for (const Update& u : updates) {
+      sys.InsEdge(u.edge.src, u.edge.dst, u.edge.weight);
+    }
+  }  // crash
+
+  // Fault 1: corrupt a record near the tail (CRC breaks; replay must stop
+  // there and count the rest dropped).
+  {
+    std::FILE* f = std::fopen(wal_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, (kUpdates - kTornRecords) * 37 + 12, SEEK_SET);
+    std::fputc(0xFF, f);
+    std::fclose(f);
+  }
+  // Fault 2: flip a byte inside the sidecar's entry table, keeping a
+  // pristine copy to replay the intact-sidecar variant afterwards.
+  std::string pmap_path = PartitionMapSidecarPath(wal_);
+  std::vector<uint8_t> good_sidecar;
+  {
+    std::FILE* f = std::fopen(pmap_path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    good_sidecar.resize(std::ftell(f));
+    std::rewind(f);
+    ASSERT_EQ(std::fread(good_sidecar.data(), 1, good_sidecar.size(), f),
+              good_sidecar.size());
+    std::fseek(f, 30, SEEK_SET);  // inside the entries
+    std::fputc(good_sidecar[30] ^ 0x01, f);
+    std::fclose(f);
+  }
+
+  // Reference: exactly the surviving prefix.
+  std::vector<uint64_t> ref_values;
+  {
+    RisGraph<> ref(64);
+    size_t bfs = ref.AddAlgorithm<Bfs>(0);
+    ref.InitializeResults();
+    for (int i = 0; i < kUpdates - kTornRecords; ++i) {
+      ref.InsEdge(updates[i].edge.src, updates[i].edge.dst,
+                  updates[i].edge.weight);
+    }
+    for (VertexId v = 0; v < 64; ++v) ref_values.push_back(ref.GetValue(bfs, v));
+  }
+
+  // Recovery #1: corrupt sidecar is rejected (no map installed), torn tail
+  // truncated and reported; state is still the exact prefix.
+  {
+    RisGraphOptions opt;
+    opt.store.partition.num_shards = 4;
+    RisGraph<ShardedGraphStore<>> rec(64, opt);
+    RecoveryResult r = RecoverRisGraph(rec, ckpt_, wal_);
+    EXPECT_EQ(rec.store().router().map(), nullptr)
+        << "CRC-broken sidecar must not install";
+    EXPECT_EQ(r.replayed_records,
+              static_cast<uint64_t>(kUpdates - kTornRecords));
+    EXPECT_TRUE(r.tail_truncated);
+    EXPECT_EQ(r.dropped_records, static_cast<uint64_t>(kTornRecords));
+    EXPECT_EQ(r.dropped_bytes, static_cast<uint64_t>(kTornRecords) * 37);
+    size_t bfs = rec.AddAlgorithm<Bfs>(0);
+    rec.InitializeResults();
+    for (VertexId v = 0; v < 64; ++v) {
+      ASSERT_EQ(rec.GetValue(bfs, v), ref_values[v]) << v;
+    }
+  }
+
+  // Recovery #2: restore the intact sidecar — the map IS kept even though
+  // the log was torn (repaired by recovery #1, so the tail flags clear).
+  {
+    std::FILE* f = std::fopen(pmap_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(good_sidecar.data(), 1, good_sidecar.size(), f),
+              good_sidecar.size());
+    std::fclose(f);
+  }
+  {
+    RisGraphOptions opt;
+    opt.store.partition.num_shards = 4;
+    RisGraph<ShardedGraphStore<>> rec(64, opt);
+    RecoveryResult r = RecoverRisGraph(rec, ckpt_, wal_);
+    ASSERT_NE(rec.store().router().map(), nullptr);
+    EXPECT_EQ(rec.store().router().map()->Table(), map->Table());
+    EXPECT_EQ(r.replayed_records,
+              static_cast<uint64_t>(kUpdates - kTornRecords));
+    EXPECT_FALSE(r.tail_truncated);  // recovery #1 already repaired the log
+    size_t bfs = rec.AddAlgorithm<Bfs>(0);
+    rec.InitializeResults();
+    for (VertexId v = 0; v < 64; ++v) {
+      ASSERT_EQ(rec.GetValue(bfs, v), ref_values[v]) << v;
+    }
+  }
+}
+
 TEST_F(RecoveryTest, RecoveredStateMatchesOracleUnderMixedOps) {
   // Vertex ops interleaved with edge ops, full recovery cycle.
   {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "wal/wal.h"
+#include "wal/wal_backend.h"
 
 namespace risgraph {
 namespace {
@@ -18,9 +19,19 @@ class WalTest : public ::testing::Test {
             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log";
     std::remove(path_.c_str());
   }
-  void TearDown() override { std::remove(path_.c_str()); }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    // Segmented tests leave a `<path>.000N` chain behind.
+    for (int i = 0; i < 64; ++i) {
+      char suffix[16];
+      std::snprintf(suffix, sizeof(suffix), ".%04d", i);
+      std::remove((path_ + suffix).c_str());
+    }
+  }
   std::string path_;
 };
+
+constexpr size_t kRec = WriteAheadLog::kRecordBytes;
 
 TEST_F(WalTest, Crc32KnownVector) {
   // CRC-32C of "123456789" is 0xE3069283.
@@ -36,7 +47,7 @@ TEST_F(WalTest, AppendFlushReplayRoundtrip) {
     WriteAheadLog wal;
     ASSERT_TRUE(wal.Open(path_));
     for (const Update& u : updates) wal.Append(u);
-    ASSERT_TRUE(wal.Flush());
+    ASSERT_EQ(wal.Flush(), Status::kOk);
   }
   std::vector<WalRecord> replayed;
   uint64_t n = WriteAheadLog::Replay(
@@ -62,7 +73,7 @@ TEST_F(WalTest, AppendBatchMatchesPerRecordAppends) {
     EXPECT_EQ(wal.AppendBatch(batch.data(), 0), 4u);  // empty batch: no-op
     EXPECT_EQ(wal.Append(Update::DeleteVertex(9)), 4u);
     EXPECT_EQ(wal.NextLsn(), 5u);
-    ASSERT_TRUE(wal.Flush());
+    ASSERT_EQ(wal.Flush(), Status::kOk);
   }
   std::vector<WalRecord> replayed;
   uint64_t n = WriteAheadLog::Replay(
@@ -145,6 +156,250 @@ TEST_F(WalTest, ReplayMissingFileIsEmpty) {
   EXPECT_EQ(WriteAheadLog::Replay("/nonexistent/risgraph.wal",
                                   [](const WalRecord&) {}),
             0u);
+}
+
+//===--- I/O error propagation (fault-injecting backend) --------------------===//
+
+TEST_F(WalTest, WriteErrorMidBatchPropagatesAndSticks) {
+  // ENOSPC-style failure part-way into a group commit: the whole chunk is
+  // rejected atomically, Flush reports kWalError, and the error is sticky —
+  // the log fail-stops rather than acking updates it can no longer persist.
+  FaultInjectingWalBackend::Config cfg;
+  cfg.fail_write_at_bytes = 5 * kRec;
+  FaultInjectingWalBackend backend(cfg);
+  WalOptions opt;
+  opt.backend = &backend;
+
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_, opt));
+  std::vector<Update> batch;
+  for (int i = 0; i < 10; ++i) batch.push_back(Update::InsertEdge(i, i + 1, 1));
+  wal.AppendBatch(batch.data(), batch.size());
+  EXPECT_EQ(wal.Flush(), Status::kWalError);
+  EXPECT_EQ(wal.status(), Status::kWalError);
+  EXPECT_EQ(wal.DurableUpto(), 0u);
+
+  // Sticky: later appends/flushes keep failing and the watermark is frozen.
+  wal.Append(Update::InsertEdge(99, 99, 1));
+  EXPECT_EQ(wal.Flush(), Status::kWalError);
+  EXPECT_EQ(wal.DurableUpto(), 0u);
+}
+
+TEST_F(WalTest, SyncFailureFreezesWatermark) {
+  // EIO on fsync: data may sit in the page cache but the durability promise
+  // is broken, so the watermark must not advance past the last good sync.
+  FaultInjectingWalBackend::Config cfg;
+  cfg.fail_sync_after = 1;  // first sync succeeds, every later one fails
+  FaultInjectingWalBackend backend(cfg);
+  WalOptions opt;
+  opt.backend = &backend;
+  opt.fsync_on_flush = true;
+
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_, opt));
+  wal.Append(Update::InsertEdge(1, 2, 3));
+  EXPECT_EQ(wal.Flush(), Status::kOk);
+  EXPECT_EQ(wal.DurableUpto(), 1u);
+
+  wal.Append(Update::InsertEdge(4, 5, 6));
+  EXPECT_EQ(wal.Flush(), Status::kWalError);
+  EXPECT_EQ(wal.DurableUpto(), 1u);
+  EXPECT_EQ(wal.status(), Status::kWalError);
+}
+
+TEST_F(WalTest, FlusherFailureLatchesErrorAndWakesWaiters) {
+  // Decoupled mode: the background flusher hits the fault, latches
+  // kWalError, and wakes durability waiters promptly (no timeout spin).
+  FaultInjectingWalBackend::Config cfg;
+  cfg.fail_write_at_bytes = 3 * kRec;  // second epoch's chunk crosses this
+  FaultInjectingWalBackend backend(cfg);
+  WalOptions opt;
+  opt.backend = &backend;
+
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_, opt));
+  WriteAheadLog::FlusherOptions fopt;
+  fopt.interval_micros = 1000;
+  ASSERT_TRUE(wal.StartFlusher(fopt));
+
+  wal.Append(Update::InsertEdge(1, 2, 1));
+  wal.Append(Update::InsertEdge(2, 3, 1));
+  wal.Seal(1);
+  ASSERT_TRUE(wal.WaitDurableLsn(2, 2'000'000));
+  EXPECT_EQ(wal.status(), Status::kOk);
+
+  wal.Append(Update::InsertEdge(3, 4, 1));
+  wal.Append(Update::InsertEdge(4, 5, 1));
+  wal.Seal(2);
+  EXPECT_FALSE(wal.WaitDurableLsn(4, 10'000'000));
+  EXPECT_EQ(wal.status(), Status::kWalError);
+  EXPECT_EQ(wal.DurableUpto(), 2u);     // frozen at the pre-fault watermark
+  EXPECT_EQ(wal.DurableVersion(), 1u);  // version watermark frozen too
+  wal.StopFlusher();
+}
+
+//===--- Segment rotation, retirement, chain replay -------------------------===//
+
+TEST_F(WalTest, SegmentedRotationReplaysAcrossChain) {
+  WalOptions opt;
+  opt.segment_bytes = 2 * kRec;  // rotate every two records
+  uint64_t rotations = 0;
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path_, opt));
+    for (int i = 0; i < 10; ++i) {
+      wal.Append(Update::InsertEdge(i, i + 1, 1));
+      ASSERT_EQ(wal.Flush(), Status::kOk);
+    }
+    rotations = wal.stats().rotations;
+  }
+  EXPECT_GE(rotations, 4u);
+
+  std::vector<WalRecord> replayed;
+  uint64_t n = WriteAheadLog::Replay(
+      path_, [&](const WalRecord& r) { replayed.push_back(r); });
+  ASSERT_EQ(n, 10u);
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].lsn, i);
+    EXPECT_EQ(replayed[i].update, Update::InsertEdge(i, i + 1, 1));
+  }
+}
+
+TEST_F(WalTest, RetiredSegmentsKeepChainReplayable) {
+  WalOptions opt;
+  opt.segment_bytes = 2 * kRec;
+  uint64_t retired = 0;
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path_, opt));
+    for (int i = 0; i < 6; ++i) {
+      wal.Append(Update::InsertEdge(i, i + 1, 1));
+      ASSERT_EQ(wal.Flush(), Status::kOk);
+    }
+    // Everything before LSN 4 is checkpointed: the two closed segments
+    // (records 0-3) retire; the active segment (records 4-5) survives.
+    wal.RetireSegmentsBefore(4);
+    retired = wal.stats().retired_segments;
+  }
+  EXPECT_EQ(retired, 2u);
+
+  std::vector<WalRecord> replayed;
+  uint64_t n = WriteAheadLog::Replay(
+      path_, [&](const WalRecord& r) { replayed.push_back(r); });
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ(replayed[0].lsn, 4u);
+  EXPECT_EQ(replayed[1].lsn, 5u);
+
+  // Reopen continues past the retired prefix (recovery replays to learn
+  // the next LSN, then seeds the log with it — Open does not scan).
+  WalReplayStats rs =
+      WriteAheadLog::ReplayEx(path_, [](const WalRecord&) {}, false);
+  EXPECT_EQ(rs.next_lsn, 6u);
+  WriteAheadLog wal2;
+  ASSERT_TRUE(wal2.Open(path_, opt));
+  wal2.SetNextLsn(rs.next_lsn);
+  EXPECT_EQ(wal2.NextLsn(), 6u);
+}
+
+//===--- Decoupled group commit (background flusher) ------------------------===//
+
+TEST_F(WalTest, DecoupledFlusherAdvancesWatermarks) {
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_));
+  WriteAheadLog::FlusherOptions fopt;
+  fopt.interval_micros = 1000;
+  ASSERT_TRUE(wal.StartFlusher(fopt));
+  EXPECT_TRUE(wal.FlusherRunning());
+  EXPECT_EQ(wal.DurableUpto(), 0u);
+
+  for (int i = 0; i < 4; ++i) wal.Append(Update::InsertEdge(i, i + 1, 1));
+  wal.Seal(7);
+  ASSERT_TRUE(wal.WaitDurableLsn(4, 5'000'000));
+  EXPECT_EQ(wal.DurableUpto(), 4u);
+  EXPECT_EQ(wal.DurableVersion(), 7u);
+
+  // Sealing an empty epoch advances the version watermark without I/O.
+  wal.Seal(9);
+  EXPECT_TRUE(wal.WaitDurableLsn(4, 5'000'000));
+  EXPECT_EQ(wal.DurableVersion(), 9u);
+
+  wal.StopFlusher();
+  wal.Close();
+  EXPECT_EQ(WriteAheadLog::Replay(path_, [](const WalRecord&) {}), 4u);
+}
+
+//===--- Crash simulation (torn writes, lost page cache) --------------------===//
+
+TEST_F(WalTest, CrashMidWritePersistsTornPrefixOnly) {
+  // Process dies mid-write: a torn record lands on disk. Replay with repair
+  // must recover exactly the whole-record prefix and truncate the tear so a
+  // second replay is clean.
+  FaultInjectingWalBackend::Config cfg;
+  cfg.crash_at_bytes = 5 * kRec + 10;  // tear 10 bytes into record 5
+  FaultInjectingWalBackend backend(cfg);
+  WalOptions opt;
+  opt.backend = &backend;
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path_, opt));
+    for (int i = 0; i < 10; ++i) wal.Append(Update::InsertEdge(i, i + 1, 1));
+    EXPECT_EQ(wal.Flush(), Status::kWalError);
+  }
+  // Surface what hit the (simulated) disk, torn tail included.
+  ASSERT_TRUE(backend.Materialize(/*keep_unsynced=*/true));
+
+  uint64_t replayed = 0;
+  WalReplayStats stats = WriteAheadLog::ReplayEx(
+      path_, [&](const WalRecord&) { ++replayed; }, /*repair=*/true);
+  EXPECT_EQ(replayed, 5u);
+  EXPECT_EQ(stats.records, 5u);
+  EXPECT_TRUE(stats.torn);
+  EXPECT_EQ(stats.dropped_bytes, 10u);
+  EXPECT_EQ(stats.dropped_records, 0u);
+
+  // Repair truncated the tear: clean replay, and appending resumes.
+  stats = WriteAheadLog::ReplayEx(path_, [](const WalRecord&) {}, false);
+  EXPECT_EQ(stats.records, 5u);
+  EXPECT_FALSE(stats.torn);
+
+  WriteAheadLog wal2;
+  ASSERT_TRUE(wal2.Open(path_));
+  wal2.SetNextLsn(stats.next_lsn);
+  EXPECT_EQ(wal2.NextLsn(), 5u);
+  wal2.Append(Update::InsertEdge(5, 6, 1));
+  ASSERT_EQ(wal2.Flush(), Status::kOk);
+  wal2.Close();
+  EXPECT_EQ(WriteAheadLog::Replay(path_, [](const WalRecord&) {}), 6u);
+}
+
+TEST_F(WalTest, LostFsyncKeepsOnlySyncedPrefix) {
+  // Power loss drops the page cache: only the synced prefix survives.
+  // With fsync_on_flush, every acked Flush is synced, so the watermark
+  // read before the "crash" bounds what recovery may lose.
+  FaultInjectingWalBackend::Config cfg;
+  cfg.fail_sync_after = 1;  // the first sync lands; the disk dies after
+  FaultInjectingWalBackend backend(cfg);
+  WalOptions opt;
+  opt.backend = &backend;
+  opt.fsync_on_flush = true;
+  uint64_t durable_before_crash = 0;
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path_, opt));
+    for (int i = 0; i < 6; ++i) wal.Append(Update::InsertEdge(i, i + 1, 1));
+    ASSERT_EQ(wal.Flush(), Status::kOk);
+    durable_before_crash = wal.DurableUpto();
+    // Three more records reach the backend's write cache but their sync
+    // fails: they were never acked durable, so losing them is legal.
+    for (int i = 6; i < 9; ++i) wal.Append(Update::InsertEdge(i, i + 1, 1));
+    EXPECT_EQ(wal.Flush(), Status::kWalError);
+    EXPECT_EQ(wal.DurableUpto(), durable_before_crash);
+  }
+  EXPECT_EQ(durable_before_crash, 6u);
+  // Keep only synced bytes — the lost-page-cache model.
+  ASSERT_TRUE(backend.Materialize(/*keep_unsynced=*/false));
+  EXPECT_EQ(WriteAheadLog::Replay(path_, [](const WalRecord&) {}),
+            durable_before_crash);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 // (CI bench-smoke gate). hardware_concurrency is recorded so 1-core smoke
 // runs read as box size, not regression.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -51,11 +52,12 @@ class Harness {
  public:
   static constexpr uint64_t kVertices = 1 << 14;
 
-  explicit Harness(size_t extra_clients = 0) {
+  explicit Harness(size_t extra_clients = 0,
+                   SubscriptionRegistry::Options reg_options = {}) {
     sys_ = std::make_unique<RisGraph<>>(kVertices);
     bfs_ = sys_->AddAlgorithm<Bfs>(0);
     sys_->InitializeResults();
-    registry_ = std::make_unique<SubscriptionRegistry>();
+    registry_ = std::make_unique<SubscriptionRegistry>(reg_options);
     publisher_ = std::make_unique<ChangePublisher>(*registry_);
     service_ = std::make_unique<RisGraphService<>>(*sys_);
     service_->AttachPublisher(publisher_.get());
@@ -187,6 +189,75 @@ ThroughputRow MeasureFanout(size_t subscribers, double seconds) {
   return row;
 }
 
+//===--- Subscriber-count sweep: the index vs the scan ------------------------//
+
+/// The PR-9 question: what does one committed batch cost to MATCH as the
+/// standing-query count walks into 10^4-10^5? `count` single-vertex
+/// subscriptions spread over the vertex range, then a closed update->notify
+/// loop over watched vertices. Each update is one epoch => one sealed batch
+/// of one change, so match-time-per-batch isolates the matcher itself:
+///   scan     — every batch walks all `count` subscriptions;
+///   indexed  — every batch probes one posting list (~count/|V| entries).
+struct SweepRow {
+  size_t subscriptions = 0;
+  bool indexed = false;
+  uint64_t batches = 0;
+  double match_us_per_batch = 0;
+  uint64_t candidate_pairs = 0;
+  uint64_t scan_equivalent_pairs = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+SweepRow MeasureMatchSweep(size_t count, bool indexed, double seconds) {
+  SubscriptionRegistry::Options reg;
+  reg.indexed_matching = indexed;
+  Harness h(/*extra_clients=*/1, reg);
+  SessionClient<>& sub = h.subscriber(0);
+  for (size_t i = 0; i < count; ++i) {
+    VertexId v = 1 + (i % (Harness::kVertices - 1));
+    if (sub.Subscribe(SubscriptionFilter::WatchVertices(h.bfs(), {v})) == 0) {
+      std::fprintf(stderr, "FATAL: subscribe %zu refused\n", i);
+      std::exit(1);
+    }
+  }
+  // Cycle the writer over watched vertices only, so every update wakes the
+  // subscriber (count < |V| leaves a tail of unwatched vertices).
+  uint64_t span = std::min<uint64_t>(count, Harness::kVertices - 1);
+
+  LatencyRecorder rec;
+  std::vector<Notification> got;
+  WallTimer window;
+  uint64_t i = 0;
+  while (window.ElapsedSeconds() < seconds) {
+    VertexId v = 1 + (i % span);
+    Update u = (i / span) % 2 == 0 ? Update::InsertEdge(0, v, 1)
+                                   : Update::DeleteEdge(0, v, 1);
+    int64_t t0 = WallTimer::NowNanos();
+    h.writer().Submit(u);
+    while (!sub.WaitNotification(100000)) {
+    }
+    rec.RecordNanos(WallTimer::NowNanos() - t0);
+    got.clear();
+    sub.PollNotifications(&got);
+    ++i;
+  }
+  h.publisher().WaitIdle();
+
+  SweepRow row;
+  row.subscriptions = count;
+  row.indexed = indexed;
+  row.batches = h.publisher().matched_batches();
+  row.match_us_per_batch =
+      h.publisher().match_timer().TotalNanos() / 1e3 /
+      std::max<uint64_t>(1, row.batches);
+  row.candidate_pairs = h.registry().candidate_pairs();
+  row.scan_equivalent_pairs = h.registry().scan_equivalent_pairs();
+  row.p50_us = rec.P50Micros();
+  row.p99_us = rec.P99Micros();
+  return row;
+}
+
 }  // namespace
 }  // namespace risgraph
 
@@ -225,18 +296,44 @@ int main() {
       "Shape check: update throughput stays flat as subscribers grow (the\n"
       "publisher matches off the coordinator's critical path; slow\n"
       "subscribers coalesce instead of backpressuring ingest), while\n"
-      "delivered notifications scale with the subscriber count.\n");
+      "delivered notifications scale with the subscriber count.\n\n");
+
+  // The standing-query sweep: 10^4 -> 10^5 single-vertex subscriptions,
+  // indexed matcher vs the retained scan baseline.
+  std::printf("%10s %8s %10s %14s %16s %10s %10s\n", "standing", "matcher",
+              "match us", "candidates", "scan-equiv", "p50 us", "p99 us");
+  std::vector<SweepRow> sweep;
+  for (size_t count : {10000, 30000, 100000}) {
+    for (bool indexed : {false, true}) {
+      SweepRow row = MeasureMatchSweep(count, indexed, env.seconds);
+      sweep.push_back(row);
+      std::printf("%10zu %8s %10.2f %14llu %16llu %10.1f %10.1f\n",
+                  row.subscriptions, indexed ? "index" : "scan",
+                  row.match_us_per_batch,
+                  (unsigned long long)row.candidate_pairs,
+                  (unsigned long long)row.scan_equivalent_pairs, row.p50_us,
+                  row.p99_us);
+    }
+  }
+  bench::PrintRule();
+  std::printf(
+      "Shape check: the scan's match cost per batch tracks the standing-\n"
+      "query count; the index's tracks its candidate count (postings on the\n"
+      "changed vertex, ~count/|V| here) and stays flat as subscriptions\n"
+      "grow 10x. candidates << scan-equiv is the index earning its keep.\n");
 
   std::string json = "{\n  \"bench\": \"subscribe_latency\",\n";
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "  \"hardware_concurrency\": %u,\n"
+                "  \"parallel_speedup_meaningful\": %s,\n"
                 "  \"latency\": {\"p50_us\": %.2f, \"p99_us\": %.2f, "
                 "\"mean_us\": %.2f, \"max_ms\": %.3f, \"samples\": %llu},\n"
                 "  \"results\": [\n",
-                std::thread::hardware_concurrency(), lat.P50Micros(),
-                lat.P99Micros(), lat.MeanMicros(), lat.MaxMillis(),
-                (unsigned long long)samples);
+                std::thread::hardware_concurrency(),
+                std::thread::hardware_concurrency() > 1 ? "true" : "false",
+                lat.P50Micros(), lat.P99Micros(), lat.MeanMicros(),
+                lat.MaxMillis(), (unsigned long long)samples);
   json += buf;
   for (size_t i = 0; i < rows.size(); ++i) {
     const ThroughputRow& r = rows[i];
@@ -249,6 +346,22 @@ int main() {
                   (unsigned long long)r.delivered,
                   (unsigned long long)r.coalesced,
                   i + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n  \"subscriber_sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& r = sweep[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"subscriptions\": %zu, \"matcher\": \"%s\", "
+        "\"batches\": %llu, \"match_us_per_batch\": %.3f, "
+        "\"candidate_pairs\": %llu, \"scan_equivalent_pairs\": %llu, "
+        "\"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
+        r.subscriptions, r.indexed ? "indexed" : "scan",
+        (unsigned long long)r.batches, r.match_us_per_batch,
+        (unsigned long long)r.candidate_pairs,
+        (unsigned long long)r.scan_equivalent_pairs, r.p50_us, r.p99_us,
+        i + 1 < sweep.size() ? "," : "");
     json += buf;
   }
   json += "  ]\n}\n";

@@ -5,6 +5,9 @@
 // walk the dependency tree to reset invalidated results, insertions don't.
 
 #include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/algorithm_api.h"
@@ -54,16 +57,55 @@ int main() {
   std::printf("%7.0f%% %8s %8s %8s %8s  (absolute baseline)\n", 50.0,
               bench::FmtOps(base[0]).c_str(), bench::FmtOps(base[1]).c_str(),
               bench::FmtOps(base[2]).c_str(), bench::FmtOps(base[3]).c_str());
+  struct Row {
+    double frac;
+    double rel[4];
+  };
+  std::vector<Row> rows;
   for (double frac : {0.0, 0.25, 0.75, 1.0}) {
     double t[4] = {Throughput<Bfs>(d, frac, env),
                    Throughput<Sssp>(d, frac, env),
                    Throughput<Sswp>(d, frac, env),
                    Throughput<Wcc>(d, frac, env)};
+    rows.push_back(
+        {frac, {t[0] / base[0], t[1] / base[1], t[2] / base[2],
+                t[3] / base[3]}});
     std::printf("%7.0f%% %7.2fx %7.2fx %7.2fx %7.2fx\n", 100 * frac,
                 t[0] / base[0], t[1] / base[1], t[2] / base[2],
                 t[3] / base[3]);
   }
   std::printf("\nShape check (paper): monotone in insertion share — ~0.7x "
               "at 0%% up to ~1.1-1.35x at 100%%.\n");
+
+  // Machine-readable trajectory for the CI bench-smoke JSON gate.
+  std::string json = "{\n  \"bench\": \"table6_insertion_ratio\",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"hardware_concurrency\": %u,\n"
+                "  \"baseline_50pct_ops_per_sec\": {\"bfs\": %.0f, "
+                "\"sssp\": %.0f, \"sswp\": %.0f, \"wcc\": %.0f},\n"
+                "  \"results\": [\n",
+                std::thread::hardware_concurrency(), base[0], base[1],
+                base[2], base[3]);
+  json += buf;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"insert_fraction\": %.2f, \"bfs_rel\": %.3f, "
+                  "\"sssp_rel\": %.3f, \"sswp_rel\": %.3f, "
+                  "\"wcc_rel\": %.3f}%s\n",
+                  rows[i].frac, rows[i].rel[0], rows[i].rel[1], rows[i].rel[2],
+                  rows[i].rel[3], i + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+  const char* path = "BENCH_table6.json";
+  if (FILE* f = std::fopen(path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::printf("failed to write %s\n", path);
+    return 1;
+  }
   return 0;
 }

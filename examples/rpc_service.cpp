@@ -16,6 +16,7 @@
 // It prints the service-side throughput split into safe/unsafe lanes plus
 // the shed tally, then reads results back over the wire.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -150,11 +151,20 @@ int main(int argc, char** argv) {
     VersionId executed = sys.GetCurrentVersion();
     uint64_t durable = service.pipeline().DurableThrough();
     WalFlushStats ws = sys.wal().stats();
+    // Push-plane cost meter (first probe of the ROADMAP metrics plane):
+    // total matcher wall time, per-batch cost, and how selective the
+    // subscription index is — candidates the posting lists actually
+    // examined vs the (changes x live subscriptions) a scan would have.
+    uint64_t batches = publisher.matched_batches();
+    uint64_t cand = registry.candidate_pairs();
+    uint64_t scan_eq = registry.scan_equivalent_pairs();
     std::printf(
         "  %4.1fs: %llu RPCs served (%llu safe, %llu unsafe), "
         "mean latency %.0f us\n"
         "          durability: executed v%llu, durable v%llu (lag %llu), "
-        "%llu records flushed in %llu group commits\n",
+        "%llu records flushed in %llu group commits\n"
+        "          subscriptions: %zu live, %llu batches matched in %.0f us "
+        "(%.1f us/batch), %llu candidates of %llu scan-equivalent (%.1f%%)\n",
         t.ElapsedNanos() / 1e9, (unsigned long long)server.requests_served(),
         (unsigned long long)service.safe_ops(),
         (unsigned long long)service.unsafe_ops(),
@@ -162,7 +172,13 @@ int main(int argc, char** argv) {
         (unsigned long long)durable,
         (unsigned long long)(executed - std::min<uint64_t>(durable, executed)),
         (unsigned long long)sys.wal().DurableUpto(),
-        (unsigned long long)ws.flushes);
+        (unsigned long long)ws.flushes, registry.NumSubscriptions(),
+        (unsigned long long)batches,
+        publisher.match_timer().TotalNanos() / 1e3,
+        publisher.match_timer().TotalNanos() / 1e3 /
+            std::max<uint64_t>(batches, 1),
+        (unsigned long long)cand, (unsigned long long)scan_eq,
+        100.0 * cand / std::max<uint64_t>(scan_eq, 1));
   }
   stop.store(true);
   for (auto& th : users) th.join();

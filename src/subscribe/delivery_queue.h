@@ -50,6 +50,19 @@ class DeliveryQueue {
     }
   }
 
+  /// Bulk enqueue for the indexed matcher's run-at-a-time delivery
+  /// (SubscriptionRegistry::Deliver hands a whole subscription's hits for
+  /// one batch in a single call). Returns the queue's NET growth — pushes
+  /// absorbed by coalescing contribute 0 — which is exactly the delta the
+  /// registry adds to the subscriber's pending count, so per-push size
+  /// re-reads under the table lock disappear.
+  template <typename NotificationIter>
+  size_t PushRun(NotificationIter begin, NotificationIter end) {
+    size_t before = Size();
+    for (NotificationIter it = begin; it != end; ++it) Push(*it);
+    return Size() - before;
+  }
+
   /// Moves up to `max` notifications into `out` (appending); returns how
   /// many moved.
   size_t PopInto(std::vector<Notification>* out, size_t max) {

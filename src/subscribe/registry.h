@@ -1,7 +1,9 @@
 #ifndef RISGRAPH_SUBSCRIBE_REGISTRY_H_
 #define RISGRAPH_SUBSCRIBE_REGISTRY_H_
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -9,45 +11,104 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/types.h"
 #include "subscribe/delivery_queue.h"
 #include "subscribe/subscription.h"
+#include "subscribe/subscription_index.h"
 
 namespace risgraph {
 
 /// The subscription table of the continuous-query subsystem: subscription
 /// IDs -> filters, grouped under per-session Subscriber handles that own the
-/// bounded delivery queues.
+/// bounded delivery queues — plus the subscription INDEX that lets matching
+/// scale to 10^4-10^5 standing queries (the feed-service design point of
+/// ROADMAP item 4).
 ///
 /// Roles and threading:
 ///  * Consumers (one SessionClient in-process, one RPC connection's pusher
 ///    thread remotely) hold a Subscriber handle and call Subscribe /
 ///    Unsubscribe / Poll / WaitNotification on it.
-///  * The ChangePublisher's matcher thread calls Publish with each sealed
+///  * The ChangePublisher's matcher calls MatchShard / MatchWatchAll /
+///    Deliver (or PublishScan, the retained baseline) with each sealed
 ///    epoch's committed changes; matching hits are pushed into the
 ///    subscribers' DeliveryQueues (bounded, latest-value coalescing under
 ///    overload — a slow consumer can never grow server memory without bound
 ///    and never back-pressures the ingest pipeline, which by then has long
 ///    moved on).
 ///
-/// One mutex guards the whole table; Subscriber handles carry their own
-/// condition variable so Publish wakes exactly the sessions it delivered
-/// to. Matching is O(changes x live subscriptions) per batch under that
-/// mutex — subscriptions are per-session standing queries (tens, not
-/// millions), and the matcher runs off the coordinator's critical path, so
-/// simplicity wins over an algo-keyed index until profiles say otherwise.
+/// ## The index (subscription_index.h)
 ///
-/// Determinism: Publish processes changes in staged (version) order and
-/// delivers to each matching subscription in that order; DeliveryQueue
-/// drains deterministically. Same committed versions => same per-
-/// subscription notification streams, at any ingest shard count.
+/// A naive matcher is O(changes x live subscriptions) per batch — fine for
+/// tens of standing queries, a new critical-path ceiling at the thousands a
+/// feed deployment implies. Instead the registry maintains, per SHARD:
+///
+///   vertex id -> posting list of subscriptions watching that vertex
+///
+/// (an open-addressing FlatMap), so a batch of C changes examines only the
+/// subscriptions actually watching the changed vertices. Watch-all
+/// subscriptions, which have no vertex key, live on per-algorithm watch-all
+/// lanes matched separately — the irreducible O(C x watch-alls) rump.
+///
+/// ## Sharding
+///
+/// Shards partition the index by VERTEX OWNER — the same
+/// PartitionMap/VertexPartition ownership the store and engine layers
+/// resolve through (common/types.h), installed by
+/// EpochPipeline::AttachPublisher via InstallOwnership. Each shard carries
+/// its own mutex and posting lists, so (1) the publisher can fan one match
+/// task per shard, and (2) Subscribe/Unsubscribe churn on one shard never
+/// contends with matching on another. Shard choice is a pure performance
+/// decision: any ownership map yields the same notification streams,
+/// because delivery re-establishes a deterministic order (below). The
+/// watch-all lanes are the cross-shard lane: matched once, not per shard.
+///
+/// ## Locks (strictly non-nested — no path holds two registry locks)
+///
+///   table_mu_   subscribers_, their subs_ maps + delivery queues +
+///               pending counts, the id -> handle map, next_id_. Taken by
+///               Subscribe/Unsubscribe/Poll/Wait/Deliver. Never held while
+///               a shard lock is wanted, and vice versa.
+///   shard mu    that shard's posting lists (one per shard). Taken by the
+///               index half of Subscribe/Unsubscribe and by MatchShard.
+///   watch-all   the watch-all lanes, same role as a shard mutex.
+///
+/// Because matching runs under shard locks only, posting entries carry a
+/// copy of the predicate fields (never a pointer into the table), and a
+/// subscription unsubscribed between match and delivery simply fails the
+/// id lookup in Deliver and is dropped — the same outcome an atomic
+/// scan-under-one-mutex would have produced a microsecond earlier.
+///
+/// Unsubscribe is O(watched vertices) — it walks the filter's (sorted)
+/// watched-vertex set removing postings from each vertex's owner shard —
+/// never O(live subscriptions).
+///
+/// ## Determinism
+///
+/// Per-subscription notification streams are bit-identical to the scan
+/// baseline (PublishScan): the scan delivers each subscription its matching
+/// changes in staged (version) order, and the indexed path sorts all hits
+/// by (subscription id, change index) before delivery, which restores
+/// exactly that per-queue order. DeliveryQueue drains deterministically and
+/// Poll visits subscriptions in id order, so same committed versions =>
+/// same notification streams, at any ingest/store shard count, either
+/// matcher, either transport (tests/test_subscribe_index.cc pins this).
 class SubscriptionRegistry {
  public:
   struct Options {
     /// Per-subscription in-order buffer depth before latest-value
     /// coalescing engages (see DeliveryQueue).
     size_t queue_capacity = 4096;
+    /// When false, the publisher falls back to the retained scan matcher
+    /// (PublishScan) — the equivalence-test oracle and bench baseline.
+    bool indexed_matching = true;
+    /// Explicit match-shard override for standalone use (benches). 0 means
+    /// "from InstallOwnership" — the normal path, where
+    /// EpochPipeline::AttachPublisher installs the store's ownership.
+    uint32_t match_shards = 0;
   };
 
   /// One consuming session's handle: its subscriptions, their delivery
@@ -64,35 +125,66 @@ class SubscriptionRegistry {
       Entry(SubscriptionFilter f, size_t capacity)
           : filter(std::move(f)), queue(capacity) {}
     };
-    /// std::map: Poll drains subscriptions in id order — deterministic.
+    /// std::map: Poll drains subscriptions in id order — deterministic —
+    /// and nodes are stable, so the id -> handle map can point at entries.
     std::map<uint64_t, Entry> subs_;
     std::condition_variable cv_;
     uint64_t pending_ = 0;  // total undelivered notifications, for Wait
+    uint64_t wake_stamp_ = 0;  // dedup of per-Deliver wakeups
   };
 
-  SubscriptionRegistry() = default;
-  explicit SubscriptionRegistry(Options options) : options_(options) {}
+  SubscriptionRegistry() { InitShards(); }
+  explicit SubscriptionRegistry(Options options) : options_(options) {
+    InitShards();
+  }
 
   SubscriptionRegistry(const SubscriptionRegistry&) = delete;
   SubscriptionRegistry& operator=(const SubscriptionRegistry&) = delete;
 
+  /// Installs the vertex-ownership regime the index shards by (the store's
+  /// VertexPartition, wired by EpochPipeline::AttachPublisher before any
+  /// client can Subscribe — SessionClient refuses subscriptions until a
+  /// publisher is attached). Only takes effect while no subscription has
+  /// ever been indexed: re-sharding a live index would have to move every
+  /// posting, and ownership is a pure performance hint here (any regime
+  /// produces the same streams), so late installs are simply ignored.
+  /// Options::match_shards, when set, pins the shard count and also wins
+  /// over this.
+  void InstallOwnership(VertexPartition ownership) {
+    std::lock_guard<std::mutex> lk(table_mu_);
+    if (!by_id_.empty() || next_id_ != 1) return;
+    if (options_.match_shards != 0) return;
+    ownership_ = std::move(ownership);
+    ownership_.shard = 0;  // the registry speaks for every shard
+    InitShards();
+  }
+
   Subscriber* OpenSubscriber() {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(table_mu_);
     subscribers_.push_back(std::make_unique<Subscriber>());
     return subscribers_.back().get();
   }
 
   /// Drops the handle and every subscription under it. Undelivered
-  /// notifications are discarded.
+  /// notifications are discarded. O(sum of its subscriptions' watched
+  /// vertices), like unsubscribing each.
   void CloseSubscriber(Subscriber* s) {
-    std::lock_guard<std::mutex> lk(mu_);
-    for (size_t i = 0; i < subscribers_.size(); ++i) {
-      if (subscribers_[i].get() == s) {
-        subscribers_[i] = std::move(subscribers_.back());
-        subscribers_.pop_back();
-        return;
+    std::vector<std::pair<uint64_t, SubscriptionFilter>> dropped;
+    {
+      std::lock_guard<std::mutex> lk(table_mu_);
+      for (auto& [id, entry] : s->subs_) {
+        by_id_.erase(id);
+        dropped.emplace_back(id, std::move(entry.filter));
+      }
+      for (size_t i = 0; i < subscribers_.size(); ++i) {
+        if (subscribers_[i].get() == s) {
+          subscribers_[i] = std::move(subscribers_.back());
+          subscribers_.pop_back();
+          break;
+        }
       }
     }
+    for (auto& [id, filter] : dropped) Deindex(id, filter);
   }
 
   /// Registers a standing query under `s`; returns the fresh subscription
@@ -101,29 +193,147 @@ class SubscriptionRegistry {
   /// client tier (SessionClient), which both transports dispatch through.
   uint64_t Subscribe(Subscriber* s, SubscriptionFilter filter) {
     filter.Normalize();
-    std::lock_guard<std::mutex> lk(mu_);
-    uint64_t id = next_id_++;
-    s->subs_.emplace(id, Subscriber::Entry(std::move(filter),
-                                           options_.queue_capacity));
+    uint64_t id = 0;
+    const SubscriptionFilter* stored = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(table_mu_);
+      id = next_id_++;
+      auto [it, inserted] = s->subs_.emplace(
+          id, Subscriber::Entry(std::move(filter), options_.queue_capacity));
+      by_id_.emplace(id, Handle{s, &it->second});
+      stored = &it->second.filter;
+    }
+    // Index outside the table lock (lock discipline: never nested). A
+    // Publish racing this gap may miss the brand-new subscription for the
+    // in-flight batch — indistinguishable from the subscribe arriving one
+    // batch later, which concurrent subscribers cannot rule out anyway.
+    SubscriptionPosting p = SubscriptionPosting::Of(id, *stored);
+    if (stored->watch_all) {
+      std::lock_guard<std::mutex> lk(watch_all_mu_);
+      watch_all_.Add(p);
+    } else {
+      for (VertexId v : stored->WatchedVertices()) {
+        Shard& sh = ShardFor(v);
+        std::lock_guard<std::mutex> lk(sh.mu);
+        sh.index.Add(v, p);
+      }
+    }
     return id;
   }
 
   /// Unregisters; false when the id is not live under this subscriber (a
-  /// double-unsubscribe or a stale id — harmless either way).
+  /// double-unsubscribe or a stale id — harmless either way). O(watched
+  /// vertices), not O(live subscriptions): the entry's own vertex set names
+  /// exactly the posting lists to clean.
   bool Unsubscribe(Subscriber* s, uint64_t id) {
-    std::lock_guard<std::mutex> lk(mu_);
-    auto it = s->subs_.find(id);
-    if (it == s->subs_.end()) return false;
-    s->pending_ -= it->second.queue.Size();
-    s->subs_.erase(it);
+    SubscriptionFilter filter;
+    {
+      std::lock_guard<std::mutex> lk(table_mu_);
+      auto it = s->subs_.find(id);
+      if (it == s->subs_.end()) return false;
+      s->pending_ -= it->second.queue.Size();
+      filter = std::move(it->second.filter);
+      by_id_.erase(id);
+      s->subs_.erase(it);
+    }
+    Deindex(id, filter);
     return true;
   }
 
-  /// Matches one sealed batch of committed changes against every live
-  /// subscription and enqueues the hits. Called by the ChangePublisher's
-  /// matcher thread only.
-  void Publish(std::span<const CommittedChange> changes) {
-    std::lock_guard<std::mutex> lk(mu_);
+  //===--- Matching ------------------------------------------------------===//
+  //
+  // The indexed path is split so the ChangePublisher can fan it: one
+  // MatchShard task per shard plus the MatchWatchAll lane, each appending
+  // to its own hit vector under its own lock, then one Deliver over the
+  // concatenation. PublishScan is the retained baseline — same streams,
+  // O(changes x subscriptions).
+
+  /// Matches `changes` against shard `shard`'s posting lists, appending
+  /// hits. Thread-safe against every other registry operation; the
+  /// publisher calls the N shards concurrently.
+  void MatchShard(uint32_t shard, std::span<const CommittedChange> changes,
+                  std::vector<MatchHit>* out) {
+    Shard& sh = *shards_[shard];
+    uint64_t candidates = 0;
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      if (shards_.size() == 1) {
+        candidates = sh.index.MatchInto(
+            changes, [](VertexId) { return true; }, out);
+      } else {
+        candidates = sh.index.MatchInto(
+            changes,
+            [&](VertexId v) { return ownership_.OwnerOf(v) == shard; }, out);
+      }
+    }
+    candidate_pairs_.fetch_add(candidates, std::memory_order_relaxed);
+  }
+
+  /// The dedicated cross-shard lane: watch-all subscriptions, matched once
+  /// per batch (not per shard).
+  void MatchWatchAll(std::span<const CommittedChange> changes,
+                     std::vector<MatchHit>* out) {
+    uint64_t candidates = 0;
+    {
+      std::lock_guard<std::mutex> lk(watch_all_mu_);
+      candidates = watch_all_.MatchInto(changes, out);
+    }
+    candidate_pairs_.fetch_add(candidates, std::memory_order_relaxed);
+  }
+
+  /// Sorts `hits` into the deterministic delivery order — (subscription id,
+  /// change index), which groups each subscription's hits contiguously with
+  /// its changes in staged order — and enqueues them. Hits whose id no
+  /// longer resolves (unsubscribed mid-flight) are dropped. Called by the
+  /// publisher's matcher thread only, once per sealed batch, after every
+  /// match task joined.
+  void Deliver(std::span<const CommittedChange> changes,
+               std::vector<MatchHit>* hits) {
+    std::sort(hits->begin(), hits->end());
+    std::lock_guard<std::mutex> lk(table_mu_);
+    scan_equivalent_pairs_.fetch_add(changes.size() * by_id_.size(),
+                                     std::memory_order_relaxed);
+    wake_stamp_++;
+    size_t i = 0;
+    while (i < hits->size()) {
+      uint64_t id = (*hits)[i].id;
+      auto handle = by_id_.find(id);
+      if (handle == by_id_.end()) {
+        // Unsubscribed between match and delivery; skip the whole run.
+        while (i < hits->size() && (*hits)[i].id == id) ++i;
+        continue;
+      }
+      Subscriber* sub = handle->second.subscriber;
+      Subscriber::Entry& entry = *handle->second.entry;
+      // Materialize the run, then one bulk enqueue: PushRun returns the
+      // net growth (coalesced pushes contribute 0), which is exactly the
+      // pending delta — no per-push size re-reads under the table lock.
+      run_scratch_.clear();
+      for (; i < hits->size() && (*hits)[i].id == id; ++i) {
+        const CommittedChange& c = changes[(*hits)[i].change];
+        run_scratch_.push_back(Notification{id, c.algo, c.version, c.vertex,
+                                            c.old_value, c.new_value});
+      }
+      matched_.fetch_add(run_scratch_.size(), std::memory_order_relaxed);
+      sub->pending_ +=
+          entry.queue.PushRun(run_scratch_.begin(), run_scratch_.end());
+      if (sub->wake_stamp_ != wake_stamp_) {
+        sub->wake_stamp_ = wake_stamp_;
+        sub->cv_.notify_all();
+      }
+    }
+  }
+
+  /// The scan baseline: matches one sealed batch against every live
+  /// subscription under the table mutex — O(changes x subscriptions),
+  /// exactly the pre-index matcher. Retained as the equivalence oracle
+  /// (tests) and the bench's "what the index replaces" bar.
+  void PublishScan(std::span<const CommittedChange> changes) {
+    std::lock_guard<std::mutex> lk(table_mu_);
+    scan_equivalent_pairs_.fetch_add(changes.size() * by_id_.size(),
+                                     std::memory_order_relaxed);
+    candidate_pairs_.fetch_add(changes.size() * by_id_.size(),
+                               std::memory_order_relaxed);
     for (auto& sub : subscribers_) {
       uint64_t before = sub->pending_;
       for (auto& [id, entry] : sub->subs_) {
@@ -143,10 +353,12 @@ class SubscriptionRegistry {
     }
   }
 
+  //===--- Consumption ---------------------------------------------------===//
+
   /// Moves up to `max` pending notifications into `out` (appending),
   /// draining subscriptions in id order. Returns how many moved.
   size_t Poll(Subscriber* s, std::vector<Notification>* out, size_t max) {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(table_mu_);
     size_t moved = 0;
     for (auto& [id, entry] : s->subs_) {
       if (moved >= max) break;
@@ -161,7 +373,7 @@ class SubscriptionRegistry {
   /// timeout. The RPC pusher's wait loop and latency-sensitive in-process
   /// consumers sit here instead of spinning on Poll.
   bool WaitNotification(Subscriber* s, int64_t timeout_micros) {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(table_mu_);
     return s->cv_.wait_for(lk, std::chrono::microseconds(timeout_micros),
                            [&] { return s->pending_ > 0; });
   }
@@ -170,40 +382,131 @@ class SubscriptionRegistry {
   /// (they observe their own shutdown condition and leave). Lets consumers
   /// park on long waits instead of polling short timeouts for teardown.
   void Wake(Subscriber* s) {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(table_mu_);
     s->cv_.notify_all();
   }
 
+  //===--- Observers ------------------------------------------------------===//
+
   size_t NumSubscriptions() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    size_t n = 0;
-    for (const auto& sub : subscribers_) n += sub->subs_.size();
-    return n;
+    std::lock_guard<std::mutex> lk(table_mu_);
+    return by_id_.size();
   }
+  /// Match shards the index is partitioned into (>= 1).
+  uint32_t num_match_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  bool indexed_matching() const { return options_.indexed_matching; }
   /// Notifications that matched a filter (before coalescing).
   uint64_t matched() const { return matched_.load(std::memory_order_relaxed); }
   /// Notifications handed to consumers via Poll.
   uint64_t delivered() const {
     return delivered_.load(std::memory_order_relaxed);
   }
+  /// (change, subscription) pairs the matcher actually examined — posting
+  /// list entries for the indexed path, changes x subscriptions for the
+  /// scan. The index earns its keep when this stays far below
+  /// scan_equivalent_pairs().
+  uint64_t candidate_pairs() const {
+    return candidate_pairs_.load(std::memory_order_relaxed);
+  }
+  /// What a scan matcher would have examined for the same batches:
+  /// sum over batches of (changes x live subscriptions at delivery).
+  uint64_t scan_equivalent_pairs() const {
+    return scan_equivalent_pairs_.load(std::memory_order_relaxed);
+  }
   /// Matched-but-superseded notifications (latest-value coalescing).
   uint64_t coalesced() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(table_mu_);
     uint64_t n = 0;
     for (const auto& sub : subscribers_) {
       for (const auto& [id, entry] : sub->subs_) n += entry.queue.overwritten();
     }
     return n;
   }
+  /// Live index entries: vertex postings + watch-all postings. Consistency
+  /// invariant (pinned by test): equals the sum over live subscriptions of
+  /// |watched vertices| (or 1 for watch-all) — no stale entries survive
+  /// churn.
+  uint64_t IndexEntriesForTest() const {
+    uint64_t n = 0;
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh->mu);
+      n += sh->index.entries();
+    }
+    std::lock_guard<std::mutex> lk(watch_all_mu_);
+    return n + watch_all_.entries();
+  }
   const Options& options() const { return options_; }
 
  private:
+  struct Handle {
+    Subscriber* subscriber = nullptr;
+    Subscriber::Entry* entry = nullptr;  // stable: std::map node
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    VertexPostingIndex index;
+  };
+
+  void InitShards() {
+    uint32_t n = options_.match_shards != 0 ? options_.match_shards
+                                            : ownership_.num_shards;
+    if (n < 1) n = 1;
+    shards_.clear();
+    shards_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    if (options_.match_shards != 0 && ownership_.num_shards != n) {
+      // Standalone sharding without a store: modulo over the pinned count.
+      ownership_ = VertexPartition{0, n, nullptr};
+    }
+  }
+
+  Shard& ShardFor(VertexId v) {
+    return shards_.size() == 1 ? *shards_[0]
+                               : *shards_[ownership_.OwnerOf(v)];
+  }
+
+  /// Removes every index posting `filter` created for subscription `id`.
+  void Deindex(uint64_t id, const SubscriptionFilter& filter) {
+    if (filter.watch_all) {
+      std::lock_guard<std::mutex> lk(watch_all_mu_);
+      watch_all_.Remove(filter.algo, id);
+      return;
+    }
+    for (VertexId v : filter.WatchedVertices()) {
+      Shard& sh = ShardFor(v);
+      std::lock_guard<std::mutex> lk(sh.mu);
+      sh.index.Remove(v, id);
+    }
+  }
+
   Options options_{};
-  mutable std::mutex mu_;
+  /// Vertex ownership the shards partition by (InstallOwnership). shard=0,
+  /// num_shards = shards_.size(); map shared with the store when wired.
+  VertexPartition ownership_{0, 1, nullptr};
+
+  mutable std::mutex table_mu_;
   std::vector<std::unique_ptr<Subscriber>> subscribers_;
+  /// id -> (subscriber, entry); the delivery-time source of truth for
+  /// liveness. unordered_map: delivery does one lookup per subscription
+  /// RUN (hits are sorted), not per notification.
+  std::unordered_map<uint64_t, Handle> by_id_;
   uint64_t next_id_ = 1;
+  uint64_t wake_stamp_ = 0;
+  /// Deliver's run-materialization scratch (guarded by table_mu_).
+  std::vector<Notification> run_scratch_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex watch_all_mu_;
+  WatchAllLane watch_all_;
+
   std::atomic<uint64_t> matched_{0};
   std::atomic<uint64_t> delivered_{0};
+  std::atomic<uint64_t> candidate_pairs_{0};
+  std::atomic<uint64_t> scan_equivalent_pairs_{0};
 };
 
 }  // namespace risgraph

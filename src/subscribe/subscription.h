@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -20,6 +21,30 @@ namespace risgraph {
 /// live subscriptions and the hits are pushed to the subscriber as
 /// Notifications — over the in-process client and the RPC tier alike
 /// (protocol v2.1 kNotify frames).
+///
+/// The subsystem's layers, commit to consumer:
+///
+///   RisGraph commit hook (ResultChangeSink, change_sink.h)
+///     -> ChangePublisher (publisher.h): coordinator-side staging, sealed
+///        per-epoch batch handoff, off-path matcher thread with a per-shard
+///        parallel match fan-out on its own pool
+///     -> SubscriptionRegistry (registry.h): the subscription table, sharded
+///        by the store's vertex ownership; each shard owns a
+///        VertexPostingIndex (subscription_index.h — vertex id -> posting
+///        list of interested subscriptions), watch-all subscriptions match
+///        on per-algorithm lanes; matching is O(changes x interested), not
+///        O(changes x live), and unsubscribe is O(watched vertices)
+///     -> DeliveryQueue (delivery_queue.h): bounded per-subscription FIFO
+///        with latest-value coalescing under overload
+///     -> SessionClient poll/wait in-process, or the RPC pusher thread
+///        (kNotify) remotely.
+///
+/// The contract every layer preserves: per-subscription notification
+/// streams are DETERMINISTIC — bit-identical at any ingest/store/registry
+/// shard count, either matcher (indexed or the retained scan baseline),
+/// either transport, including under subscribe/unsubscribe churn at batch
+/// boundaries (pinned by tests/test_subscribe.cc and
+/// tests/test_subscribe_index.cc).
 
 /// Value predicate applied to a candidate change before it is delivered.
 /// Predicates see the committed (new) value and the pre-update (old) value.
@@ -38,6 +63,29 @@ enum class NotifyPredicate : uint8_t {
 
 inline constexpr uint8_t kMaxNotifyPredicate =
     static_cast<uint8_t>(NotifyPredicate::kMinDelta);
+
+/// THE definition of predicate semantics — shared by the filter's scan-path
+/// Matches and the index's posting-list entries (subscription_index.h), so
+/// the indexed and scan matchers can never disagree on what a predicate
+/// admits.
+inline bool PassesNotifyPredicate(NotifyPredicate predicate,
+                                  uint64_t threshold, uint64_t old_value,
+                                  uint64_t new_value) {
+  switch (predicate) {
+    case NotifyPredicate::kAnyChange:
+      return true;
+    case NotifyPredicate::kValueAtMost:
+      return new_value <= threshold;
+    case NotifyPredicate::kValueAtLeast:
+      return new_value >= threshold;
+    case NotifyPredicate::kMinDelta: {
+      uint64_t delta = new_value >= old_value ? new_value - old_value
+                                              : old_value - new_value;
+      return delta >= threshold;
+    }
+  }
+  return false;
+}
 
 /// A standing query: which algorithm, which vertices, which changes.
 struct SubscriptionFilter {
@@ -81,27 +129,30 @@ struct SubscriptionFilter {
                    vertices.end());
   }
 
+  /// The watched-vertex set for indexing (sorted + deduped once Normalize
+  /// has run; empty for watch-all filters). The registry's posting-list
+  /// index registers each of these vertices with its owning registry shard,
+  /// so matching a change touches only the subscriptions watching that
+  /// vertex — never this set itself.
+  std::span<const VertexId> WatchedVertices() const { return vertices; }
+
+  /// Vertex-membership half of the filter. Requires Normalize() to have run
+  /// (the registry does it at Subscribe). The indexed match path never calls
+  /// this — a posting-list hit already proves membership.
+  bool WatchesVertex(VertexId vertex) const {
+    return watch_all ||
+           std::binary_search(vertices.begin(), vertices.end(), vertex);
+  }
+
+  /// Value-predicate half of the filter, split out so the indexed match
+  /// path can evaluate it without re-proving vertex membership.
+  bool PassesPredicate(uint64_t old_value, uint64_t new_value) const {
+    return PassesNotifyPredicate(predicate, threshold, old_value, new_value);
+  }
+
   /// True when a committed change of (vertex, old -> new) passes this filter.
-  /// Requires Normalize() to have run (the registry does it at Subscribe).
   bool Matches(VertexId vertex, uint64_t old_value, uint64_t new_value) const {
-    if (!watch_all &&
-        !std::binary_search(vertices.begin(), vertices.end(), vertex)) {
-      return false;
-    }
-    switch (predicate) {
-      case NotifyPredicate::kAnyChange:
-        return true;
-      case NotifyPredicate::kValueAtMost:
-        return new_value <= threshold;
-      case NotifyPredicate::kValueAtLeast:
-        return new_value >= threshold;
-      case NotifyPredicate::kMinDelta: {
-        uint64_t delta = new_value >= old_value ? new_value - old_value
-                                                : old_value - new_value;
-        return delta >= threshold;
-      }
-    }
-    return false;
+    return WatchesVertex(vertex) && PassesPredicate(old_value, new_value);
   }
 };
 

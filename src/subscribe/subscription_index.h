@@ -1,0 +1,181 @@
+#ifndef RISGRAPH_SUBSCRIBE_SUBSCRIPTION_INDEX_H_
+#define RISGRAPH_SUBSCRIBE_SUBSCRIPTION_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hash.h"
+#include "subscribe/subscription.h"
+
+namespace risgraph {
+
+/// The subscription index: the data structures that turn matching from
+/// O(changes x live subscriptions) into O(changes x interested
+/// subscriptions), per the continuous-query literature's standing advice —
+/// index the standing queries, don't scan them (Choudhury et al.; Pacaci
+/// et al.).
+///
+/// Two structures, both append/remove-by-key, no iteration on the hot path:
+///
+///  * VertexPostingIndex — vertex id -> posting list of the subscriptions
+///    watching that vertex (an open-addressing FlatMap from common/hash.h;
+///    posting entries carry a COPY of the filter's predicate fields, so
+///    matching never dereferences registry-owned state — the registry's
+///    Entry may be concurrently unsubscribed, and a stale hit is dropped at
+///    delivery when its id no longer resolves). One instance per registry
+///    shard; only vertices owned by that shard appear in it.
+///  * WatchAllLane — per-algorithm posting vectors for watch-all
+///    subscriptions, which by definition have no vertex key to index on.
+///    These are matched on a dedicated lane (cost O(changes x watch-alls),
+///    the irreducible part of the scan).
+///
+/// Removal is O(posting-list length for that vertex) via swap-remove —
+/// posting-list order is NOT meaningful, because delivery sorts hits into a
+/// deterministic order anyway (see SubscriptionRegistry::Deliver).
+///
+/// Not thread-safe: the owner (a registry shard / the registry's watch-all
+/// lane) brings its own mutex.
+
+/// One posting: enough of a subscription to evaluate a candidate change
+/// without touching the registry table. 32 bytes, trivially copyable.
+struct SubscriptionPosting {
+  uint64_t id = 0;       // registry-unique subscription id
+  uint64_t algo = 0;     // algorithm the subscription watches
+  uint64_t threshold = 0;
+  NotifyPredicate predicate = NotifyPredicate::kAnyChange;
+
+  bool Passes(const CommittedChange& c) const {
+    return algo == c.algo &&
+           PassesNotifyPredicate(predicate, threshold, c.old_value,
+                                 c.new_value);
+  }
+
+  static SubscriptionPosting Of(uint64_t id, const SubscriptionFilter& f) {
+    return SubscriptionPosting{id, f.algo, f.threshold, f.predicate};
+  }
+};
+
+/// A match hit: change `change` (index into the sealed batch) matched
+/// subscription `id`. (change, id) is a total order — ids are unique — so a
+/// sort makes any concatenation of per-lane hit vectors deterministic.
+struct MatchHit {
+  uint32_t change = 0;
+  uint64_t id = 0;
+
+  friend bool operator<(const MatchHit& a, const MatchHit& b) {
+    return a.change != b.change ? a.change < b.change : a.id < b.id;
+  }
+};
+
+struct VertexIdHash {
+  uint64_t operator()(VertexId v) const { return Murmur3Fmix64(v); }
+};
+
+/// Vertex-id -> interested-subscription posting lists for one registry
+/// shard. FlatMap has no erase, so a fully-unsubscribed vertex leaves an
+/// empty vector slot behind; memory is bounded by the distinct vertices
+/// ever watched through this shard, and the capacity is reused when a
+/// vertex is watched again.
+class VertexPostingIndex {
+ public:
+  void Add(VertexId v, const SubscriptionPosting& p) {
+    postings_[v].push_back(p);
+    entries_++;
+  }
+
+  /// Removes subscription `id`'s posting for `v` (swap-remove; order is
+  /// re-established at delivery). No-op when absent.
+  void Remove(VertexId v, uint64_t id) {
+    std::vector<SubscriptionPosting>* list = postings_.Find(v);
+    if (list == nullptr) return;
+    for (size_t i = 0; i < list->size(); ++i) {
+      if ((*list)[i].id == id) {
+        (*list)[i] = list->back();
+        list->pop_back();
+        entries_--;
+        return;
+      }
+    }
+  }
+
+  /// Matches every change whose vertex has a posting list, appending hits in
+  /// (change, posting) scan order. `owned` pre-filters to this shard's
+  /// vertices. Returns the number of candidate (change, subscription) pairs
+  /// examined — the index's selectivity metric.
+  template <typename OwnedFn>
+  uint64_t MatchInto(std::span<const CommittedChange> changes,
+                     const OwnedFn& owned, std::vector<MatchHit>* out) const {
+    uint64_t candidates = 0;
+    for (uint32_t i = 0; i < changes.size(); ++i) {
+      const CommittedChange& c = changes[i];
+      if (!owned(c.vertex)) continue;
+      const std::vector<SubscriptionPosting>* list = postings_.Find(c.vertex);
+      if (list == nullptr) continue;
+      candidates += list->size();
+      for (const SubscriptionPosting& p : *list) {
+        if (p.Passes(c)) out->push_back(MatchHit{i, p.id});
+      }
+    }
+    return candidates;
+  }
+
+  /// Live posting entries (consistency checks: must equal the sum of live
+  /// subscriptions' watched-vertex counts owned by this shard).
+  uint64_t entries() const { return entries_; }
+
+ private:
+  FlatMap<VertexId, std::vector<SubscriptionPosting>, VertexIdHash> postings_;
+  uint64_t entries_ = 0;
+};
+
+/// Watch-all subscriptions, grouped per algorithm. The dedicated match lane
+/// for subscriptions the vertex index cannot help with.
+class WatchAllLane {
+ public:
+  void Add(const SubscriptionPosting& p) {
+    if (lanes_.size() <= p.algo) lanes_.resize(p.algo + 1);
+    lanes_[p.algo].push_back(p);
+    entries_++;
+  }
+
+  /// O(watch-all subscriptions of that algorithm), not O(live
+  /// subscriptions).
+  void Remove(uint64_t algo, uint64_t id) {
+    if (algo >= lanes_.size()) return;
+    std::vector<SubscriptionPosting>& lane = lanes_[algo];
+    for (size_t i = 0; i < lane.size(); ++i) {
+      if (lane[i].id == id) {
+        lane[i] = lane.back();
+        lane.pop_back();
+        entries_--;
+        return;
+      }
+    }
+  }
+
+  uint64_t MatchInto(std::span<const CommittedChange> changes,
+                     std::vector<MatchHit>* out) const {
+    uint64_t candidates = 0;
+    for (uint32_t i = 0; i < changes.size(); ++i) {
+      const CommittedChange& c = changes[i];
+      if (c.algo >= lanes_.size()) continue;
+      candidates += lanes_[c.algo].size();
+      for (const SubscriptionPosting& p : lanes_[c.algo]) {
+        if (p.Passes(c)) out->push_back(MatchHit{i, p.id});
+      }
+    }
+    return candidates;
+  }
+
+  uint64_t entries() const { return entries_; }
+
+ private:
+  std::vector<std::vector<SubscriptionPosting>> lanes_;  // [algo] -> postings
+  uint64_t entries_ = 0;
+};
+
+}  // namespace risgraph
+
+#endif  // RISGRAPH_SUBSCRIBE_SUBSCRIPTION_INDEX_H_
